@@ -1,0 +1,78 @@
+//! Recall ablations for DESIGN.md's design choices: what fraction of
+//! the planted ground truth survives when a pipeline stage is disabled
+//! or the path budget shrinks.
+//!
+//! ```sh
+//! cargo run --release -p dtaint-bench --bin ablation_recall
+//! ```
+
+use dtaint_bench::render_table;
+use dtaint_core::{Dtaint, DtaintConfig};
+use dtaint_fwgen::{build_firmware, table2_profiles, GeneratedFirmware};
+use dtaint_symex::SymexConfig;
+
+fn recall(fw: &GeneratedFirmware, config: DtaintConfig) -> (usize, usize) {
+    let report = Dtaint::with_config(config).analyze(&fw.binary, "ablation").unwrap();
+    let expected: Vec<_> = fw.ground_truth.iter().filter(|g| !g.sanitized).collect();
+    let hit = expected
+        .iter()
+        .filter(|g| {
+            report
+                .vulnerable_paths()
+                .iter()
+                .any(|f| f.sink == g.sink && f.sources.iter().any(|s| s.name == g.source))
+        })
+        .count();
+    (hit, expected.len())
+}
+
+fn main() {
+    // The Hikvision profile exercises every advanced mechanism: aliases,
+    // indirect calls, loop copies.
+    let mut profile = table2_profiles().remove(5);
+    profile.total_functions = 400;
+    profile.analyzed_prefixes = None;
+    let fw = build_firmware(&profile);
+
+    let mut rows = Vec::new();
+    let configs: Vec<(&str, DtaintConfig)> = vec![
+        ("full pipeline", DtaintConfig::default()),
+        ("no pointer aliasing", {
+            let mut c = DtaintConfig::default();
+            c.dataflow.enable_alias = false;
+            c
+        }),
+        ("no indirect resolution", {
+            let mut c = DtaintConfig::default();
+            c.dataflow.enable_indirect = false;
+            c
+        }),
+        ("no loop-copy sinks", {
+            let mut c = DtaintConfig::default();
+            c.dataflow.loop_copy_sinks = false;
+            c
+        }),
+        ("path cap 4", DtaintConfig {
+            symex: SymexConfig { max_paths: 4, ..Default::default() },
+            ..Default::default()
+        }),
+        ("path cap 1", DtaintConfig {
+            symex: SymexConfig { max_paths: 1, ..Default::default() },
+            ..Default::default()
+        }),
+    ];
+    for (label, config) in configs {
+        let (hit, total) = recall(&fw, config);
+        rows.push(vec![
+            label.to_owned(),
+            format!("{hit}/{total}"),
+            format!("{:.0}%", 100.0 * hit as f64 / total as f64),
+        ]);
+    }
+    println!("ablation recall on the Hikvision-shaped profile (6 planted flows):");
+    println!();
+    print!("{}", render_table(&["Configuration", "Detected", "Recall"], &rows));
+    println!();
+    println!("expected shape: disabling aliasing or indirect resolution loses the");
+    println!("three URL-parameter flows; disabling loop-copy sinks loses two more.");
+}

@@ -1,0 +1,496 @@
+//! The `dtaint` command-line front end.
+//!
+//! Subcommands:
+//!
+//! * `scan <image|binary>` — run the full pipeline, print findings
+//!   (`--json` for machine-readable reports, `--filter p1,p2` to analyze
+//!   matching functions only, `--validate` to confirm findings in the
+//!   concrete emulator),
+//! * `unpack <image> [--out dir]` — extract the root filesystem,
+//! * `info <image|binary>` — metadata, sections, symbols, signatures,
+//! * `disasm <binary> [function]` — objdump-style listing,
+//! * `gen <1..6> --out <path>` — generate one of the Table II firmware
+//!   profiles (with its ground-truth manifest alongside),
+//! * `corpus [--n N] [--seed S]` — the Figure 1 triage on a generated
+//!   corpus,
+//! * `defs <binary> <function>` — the Figure 6 view: symbolic call
+//!   sites, definition pairs and constraints of one function,
+//! * `validate <binary> [entry]` — dynamic attack probes only.
+//!
+//! The command logic lives in [`run`] (writes to any `io::Write`), so
+//! every subcommand is unit-testable; `main.rs` is a thin wrapper.
+
+use dtaint_core::{Dtaint, DtaintConfig};
+use dtaint_emu::{poison_all_rodata_names, validate as emu_validate, AttackConfig, Verdict};
+use dtaint_fwbin::{disasm, Binary};
+use dtaint_fwimage::{extract_binaries, extract_image, generate_corpus, scan, triage, CorpusConfig, FwImage};
+use std::io::Write;
+
+/// Usage text printed on bad invocations.
+pub const USAGE: &str = "\
+usage: dtaint <command> [args]
+
+commands:
+  scan <image|binary> [--json|--md] [--filter p1,p2] [--validate]
+  unpack <image> [--out DIR]
+  info <image|binary>
+  disasm <binary> [FUNCTION]
+  gen <1..6> --out PATH
+  corpus [--n N] [--seed S]
+  defs <binary> FUNCTION
+  validate <binary> [ENTRY]
+";
+
+/// Executes one CLI invocation, writing human output to `out`.
+///
+/// Returns the process exit code.
+///
+/// # Errors
+///
+/// Returns a message for usage errors and failed operations; `main`
+/// prints it to stderr and exits non-zero.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| USAGE.to_owned())?;
+    let rest: Vec<String> = it.cloned().collect();
+    match cmd.as_str() {
+        "scan" => cmd_scan(&rest, out),
+        "unpack" => cmd_unpack(&rest, out),
+        "info" => cmd_info(&rest, out),
+        "disasm" => cmd_disasm(&rest, out),
+        "gen" => cmd_gen(&rest, out),
+        "corpus" => cmd_corpus(&rest, out),
+        "defs" => cmd_defs(&rest, out),
+        "validate" => cmd_validate(&rest, out),
+        "help" | "--help" | "-h" => {
+            write_out(out, USAGE)?;
+            Ok(0)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn write_out(out: &mut dyn Write, s: &str) -> Result<(), String> {
+    out.write_all(s.as_bytes()).map_err(|e| format!("write failed: {e}"))
+}
+
+fn flag_value<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn positional(rest: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in rest.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Flags with values.
+            if matches!(a.as_str(), "--out" | "--filter" | "--n" | "--seed") {
+                skip = true;
+            }
+            let _ = i;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+/// Loads the argument as binaries: a raw FBF file or every executable of
+/// an FWI image.
+fn load_binaries(path: &str) -> Result<Vec<(String, Binary)>, String> {
+    let data = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    if data.starts_with(&dtaint_fwbin::fbf::FBF_MAGIC) {
+        let bin = Binary::from_bytes(&data).map_err(|e| format!("parse {path}: {e}"))?;
+        return Ok(vec![(path.to_owned(), bin)]);
+    }
+    let img = extract_image(&data).map_err(|e| format!("unpack {path}: {e}"))?;
+    let bins = extract_binaries(&img).map_err(|e| e.to_string())?;
+    if bins.is_empty() {
+        return Err(format!("{path}: image contains no executables"));
+    }
+    Ok(bins)
+}
+
+fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let path = pos.first().ok_or("scan: missing input path")?;
+    let filter = flag_value(rest, "--filter")
+        .map(|f| f.split(',').map(str::to_owned).collect::<Vec<_>>());
+    let config = DtaintConfig { function_filter: filter, ..Default::default() };
+    let analyzer = Dtaint::with_config(config);
+
+    let mut exit = 0;
+    for (name, bin) in load_binaries(path)? {
+        let report = analyzer.analyze(&bin, &name).map_err(|e| e.to_string())?;
+        if has_flag(rest, "--json") {
+            let json = report.to_json().map_err(|e| e.to_string())?;
+            write_out(out, &json)?;
+            write_out(out, "\n")?;
+        } else if has_flag(rest, "--md") {
+            write_out(out, &report.to_markdown())?;
+        } else {
+            write_out(
+                out,
+                &format!(
+                    "== {name}: {} functions, {} sinks, {} vulnerable path(s), {} vulnerability(ies) [{:.2?}]\n",
+                    report.functions,
+                    report.sinks_count,
+                    report.vulnerable_paths().len(),
+                    report.vulnerabilities(),
+                    report.timings.total(),
+                ),
+            )?;
+            for f in &report.findings {
+                write_out(out, &format!("{f}\n"))?;
+                for step in &f.trace {
+                    write_out(out, &format!("    {step}\n"))?;
+                }
+            }
+        }
+        if report.vulnerabilities() > 0 {
+            exit = 2;
+        }
+        if has_flag(rest, "--validate") {
+            let mut attack = AttackConfig::default();
+            poison_all_rodata_names(&bin, &mut attack);
+            let entry =
+                bin.function_at(bin.entry).map(|s| s.name.clone()).unwrap_or_else(|| "main".into());
+            let verdict = emu_validate(&bin, &entry, &attack);
+            write_out(out, &format!("dynamic validation ({entry}): {verdict:?}\n"))?;
+        }
+    }
+    Ok(exit)
+}
+
+fn cmd_unpack(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let path = pos.first().ok_or("unpack: missing image path")?;
+    let data = std::fs::read(path.as_str()).map_err(|e| format!("read {path}: {e}"))?;
+    let img = extract_image(&data).map_err(|e| e.to_string())?;
+    write_out(
+        out,
+        &format!(
+            "{} {} {} ({:?}, {} files)\n",
+            img.metadata.vendor,
+            img.metadata.product,
+            img.metadata.version,
+            img.metadata.arch,
+            img.files.len()
+        ),
+    )?;
+    let dir = flag_value(rest, "--out");
+    for f in &img.files {
+        write_out(out, &format!("  {:>8}  {}\n", f.data.len(), f.path))?;
+        if let Some(dir) = dir {
+            let dest = std::path::Path::new(dir).join(&f.path);
+            if let Some(parent) = dest.parent() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+            std::fs::write(&dest, &f.data).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_info(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let path = pos.first().ok_or("info: missing input path")?;
+    let data = std::fs::read(path.as_str()).map_err(|e| format!("read {path}: {e}"))?;
+    let sigs = scan(&data);
+    write_out(out, &format!("{path}: {} bytes, {} signature(s)\n", data.len(), sigs.len()))?;
+    for s in &sigs {
+        write_out(out, &format!("  {:#010x}  {:?}\n", s.offset, s.kind))?;
+    }
+    for (name, bin) in load_binaries(path).unwrap_or_default() {
+        write_out(out, &format!("\nbinary {name}: {} entry {:#x}\n", bin.arch, bin.entry))?;
+        for s in &bin.sections {
+            write_out(
+                out,
+                &format!("  section {:<8} {:#010x} {:>8} bytes\n", s.name, s.addr, s.size),
+            )?;
+        }
+        write_out(
+            out,
+            &format!("  {} functions, {} imports\n", bin.functions().len(), bin.imports.len()),
+        )?;
+    }
+    Ok(0)
+}
+
+fn cmd_disasm(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let path = pos.first().ok_or("disasm: missing binary path")?;
+    let bins = load_binaries(path)?;
+    let (_, bin) = &bins[0];
+    match pos.get(1) {
+        Some(func) => {
+            let lines = disasm::disassemble_function(bin, func)
+                .ok_or_else(|| format!("no function `{func}`"))?;
+            for l in lines {
+                match l.call_target {
+                    Some(t) => write_out(
+                        out,
+                        &format!("{:#010x}: {:08x}  {:<28} ; → {t}\n", l.addr, l.word, l.text),
+                    )?,
+                    None => {
+                        write_out(out, &format!("{:#010x}: {:08x}  {}\n", l.addr, l.word, l.text))?
+                    }
+                }
+            }
+        }
+        None => write_out(out, &disasm::listing(bin))?,
+    }
+    Ok(0)
+}
+
+fn cmd_gen(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let index: usize = pos
+        .first()
+        .ok_or("gen: missing profile index (1..6)")?
+        .parse()
+        .map_err(|_| "gen: index must be 1..6".to_owned())?;
+    if !(1..=6).contains(&index) {
+        return Err("gen: index must be 1..6".into());
+    }
+    let dest = flag_value(rest, "--out").ok_or("gen: missing --out PATH")?;
+    let profile = dtaint_fwgen::table2_profiles().remove(index - 1);
+    let fw = dtaint_fwgen::build_firmware(&profile);
+    std::fs::write(dest, fw.image.pack(false)).map_err(|e| e.to_string())?;
+    let manifest = serde_json::to_string_pretty(&fw.ground_truth).map_err(|e| e.to_string())?;
+    let manifest_path = format!("{dest}.truth.json");
+    std::fs::write(&manifest_path, manifest).map_err(|e| e.to_string())?;
+    write_out(
+        out,
+        &format!(
+            "wrote {} ({} {}, {} functions) and {}\n",
+            dest,
+            profile.manufacturer,
+            profile.firmware_version,
+            profile.total_functions,
+            manifest_path
+        ),
+    )?;
+    Ok(0)
+}
+
+fn cmd_corpus(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let n = flag_value(rest, "--n").and_then(|v| v.parse().ok()).unwrap_or(2000);
+    let seed = flag_value(rest, "--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let corpus = generate_corpus(&CorpusConfig { n_images: n, seed, ..Default::default() });
+    let stats = triage(&corpus);
+    write_out(out, "year  total  unpacked  emulated\n")?;
+    for (year, s) in &stats {
+        write_out(
+            out,
+            &format!("{year}  {:>5}  {:>8}  {:>8}\n", s.total, s.unpacked, s.emulated),
+        )?;
+    }
+    let total: usize = stats.values().map(|s| s.total).sum();
+    let emulated: usize = stats.values().map(|s| s.emulated).sum();
+    write_out(
+        out,
+        &format!("emulation success: {emulated}/{total} ({:.1}%)\n", 100.0 * emulated as f64 / total as f64),
+    )?;
+    Ok(0)
+}
+
+fn cmd_defs(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let path = pos.first().ok_or("defs: missing binary path")?;
+    let func = pos.get(1).ok_or("defs: missing function name")?;
+    let bins = load_binaries(path)?;
+    let (_, bin) = &bins[0];
+    let sym = bin.function(func).ok_or_else(|| format!("no function `{func}`"))?;
+    let cfg = dtaint_cfg::build_function_cfg(bin, sym).map_err(|e| e.to_string())?;
+    let mut pool = dtaint_symex::ExprPool::new();
+    let summary =
+        dtaint_symex::analyze_function(bin, &cfg, &mut pool, &dtaint_symex::SymexConfig::default());
+    write_out(out, &summary.render(&pool))?;
+    Ok(0)
+}
+
+fn cmd_validate(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let path = pos.first().ok_or("validate: missing binary path")?;
+    let bins = load_binaries(path)?;
+    let (_, bin) = &bins[0];
+    let entry = pos
+        .get(1)
+        .map(|s| s.to_string())
+        .or_else(|| bin.function_at(bin.entry).map(|s| s.name.clone()))
+        .ok_or("validate: no entry function")?;
+    let mut attack = AttackConfig::default();
+    poison_all_rodata_names(bin, &mut attack);
+    let verdict = emu_validate(bin, &entry, &attack);
+    write_out(out, &format!("{verdict:?}\n"))?;
+    Ok(match verdict {
+        Verdict::NoEffect => 0,
+        _ => 2,
+    })
+}
+
+/// Convenience for tests: runs a command line and captures stdout.
+pub fn run_captured(args: &[&str]) -> (Result<i32, String>, String) {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    let code = run(&owned, &mut buf);
+    (code, String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Re-export for `main.rs` and tests that need to pack images.
+pub fn pack_image(img: &FwImage, encrypted: bool) -> Vec<u8> {
+    img.pack(encrypted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dtaint-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn small_image_path() -> String {
+        let mut profile = dtaint_fwgen::table2_profiles().remove(0);
+        profile.total_functions = 60;
+        let fw = dtaint_fwgen::build_firmware(&profile);
+        let p = tmpdir().join("dir645.fwi");
+        std::fs::write(&p, fw.image.pack(false)).unwrap();
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_captured(&["help"]);
+        assert_eq!(code, Ok(0));
+        assert!(out.contains("usage: dtaint"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let (code, _) = run_captured(&["frobnicate"]);
+        assert!(code.is_err());
+    }
+
+    #[test]
+    fn scan_reports_findings_and_exit_code() {
+        let p = small_image_path();
+        let (code, out) = run_captured(&["scan", &p]);
+        assert_eq!(code, Ok(2), "vulnerabilities present → exit 2");
+        assert!(out.contains("VULNERABLE"), "{out}");
+        assert!(out.contains("source"), "trace lines present: {out}");
+    }
+
+    #[test]
+    fn scan_markdown_renders() {
+        let p = small_image_path();
+        let (code, out) = run_captured(&["scan", &p, "--md"]);
+        assert_eq!(code, Ok(2));
+        assert!(out.contains("# DTaint report"), "{out}");
+        assert!(out.contains("## Vulnerabilities"));
+    }
+
+    #[test]
+    fn scan_json_is_parseable() {
+        let p = small_image_path();
+        let (code, out) = run_captured(&["scan", &p, "--json"]);
+        assert_eq!(code, Ok(2));
+        let report = dtaint_core::AnalysisReport::from_json(out.trim()).unwrap();
+        assert!(report.vulnerabilities() > 0);
+    }
+
+    #[test]
+    fn unpack_lists_and_writes_files() {
+        let p = small_image_path();
+        let dir = tmpdir().join("rootfs");
+        let (code, out) =
+            run_captured(&["unpack", &p, "--out", dir.to_str().unwrap()]);
+        assert_eq!(code, Ok(0));
+        assert!(out.contains("bin/cgibin"));
+        assert!(dir.join("bin/cgibin").exists());
+    }
+
+    #[test]
+    fn info_shows_signatures_and_sections() {
+        let p = small_image_path();
+        let (code, out) = run_captured(&["info", &p]);
+        assert_eq!(code, Ok(0));
+        assert!(out.contains("FwImage"));
+        assert!(out.contains(".text"));
+    }
+
+    #[test]
+    fn disasm_prints_listing_and_single_function() {
+        let p = small_image_path();
+        let (code, out) = run_captured(&["disasm", &p]);
+        assert_eq!(code, Ok(0));
+        assert!(out.contains("<main>:"));
+        let (code, out) = run_captured(&["disasm", &p, "main"]);
+        assert_eq!(code, Ok(0));
+        assert!(out.contains("jal") || out.contains("bl"));
+    }
+
+    #[test]
+    fn gen_writes_image_and_manifest() {
+        let dest = tmpdir().join("gen2.fwi");
+        // Profile 2 is small enough for a test.
+        let (code, out) = run_captured(&["gen", "2", "--out", dest.to_str().unwrap()]);
+        assert_eq!(code, Ok(0));
+        assert!(out.contains("wrote"));
+        assert!(dest.exists());
+        let manifest = std::fs::read_to_string(format!("{}.truth.json", dest.display())).unwrap();
+        assert!(manifest.contains("entry_fn"));
+    }
+
+    #[test]
+    fn corpus_prints_yearly_stats() {
+        let (code, out) = run_captured(&["corpus", "--n", "300", "--seed", "3"]);
+        assert_eq!(code, Ok(0));
+        assert!(out.contains("emulation success"));
+        assert!(out.contains("2009"));
+    }
+
+    #[test]
+    fn validate_flags_vulnerable_binaries() {
+        let p = small_image_path();
+        // Extract the inner binary to a file first.
+        let data = std::fs::read(&p).unwrap();
+        let img = extract_image(&data).unwrap();
+        let bins = extract_binaries(&img).unwrap();
+        let bp = tmpdir().join("cgibin.fbf");
+        std::fs::write(&bp, bins[0].1.to_bytes()).unwrap();
+        let (code, out) = run_captured(&["validate", bp.to_str().unwrap(), "main"]);
+        assert_eq!(code, Ok(2), "{out}");
+        assert!(out.contains("MemoryCorruption") || out.contains("CommandInjected"), "{out}");
+    }
+
+    #[test]
+    fn defs_renders_figure6_style_summary() {
+        let p = small_image_path();
+        let (code, out) = run_captured(&["defs", &p, "main"]);
+        assert_eq!(code, Ok(0));
+        assert!(out.contains("definition pairs"), "{out}");
+        assert!(out.contains("deref("), "{out}");
+        let (code, _) = run_captured(&["defs", &p, "nonexistent"]);
+        assert!(code.is_err());
+    }
+
+    #[test]
+    fn scan_with_validate_runs_the_emulator() {
+        let p = small_image_path();
+        let (code, out) = run_captured(&["scan", &p, "--validate"]);
+        assert_eq!(code, Ok(2));
+        assert!(out.contains("dynamic validation"), "{out}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Thin entry point for the `dtaint` CLI; all logic lives in the
+//! library so the subcommands are unit-testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    match dtaint_cli::run(&args, &mut stdout) {
+        Ok(code) => std::process::exit(code),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The end-to-end DTaint pipeline (Figure 4 of the paper).
+//!
+//! `binary → IR/CFG → per-function symbolic analysis (parallel) →
+//! pointer aliasing → layout similarity → bottom-up data flow →
+//! sink/source matching → findings`.
+
+use crate::report::{AnalysisReport, StageTimings};
+use crate::sinks::{default_sink_names, default_sources};
+use crate::taint;
+use dtaint_cfg::{build_function_cfg, CallGraph, FunctionCfg};
+use dtaint_dataflow::{build_dataflow, DataflowConfig, SinkKind};
+use dtaint_fwbin::Binary;
+use dtaint_symex::{analyze_function, ExprPool, FuncSummary, SymexConfig};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Configuration of the whole pipeline.
+#[derive(Debug, Clone)]
+pub struct DtaintConfig {
+    /// Per-function symbolic execution settings.
+    pub symex: SymexConfig,
+    /// Data-flow stage settings (alias/indirect switches, sink names).
+    pub dataflow: DataflowConfig,
+    /// Import names treated as attacker-controlled sources.
+    pub sources: HashSet<String>,
+    /// Worker threads for the per-function analysis (0 = all cores).
+    pub threads: usize,
+    /// Enable the strict-bounds extension: constant length guards must
+    /// fit the destination's stack capacity to count as sanitisation
+    /// (see [`crate::taint::detect_with`]).
+    pub strict_bounds: bool,
+    /// When set, only functions whose name passes the filter are
+    /// analyzed — the paper does this for the large Uniview/Hikvision
+    /// images ("we manually extract 430 functions that are used to
+    /// process RTSP and HTTP", §V-A).
+    pub function_filter: Option<Vec<String>>,
+}
+
+impl Default for DtaintConfig {
+    fn default() -> Self {
+        DtaintConfig {
+            symex: SymexConfig::default(),
+            dataflow: DataflowConfig { sink_names: default_sink_names(), ..Default::default() },
+            sources: default_sources(),
+            threads: 0,
+            strict_bounds: false,
+            function_filter: None,
+        }
+    }
+}
+
+/// The DTaint analyzer.
+///
+/// # Examples
+///
+/// See the crate-level example ([`crate`]) for an end-to-end run on an
+/// assembled binary.
+#[derive(Debug, Clone, Default)]
+pub struct Dtaint {
+    config: DtaintConfig,
+}
+
+impl Dtaint {
+    /// Creates an analyzer with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an analyzer with explicit configuration.
+    pub fn with_config(config: DtaintConfig) -> Self {
+        Dtaint { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DtaintConfig {
+        &self.config
+    }
+
+    /// Analyzes one binary end-to-end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lifting failures (undecodable instruction words,
+    /// unmapped reads) from CFG construction.
+    pub fn analyze(&self, bin: &Binary, name: &str) -> dtaint_fwbin::Result<AnalysisReport> {
+        // Stage 1: lift + CFGs + call graph.
+        let t = Instant::now();
+        let mut syms: Vec<&dtaint_fwbin::Symbol> = bin.functions();
+        if let Some(filter) = &self.config.function_filter {
+            syms.retain(|s| filter.iter().any(|f| s.name.contains(f.as_str())));
+        }
+        let cfgs: Vec<FunctionCfg> = syms
+            .iter()
+            .map(|s| build_function_cfg(bin, s))
+            .collect::<dtaint_fwbin::Result<_>>()?;
+        let mut callgraph = CallGraph::build(bin, &cfgs);
+        let lift_cfg = t.elapsed();
+
+        // Stage 2: per-function static symbolic analysis, in parallel
+        // with private pools, merged afterwards.
+        let t = Instant::now();
+        let (summaries, pool) = self.run_symex(bin, &cfgs);
+        let ssa = t.elapsed();
+
+        // Stage 3: alias + layout similarity + bottom-up propagation.
+        let t = Instant::now();
+        let df = build_dataflow(bin, &mut callgraph, summaries, pool, &self.config.dataflow);
+        let ddg = t.elapsed();
+
+        // Stage 4: taint judgement.
+        let t = Instant::now();
+        let fn_names: HashMap<u32, String> =
+            cfgs.iter().map(|c| (c.addr, c.name.clone())).collect();
+        let findings =
+            taint::detect_with(&df, &self.config.sources, &fn_names, self.config.strict_bounds);
+        let detect = t.elapsed();
+
+        let sinks_count = df
+            .finals
+            .values()
+            .flat_map(|f| f.sinks.iter())
+            .filter(|s| s.call_chain.is_empty())
+            .count();
+        let loop_copy_sinks = df
+            .finals
+            .values()
+            .flat_map(|f| f.sinks.iter())
+            .filter(|s| s.kind == SinkKind::LoopCopy && s.call_chain.is_empty())
+            .count();
+        let _ = loop_copy_sinks;
+
+        Ok(AnalysisReport {
+            binary_name: name.to_owned(),
+            arch: bin.arch.to_string(),
+            functions: cfgs.len(),
+            blocks: cfgs.iter().map(|c| c.block_count()).sum(),
+            call_graph_edges: callgraph.edge_count(),
+            sinks_count,
+            resolved_indirect: df.resolved_indirect.len(),
+            findings,
+            timings: StageTimings { lift_cfg, ssa, ddg, detect },
+        })
+    }
+
+    /// Runs the per-function symbolic analysis, parallelised with
+    /// crossbeam scoped threads; each worker interns into a private pool
+    /// that is translated into the global pool at the end.
+    fn run_symex(&self, bin: &Binary, cfgs: &[FunctionCfg]) -> (Vec<FuncSummary>, ExprPool) {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        let threads = threads.clamp(1, cfgs.len().max(1));
+        let mut global = ExprPool::new();
+        let mut merged: Vec<FuncSummary> = Vec::with_capacity(cfgs.len());
+        if threads <= 1 || cfgs.len() < 8 {
+            for c in cfgs {
+                let s = analyze_function(bin, c, &mut global, &self.config.symex);
+                merged.push(s);
+            }
+            return (merged, global);
+        }
+        let chunk = cfgs.len().div_ceil(threads);
+        let parts: Vec<(Vec<FuncSummary>, ExprPool)> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for slice in cfgs.chunks(chunk) {
+                let symex = self.config.symex;
+                handles.push(scope.spawn(move |_| {
+                    let mut pool = ExprPool::new();
+                    let out: Vec<FuncSummary> = slice
+                        .iter()
+                        .map(|c| analyze_function(bin, c, &mut pool, &symex))
+                        .collect();
+                    (out, pool)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("symex worker panicked")).collect()
+        })
+        .expect("crossbeam scope");
+        for (summaries, local) in parts {
+            for s in summaries {
+                merged.push(s.translate_into(&local, &mut global));
+            }
+        }
+        (merged, global)
+    }
+}

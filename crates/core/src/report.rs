@@ -1,0 +1,303 @@
+//! Findings and analysis reports.
+
+use crate::sinks::VulnKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::Duration;
+
+/// A source that contributed tainted data to a finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceRef {
+    /// Library function name (`recv`, `getenv`, …).
+    pub name: String,
+    /// Instruction address of the source call.
+    pub ins_addr: u32,
+}
+
+/// One `(source, path, sink)` tuple the detector judged.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Finding {
+    /// Weakness class.
+    pub kind: VulnKindRepr,
+    /// Sink name (`memcpy`, `system`, or `loop-copy`).
+    pub sink: String,
+    /// Instruction address of the sink.
+    pub sink_ins: u32,
+    /// Name of the function containing the sink.
+    pub sink_fn: String,
+    /// Name of the function the flow was observed from (where argument
+    /// substitution bottomed out).
+    pub observed_in: String,
+    /// Sources feeding the tainted variable.
+    pub sources: Vec<SourceRef>,
+    /// Call-site chain from the observing function down to the sink.
+    pub call_chain: Vec<u32>,
+    /// The tainted variable, rendered in the paper's notation.
+    pub tainted_expr: String,
+    /// True when a sanitising constraint guards the path — a guarded
+    /// finding is *not* reported as a vulnerability.
+    pub sanitized: bool,
+    /// The backward sink-to-source trace over the data-dependency graph,
+    /// rendered source-first (may be empty for object-granular taint
+    /// with no single def chain).
+    #[serde(default)]
+    pub trace: Vec<String>,
+}
+
+/// Serializable mirror of [`VulnKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VulnKindRepr {
+    /// See [`VulnKind::BufferOverflow`].
+    BufferOverflow,
+    /// See [`VulnKind::CommandInjection`].
+    CommandInjection,
+}
+
+impl From<VulnKind> for VulnKindRepr {
+    fn from(k: VulnKind) -> Self {
+        match k {
+            VulnKind::BufferOverflow => VulnKindRepr::BufferOverflow,
+            VulnKind::CommandInjection => VulnKindRepr::CommandInjection,
+        }
+    }
+}
+
+impl fmt::Display for VulnKindRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VulnKindRepr::BufferOverflow => f.write_str("buffer overflow"),
+            VulnKindRepr::CommandInjection => f.write_str("command injection"),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let status = if self.sanitized { "sanitized" } else { "VULNERABLE" };
+        write!(
+            f,
+            "[{status}] {} via {} at {:#x} in {} (sources: {}; tainted: {})",
+            self.kind,
+            self.sink,
+            self.sink_ins,
+            self.sink_fn,
+            self.sources
+                .iter()
+                .map(|s| format!("{}@{:#x}", s.name, s.ins_addr))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.tainted_expr,
+        )
+    }
+}
+
+/// Wall-clock cost of each pipeline stage.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Lifting + CFG + call-graph construction.
+    pub lift_cfg: Duration,
+    /// Static symbolic analysis over all functions (Table VII "SSA").
+    pub ssa: Duration,
+    /// Alias + layout + bottom-up propagation (Table VII "DDG").
+    pub ddg: Duration,
+    /// Sink/source matching and sanitisation checks.
+    pub detect: Duration,
+}
+
+impl StageTimings {
+    /// Total across all stages.
+    pub fn total(&self) -> Duration {
+        self.lift_cfg + self.ssa + self.ddg + self.detect
+    }
+}
+
+/// The complete result of analyzing one binary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Name used for reporting (binary or firmware component).
+    pub binary_name: String,
+    /// Guest architecture.
+    pub arch: String,
+    /// Number of functions analyzed.
+    pub functions: usize,
+    /// Total basic blocks.
+    pub blocks: usize,
+    /// Call-graph edges (Table II).
+    pub call_graph_edges: usize,
+    /// Number of sensitive sink call sites found (Table III "Sinks").
+    pub sinks_count: usize,
+    /// Indirect calls resolved by layout similarity.
+    pub resolved_indirect: usize,
+    /// Every judged `(source, path, sink)` tuple.
+    pub findings: Vec<Finding>,
+    /// Stage timings.
+    pub timings: StageTimings,
+}
+
+impl AnalysisReport {
+    /// Unsafe paths: findings with taint and no sanitisation
+    /// (Table III "Vulnerable paths").
+    pub fn vulnerable_paths(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| !f.sanitized).collect()
+    }
+
+    /// Distinct vulnerable sink sites (Table III "Vulnerability").
+    pub fn vulnerabilities(&self) -> usize {
+        self.vulnerable_paths()
+            .iter()
+            .map(|f| f.sink_ins)
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Vulnerable findings of one kind.
+    pub fn findings_of_kind(&self, kind: VulnKindRepr) -> Vec<&Finding> {
+        self.vulnerable_paths().into_iter().filter(|f| f.kind == kind).collect()
+    }
+
+    /// Renders the report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation failures (practically impossible for
+    /// this type).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(s: &str) -> serde_json::Result<AnalysisReport> {
+        serde_json::from_str(s)
+    }
+
+    /// Renders the report as a Markdown document (summary table,
+    /// vulnerable findings with traces, then suppressed/sanitised paths).
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut md = String::new();
+        let _ = writeln!(md, "# DTaint report: `{}`\n", self.binary_name);
+        let _ = writeln!(md, "| metric | value |");
+        let _ = writeln!(md, "|---|---|");
+        let _ = writeln!(md, "| architecture | {} |", self.arch);
+        let _ = writeln!(md, "| functions analyzed | {} |", self.functions);
+        let _ = writeln!(md, "| basic blocks | {} |", self.blocks);
+        let _ = writeln!(md, "| call-graph edges | {} |", self.call_graph_edges);
+        let _ = writeln!(md, "| sensitive sinks | {} |", self.sinks_count);
+        let _ = writeln!(md, "| indirect calls resolved | {} |", self.resolved_indirect);
+        let _ = writeln!(md, "| vulnerable paths | {} |", self.vulnerable_paths().len());
+        let _ = writeln!(md, "| **vulnerabilities** | **{}** |", self.vulnerabilities());
+        let _ = writeln!(md, "| analysis time | {:.2?} |", self.timings.total());
+        let vulnerable = self.vulnerable_paths();
+        if !vulnerable.is_empty() {
+            let _ = writeln!(md, "\n## Vulnerabilities\n");
+            for f in &vulnerable {
+                let _ = writeln!(
+                    md,
+                    "### {} via `{}` at `{:#x}` (in `{}`)\n",
+                    f.kind, f.sink, f.sink_ins, f.sink_fn
+                );
+                let srcs: Vec<String> = f
+                    .sources
+                    .iter()
+                    .map(|s| format!("`{}@{:#x}`", s.name, s.ins_addr))
+                    .collect();
+                let _ = writeln!(md, "- sources: {}", srcs.join(", "));
+                let _ = writeln!(md, "- tainted variable: `{}`", f.tainted_expr);
+                let _ = writeln!(md, "- observed from: `{}`", f.observed_in);
+                if !f.trace.is_empty() {
+                    let _ = writeln!(md, "- data-flow trace:");
+                    for step in &f.trace {
+                        let _ = writeln!(md, "  - {step}");
+                    }
+                }
+                let _ = writeln!(md);
+            }
+        }
+        let sanitized: Vec<&Finding> = self.findings.iter().filter(|f| f.sanitized).collect();
+        if !sanitized.is_empty() {
+            let _ = writeln!(md, "## Sanitised paths (not reported)\n");
+            for f in sanitized {
+                let _ = writeln!(
+                    md,
+                    "- {} via `{}` at `{:#x}` — guarded by a path constraint",
+                    f.kind, f.sink, f.sink_ins
+                );
+            }
+        }
+        md
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(sink_ins: u32, sanitized: bool) -> Finding {
+        Finding {
+            kind: VulnKindRepr::BufferOverflow,
+            sink: "memcpy".into(),
+            sink_ins,
+            sink_fn: "f".into(),
+            observed_in: "main".into(),
+            sources: vec![SourceRef { name: "recv".into(), ins_addr: 0x100 }],
+            call_chain: vec![0x200],
+            tainted_expr: "ret_0x100".into(),
+            sanitized,
+            trace: vec!["source recv@0x100".into()],
+        }
+    }
+
+    fn report() -> AnalysisReport {
+        AnalysisReport {
+            binary_name: "t".into(),
+            arch: "arm32e".into(),
+            functions: 2,
+            blocks: 5,
+            call_graph_edges: 3,
+            sinks_count: 2,
+            resolved_indirect: 0,
+            findings: vec![finding(0x10, false), finding(0x10, false), finding(0x20, true)],
+            timings: StageTimings::default(),
+        }
+    }
+
+    #[test]
+    fn vulnerable_paths_exclude_sanitized() {
+        let r = report();
+        assert_eq!(r.vulnerable_paths().len(), 2);
+        assert_eq!(r.vulnerabilities(), 1, "same sink site counted once");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = report();
+        let s = r.to_json().unwrap();
+        let back = AnalysisReport::from_json(&s).unwrap();
+        assert_eq!(back.findings.len(), 3);
+        assert_eq!(back.binary_name, "t");
+    }
+
+    #[test]
+    fn markdown_renders_summary_and_findings() {
+        let md = report().to_markdown();
+        assert!(md.contains("# DTaint report"));
+        assert!(md.contains("**vulnerabilities** | **1**"));
+        assert!(md.contains("## Vulnerabilities"));
+        assert!(md.contains("Sanitised paths"));
+        assert!(md.contains("source recv@0x100"));
+    }
+
+    #[test]
+    fn display_flags_vulnerable_findings() {
+        let s = finding(0x10, false).to_string();
+        assert!(s.contains("VULNERABLE"));
+        assert!(s.contains("recv@0x100"));
+        let s = finding(0x10, true).to_string();
+        assert!(s.contains("sanitized"));
+    }
+}

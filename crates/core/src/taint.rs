@@ -1,0 +1,345 @@
+//! Taint judgement: turning sink observations into findings.
+//!
+//! For every `(source, path, sink)` tuple the data-flow stage surfaced,
+//! this module decides (§IV):
+//!
+//! 1. **Is the sink's sensitive variable tainted?** The variable (chosen
+//!    per sink by [`TaintedVar`]) must carry data originating at an
+//!    attacker-controlled source. Taint is tracked at two granularities,
+//!    matching the paper's buffer semantics:
+//!    * *value* taint — the expression contains a `ret_{cs}`/`out_{cs}`
+//!      symbol of a source call;
+//!    * *object* taint — the expression reads memory (`deref(base+k)`)
+//!      from a buffer `base` that a definition pair shows was filled
+//!      with source data at any offset (a `recv` into `buf` taints
+//!      `buf[1]`, `buf[2]`, … — the Heartbleed `n2s` pattern).
+//! 2. **Is the path sanitised?** Buffer overflows are guarded by a
+//!    bounding constraint on the tainted data (`n < 64`, `n < y`);
+//!    command injections by a comparison of a tainted byte against the
+//!    separator `';'` (0x3B). An unguarded tainted path is a
+//!    vulnerability.
+
+use crate::report::{Finding, SourceRef};
+use crate::sinks::{sink_spec, TaintedVar, VulnKind};
+use dtaint_dataflow::{FinalSummary, ProgramDataflow, SinkKind, SinkObservation};
+use dtaint_symex::pool::{CmpOp, SymNode};
+use dtaint_symex::ExprId;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// ASCII code of the command separator checked by sanitised command
+/// paths.
+pub const SEMICOLON: i64 = b';' as i64;
+
+/// Object-granular taint knowledge for one observing function.
+struct TaintIndex<'a> {
+    df: &'a ProgramDataflow,
+    sources: &'a HashSet<String>,
+    /// Buffer base → sources whose data was stored into the buffer.
+    tainted_bases: HashMap<ExprId, BTreeSet<SourceRef>>,
+}
+
+impl<'a> TaintIndex<'a> {
+    fn build(
+        df: &'a ProgramDataflow,
+        holder: &FinalSummary,
+        sources: &'a HashSet<String>,
+    ) -> Self {
+        let mut tainted_bases: HashMap<ExprId, BTreeSet<SourceRef>> = HashMap::new();
+        for dp in &holder.summary.def_pairs {
+            let mut atoms = BTreeSet::new();
+            direct_atoms(df, sources, dp.u, &mut atoms);
+            if atoms.is_empty() {
+                continue;
+            }
+            if let SymNode::Deref { addr, .. } = df.pool.node(dp.d) {
+                let (base, _) = df.pool.base_offset(addr);
+                tainted_bases.entry(base).or_default().extend(atoms);
+            }
+        }
+        // Alias closure: a memory name holding a pointer *to* a tainted
+        // buffer is itself a tainted base — reading through
+        // `deref(ctx + 0x10)` reaches the buffer the field points at.
+        for _ in 0..8 {
+            let mut changed = false;
+            for dp in &holder.summary.def_pairs {
+                let (ubase, _) = df.pool.base_offset(dp.u);
+                let Some(atoms) = tainted_bases.get(&ubase).cloned() else { continue };
+                if matches!(df.pool.node(dp.d), SymNode::Deref { .. }) {
+                    let entry = tainted_bases.entry(dp.d).or_default();
+                    let before = entry.len();
+                    entry.extend(atoms);
+                    changed |= entry.len() != before;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        TaintIndex { df, sources, tainted_bases }
+    }
+
+    /// All source references carried by an expression (value taint plus
+    /// object taint through memory reads).
+    fn atoms_in(&self, e: ExprId) -> BTreeSet<SourceRef> {
+        let mut out = BTreeSet::new();
+        direct_atoms(self.df, self.sources, e, &mut out);
+        // Object taint: any deref whose base was filled with source data.
+        self.df.pool.any_node(e, &mut |n| {
+            if let SymNode::Deref { addr, .. } = n {
+                let (base, _) = self.df.pool.base_offset(addr);
+                if let Some(atoms) = self.tainted_bases.get(&base) {
+                    out.extend(atoms.iter().cloned());
+                }
+            }
+            false // keep walking
+        });
+        out
+    }
+
+    /// Taint of the *pointee* of a pointer-valued expression: the buffer
+    /// the pointer designates, resolved through the definition pairs.
+    fn pointee_atoms(&self, holder_fn: u32, ptr: ExprId) -> BTreeSet<SourceRef> {
+        let mut out = BTreeSet::new();
+        // The pointer value itself may be a source (getenv's return).
+        out.extend(self.atoms_in(ptr));
+        // Values the pointer resolves to, plus what memory holds there.
+        let mut vals = vec![ptr];
+        for v in self.df.pointee_values(holder_fn, ptr) {
+            out.extend(self.atoms_in(v));
+            if !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+        // Object taint at the pointed-to buffer, at any offset.
+        for v in vals {
+            let (base, _) = self.df.pool.base_offset(v);
+            if let Some(atoms) = self.tainted_bases.get(&base) {
+                out.extend(atoms.iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+fn direct_atoms(
+    df: &ProgramDataflow,
+    sources: &HashSet<String>,
+    e: ExprId,
+    out: &mut BTreeSet<SourceRef>,
+) {
+    df.pool.any_node(e, &mut |n| {
+        let cs = match n {
+            SymNode::RetSym(cs) => Some(cs),
+            SymNode::CallOut { callsite, .. } => Some(callsite),
+            _ => None,
+        };
+        if let Some(cs) = cs {
+            if let Some(name) = df.import_sites.get(&cs) {
+                if sources.contains(name) {
+                    out.insert(SourceRef { name: name.clone(), ins_addr: cs });
+                }
+            }
+        }
+        false // keep walking
+    });
+}
+
+/// Runs the taint judgement over every sink observation.
+///
+/// `sources` is the set of import names treated as attacker-controlled
+/// inputs; `fn_names` maps function entry addresses to names for
+/// reporting.
+pub fn detect(
+    df: &ProgramDataflow,
+    sources: &HashSet<String>,
+    fn_names: &HashMap<u32, String>,
+) -> Vec<Finding> {
+    detect_with(df, sources, fn_names, false)
+}
+
+/// [`detect`] with the *strict bounds* extension: a bounding constraint
+/// sanitises a copy only when its constant actually fits the destination
+/// buffer's stack capacity — `if (n < 1024) memcpy(dst256, src, n)` stays
+/// a vulnerability. The capacity of a stack destination `sp0 - K` is the
+/// distance to the saved-return slot (`K - 8`); non-stack destinations
+/// fall back to the paper's syntactic check.
+pub fn detect_with(
+    df: &ProgramDataflow,
+    sources: &HashSet<String>,
+    fn_names: &HashMap<u32, String>,
+    strict_bounds: bool,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut seen: HashSet<(u32, Vec<u32>, Vec<SourceRef>, String)> = HashSet::new();
+    let mut holders: Vec<&FinalSummary> = df.finals.values().collect();
+    holders.sort_by_key(|f| f.summary.addr);
+    for holder in holders {
+        // One object-taint index per observing function, shared by all
+        // of its sink observations.
+        let index = TaintIndex::build(df, holder, sources);
+        for obs in &holder.sinks {
+        let (kind, sink_name) = match &obs.kind {
+            SinkKind::Import(name) => {
+                let Some(spec) = sink_spec(name) else { continue };
+                (spec.kind, name.clone())
+            }
+            SinkKind::LoopCopy => (VulnKind::BufferOverflow, "loop-copy".to_owned()),
+        };
+
+        // 1. Taint on the sink's sensitive variable.
+        let mut source_refs: BTreeSet<SourceRef> = BTreeSet::new();
+        let mut tainted_rendered: Option<ExprId> = None;
+        let mut note_taint = |e: ExprId, atoms: BTreeSet<SourceRef>| {
+            if !atoms.is_empty() {
+                source_refs.extend(atoms);
+                tainted_rendered.get_or_insert(e);
+            }
+        };
+        match &obs.kind {
+            SinkKind::LoopCopy => {
+                if let Some(&value) = obs.args.get(1) {
+                    note_taint(value, index.atoms_in(value));
+                }
+                if let Some(&dst) = obs.args.first() {
+                    let _ = dst;
+                }
+            }
+            SinkKind::Import(name) => {
+                let spec = sink_spec(name).expect("checked above");
+                match spec.tainted {
+                    TaintedVar::Arg(i) => {
+                        if let Some(&a) = obs.args.get(i) {
+                            note_taint(a, index.atoms_in(a));
+                        }
+                    }
+                    TaintedVar::Pointee(i) => {
+                        if let Some(&p) = obs.args.get(i) {
+                            note_taint(p, index.pointee_atoms(holder.summary.addr, p));
+                        }
+                    }
+                    TaintedVar::PointeesFrom(i) => {
+                        for &p in obs.args.iter().skip(i) {
+                            note_taint(p, index.pointee_atoms(holder.summary.addr, p));
+                        }
+                    }
+                }
+            }
+        }
+        if source_refs.is_empty() {
+            continue;
+        }
+
+        // 2. Sanitisation.
+        let capacity = if strict_bounds { stack_capacity(df, obs) } else { None };
+        let sanitized = match kind {
+            VulnKind::BufferOverflow => {
+                if obs.kind == SinkKind::LoopCopy {
+                    // A counted loop carries a bounding constraint; a
+                    // "copy until NUL" loop does not.
+                    obs.constraints.iter().any(|(op, _, _)| op.is_bounding())
+                } else {
+                    has_upper_bound(&index, obs, capacity)
+                }
+            }
+            VulnKind::CommandInjection => has_separator_check(df, &index, obs),
+        };
+
+        let srcs: Vec<SourceRef> = source_refs.into_iter().collect();
+        let key = (obs.sink_ins, obs.call_chain.clone(), srcs.clone(), sink_name.clone());
+        if !seen.insert(key) {
+            continue;
+        }
+        // Backward DFS over the dependency graph for a printable trace.
+        let trace: Vec<String> = tainted_rendered
+            .map(|e| {
+                dtaint_dataflow::backward_trace(df, holder.summary.addr, e, sources, 12)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let unknown = "<unknown>".to_owned();
+        findings.push(Finding {
+            kind: kind.into(),
+            sink: sink_name,
+            sink_ins: obs.sink_ins,
+            sink_fn: fn_names.get(&obs.sink_fn).unwrap_or(&unknown).clone(),
+            observed_in: fn_names.get(&holder.summary.addr).unwrap_or(&unknown).clone(),
+            sources: srcs,
+            call_chain: obs.call_chain.clone(),
+            tainted_expr: tainted_rendered
+                .map(|e| df.pool.display(e).to_string())
+                .unwrap_or_default(),
+            sanitized,
+            trace,
+        });
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.sink_ins, &a.observed_in, &a.sources).cmp(&(b.sink_ins, &b.observed_in, &b.sources))
+    });
+    findings
+}
+
+/// True when a bounding constraint covers the tainted data:
+/// `T < c` / `T <= y` (taken), or `c > T` style checks. When `capacity`
+/// is known (strict mode, stack destination), a constant bound must
+/// actually fit it.
+fn has_upper_bound(
+    index: &TaintIndex<'_>,
+    obs: &SinkObservation,
+    capacity: Option<i64>,
+) -> bool {
+    obs.constraints.iter().any(|(op, l, r)| {
+        let (tainted_side, bound_side) = match op {
+            CmpOp::Lt | CmpOp::Le => (*l, *r),
+            CmpOp::Gt | CmpOp::Ge => (*r, *l),
+            _ => return false,
+        };
+        if index.atoms_in(tainted_side).is_empty() {
+            return false;
+        }
+        match (capacity, index.df.pool.as_const(bound_side)) {
+            (Some(cap), Some(bound)) => {
+                let effective = if matches!(op, CmpOp::Le | CmpOp::Ge) { bound + 1 } else { bound };
+                effective <= cap
+            }
+            // Symbolic bound or unknown capacity: the paper's syntactic
+            // judgement.
+            _ => true,
+        }
+    })
+}
+
+/// The byte distance from a stack destination to the saved-return slot,
+/// when the sink's destination pointer is `sp0 - K` in the observing
+/// frame.
+fn stack_capacity(df: &ProgramDataflow, obs: &SinkObservation) -> Option<i64> {
+    let dst = *obs.args.first()?;
+    let (base, off) = df.pool.base_offset(dst);
+    if !matches!(df.pool.node(base), SymNode::StackBase) || off >= 0 {
+        return None;
+    }
+    Some((-off - 8).max(0))
+}
+
+/// True when the path compares a tainted byte against `';'`.
+fn has_separator_check(
+    df: &ProgramDataflow,
+    index: &TaintIndex<'_>,
+    obs: &SinkObservation,
+) -> bool {
+    obs.constraints.iter().any(|(op, l, r)| {
+        if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+            return false;
+        }
+        let data = if df.pool.as_const(*r) == Some(SEMICOLON) {
+            *l
+        } else if df.pool.as_const(*l) == Some(SEMICOLON) {
+            *r
+        } else {
+            return false;
+        };
+        !index.atoms_in(data).is_empty()
+    })
+}

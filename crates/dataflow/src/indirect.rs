@@ -1,0 +1,285 @@
+//! Indirect-call resolution through data-structure layout similarity
+//! (§III-D).
+//!
+//! The key insight of the paper: the object flowing into an indirect call
+//! site and the object a function pointer was installed into usually
+//! *share a data structure*. We therefore:
+//!
+//! 1. find **installers** — definition pairs storing a function's address
+//!    into a structure field (`deref(root·path + off) = &func`),
+//! 2. find **indirect call sites** — calls through `deref(base + off)`,
+//! 3. match sites to installers with the same field position
+//!    (access path and offset), ranking matches by the layout similarity
+//!    σ of the two structures (Formula 2).
+
+use crate::layout::{infer_layouts, root_and_path, AccessPath, Layout};
+use dtaint_fwbin::Binary;
+use dtaint_symex::pool::{ExprPool, SymNode};
+use dtaint_symex::{CalleeRef, FuncSummary};
+use std::collections::BTreeMap;
+
+/// A function pointer installed into a structure field.
+#[derive(Debug, Clone)]
+pub struct Installer {
+    /// Entry address of the installed (target) function.
+    pub func: u32,
+    /// Function that performed the store.
+    pub in_func: u32,
+    /// Access path of the field's base from the structure root.
+    pub path: AccessPath,
+    /// Field offset of the stored pointer.
+    pub offset: i64,
+    /// Layout of the root structure as seen by the installer.
+    pub layout: Layout,
+}
+
+/// A resolved indirect call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedCall {
+    /// Instruction address of the indirect call.
+    pub ins_addr: u32,
+    /// Function containing the call.
+    pub caller: u32,
+    /// Resolved callee entry address.
+    pub callee: u32,
+    /// Layout similarity of the match (Formula 2); 0 when the match fell
+    /// back to unique field position without layout evidence.
+    pub score: f64,
+}
+
+/// Finds installers and matches every indirect call site against them.
+///
+/// `summaries` must share `pool`. Sites with several structurally
+/// plausible targets resolve to the highest-similarity one ("the highest
+/// similarity σ", §III-D); ties and zero-evidence sites resolve only when
+/// the field position identifies a unique candidate.
+pub fn resolve_indirect_calls(
+    bin: &Binary,
+    summaries: &[FuncSummary],
+    pool: &ExprPool,
+) -> Vec<ResolvedCall> {
+    // Pass 1: installers.
+    let mut installers: Vec<Installer> = Vec::new();
+    let mut layouts_cache: BTreeMap<u32, BTreeMap<dtaint_symex::ExprId, Layout>> = BTreeMap::new();
+    for s in summaries {
+        layouts_cache.insert(s.addr, infer_layouts(s, pool));
+    }
+    for s in summaries {
+        for dp in &s.def_pairs {
+            let SymNode::Deref { addr, .. } = pool.node(dp.d) else { continue };
+            let Some(c) = pool.as_const(dp.u) else { continue };
+            let target = c as u32;
+            let Some(func) = bin.function_at(target) else { continue };
+            if func.addr != target {
+                continue;
+            }
+            let (base, offset) = pool.base_offset(addr);
+            let Some((root, path)) = root_and_path(base, pool) else { continue };
+            let layout = layouts_cache[&s.addr].get(&root).cloned().unwrap_or_default();
+            installers.push(Installer { func: target, in_func: s.addr, path, offset, layout });
+        }
+    }
+
+    // Pass 2: match indirect call sites.
+    let mut resolved = Vec::new();
+    for s in summaries {
+        for cs in &s.callsites {
+            let CalleeRef::Indirect(e) = &cs.callee else { continue };
+            let SymNode::Deref { addr, .. } = pool.node(*e) else { continue };
+            let (base, offset) = pool.base_offset(addr);
+            let Some((root, path)) = root_and_path(base, pool) else { continue };
+            let caller_layout =
+                layouts_cache[&s.addr].get(&root).cloned().unwrap_or_default();
+            let positional: Vec<&Installer> = installers
+                .iter()
+                .filter(|i| i.path == path && i.offset == offset)
+                .collect();
+            if positional.is_empty() {
+                continue;
+            }
+            // Rank by layout similarity.
+            let mut best: Option<(&Installer, f64)> = None;
+            let mut best_count = 0usize;
+            for inst in &positional {
+                let score = caller_layout.similarity(&inst.layout);
+                match &best {
+                    Some((_, s0)) if score < *s0 => {}
+                    Some((_, s0)) if (score - s0).abs() < 1e-12 => best_count += 1,
+                    _ => {
+                        best = Some((inst, score));
+                        best_count = 1;
+                    }
+                }
+            }
+            let (inst, score) = best.expect("positional nonempty");
+            let distinct_targets: std::collections::BTreeSet<u32> =
+                positional.iter().map(|i| i.func).collect();
+            let unique = distinct_targets.len() == 1;
+            // Resolve on a strict similarity winner, or when the field
+            // position identifies a single target anyway. Ambiguous ties
+            // between different targets stay unresolved — precision over
+            // recall.
+            if (score > 0.0 && best_count == 1) || unique {
+                resolved.push(ResolvedCall {
+                    ins_addr: cs.ins_addr,
+                    caller: s.addr,
+                    callee: inst.func,
+                    score,
+                });
+            }
+        }
+    }
+    resolved.sort_by_key(|r| r.ins_addr);
+    resolved.dedup_by_key(|r| (r.ins_addr, r.callee));
+    resolved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtaint_fwbin::fbf::{Section, SectionKind, Symbol, SymbolKind};
+    use dtaint_fwbin::Arch;
+    use dtaint_symex::{CallsiteInfo, DefPair, ExprId};
+
+    /// A binary with two functions at 0x1000 and 0x2000 (no code needed —
+    /// resolution only consults the symbol table).
+    fn fake_bin() -> Binary {
+        Binary {
+            arch: Arch::Arm32e,
+            entry: 0x1000,
+            sections: vec![Section {
+                name: ".text".into(),
+                kind: SectionKind::Text,
+                addr: 0x1000,
+                size: 0x2000,
+                data: vec![0; 0x2000],
+            }],
+            symbols: vec![
+                Symbol { name: "handler_a".into(), addr: 0x1000, size: 16, kind: SymbolKind::Function },
+                Symbol { name: "handler_b".into(), addr: 0x2000, size: 16, kind: SymbolKind::Function },
+            ],
+            imports: vec![],
+        }
+    }
+
+    fn field(pool: &mut ExprPool, root: ExprId, off: i64) -> ExprId {
+        let a = pool.add_const(root, off);
+        pool.deref(a, 4)
+    }
+
+    /// Installer summary: stores &handler into arg0+8 and touches fields
+    /// `offs` of the same struct.
+    fn installer_summary(
+        pool: &mut ExprPool,
+        addr: u32,
+        handler: u32,
+        offs: &[i64],
+    ) -> FuncSummary {
+        let mut s = FuncSummary { addr, name: format!("install_{addr:x}"), ..Default::default() };
+        let arg0 = pool.arg(0);
+        let fp_field = field(pool, arg0, 8);
+        let target = pool.constant(handler as i64);
+        s.def_pairs.push(DefPair { d: fp_field, u: target, ins_addr: addr, path: 0 });
+        let zero = pool.constant(0);
+        for &o in offs {
+            let d = field(pool, arg0, o);
+            s.def_pairs.push(DefPair { d, u: zero, ins_addr: addr, path: 0 });
+        }
+        s
+    }
+
+    /// Caller summary: calls through arg0+8 and touches fields `offs`.
+    fn caller_summary(pool: &mut ExprPool, addr: u32, offs: &[i64]) -> FuncSummary {
+        let mut s = FuncSummary { addr, name: format!("call_{addr:x}"), ..Default::default() };
+        let arg0 = pool.arg(0);
+        let fp = field(pool, arg0, 8);
+        let ret = pool.ret_sym(addr + 4);
+        s.callsites.push(CallsiteInfo {
+            ins_addr: addr + 4,
+            callee: CalleeRef::Indirect(fp),
+            args: vec![arg0],
+            ret,
+            path: 0,
+        });
+        let zero = pool.constant(0);
+        for &o in offs {
+            let d = field(pool, arg0, o);
+            s.def_pairs.push(DefPair { d, u: zero, ins_addr: addr, path: 0 });
+        }
+        s
+    }
+
+    #[test]
+    fn unique_candidate_resolves_even_without_layout_overlap() {
+        let bin = fake_bin();
+        let mut pool = ExprPool::new();
+        let inst = installer_summary(&mut pool, 0x1100, 0x1000, &[]);
+        let call = caller_summary(&mut pool, 0x1200, &[]);
+        let r = resolve_indirect_calls(&bin, &[inst, call], &pool);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].callee, 0x1000);
+    }
+
+    #[test]
+    fn similarity_picks_the_matching_structure() {
+        let bin = fake_bin();
+        let mut pool = ExprPool::new();
+        // Two installers at the same field offset but different struct
+        // shapes; the caller shares fields {0x10, 0x14} with installer A.
+        let inst_a = installer_summary(&mut pool, 0x1100, 0x1000, &[0x10, 0x14]);
+        let inst_b = installer_summary(&mut pool, 0x1300, 0x2000, &[0x40, 0x44, 0x48]);
+        let call = caller_summary(&mut pool, 0x1200, &[0x10, 0x14]);
+        let r = resolve_indirect_calls(&bin, &[inst_a, inst_b, call], &pool);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].callee, 0x1000, "layout similarity must pick handler_a");
+        assert!(r[0].score > 0.5);
+    }
+
+    #[test]
+    fn mismatched_field_offset_does_not_resolve() {
+        let bin = fake_bin();
+        let mut pool = ExprPool::new();
+        let inst = installer_summary(&mut pool, 0x1100, 0x1000, &[0x10]);
+        // Caller uses offset 12, installer stored at offset 8.
+        let mut call = FuncSummary { addr: 0x1200, ..Default::default() };
+        let arg0 = pool.arg(0);
+        let fp = field(&mut pool, arg0, 12);
+        let ret = pool.ret_sym(0x1204);
+        call.callsites.push(CallsiteInfo {
+            ins_addr: 0x1204,
+            callee: CalleeRef::Indirect(fp),
+            args: vec![],
+            ret,
+            path: 0,
+        });
+        let r = resolve_indirect_calls(&bin, &[inst, call], &pool);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_identical_candidates_stay_unresolved() {
+        let bin = fake_bin();
+        let mut pool = ExprPool::new();
+        // Two installers, identical shapes, different targets: ambiguous.
+        let inst_a = installer_summary(&mut pool, 0x1100, 0x1000, &[0x10]);
+        let inst_b = installer_summary(&mut pool, 0x1300, 0x2000, &[0x10]);
+        let call = caller_summary(&mut pool, 0x1200, &[0x10]);
+        let r = resolve_indirect_calls(&bin, &[inst_a, inst_b, call], &pool);
+        assert!(r.is_empty(), "tie between different targets must stay unresolved");
+    }
+
+    #[test]
+    fn non_function_constants_are_not_installers() {
+        let bin = fake_bin();
+        let mut pool = ExprPool::new();
+        let mut inst = FuncSummary { addr: 0x1100, ..Default::default() };
+        let arg0 = pool.arg(0);
+        let f = field(&mut pool, arg0, 8);
+        // 0x1008 is *inside* handler_a but not its entry.
+        let mid = pool.constant(0x1008);
+        inst.def_pairs.push(DefPair { d: f, u: mid, ins_addr: 0, path: 0 });
+        let call = caller_summary(&mut pool, 0x1200, &[]);
+        let r = resolve_indirect_calls(&bin, &[inst, call], &pool);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,510 @@
+//! Bottom-up interprocedural data flow — §III-E, Algorithm 2.
+//!
+//! DTaint traverses the call graph in post-order (callees before
+//! callers), analyzing every function exactly once. At each call site of
+//! an already-summarised callee it:
+//!
+//! * **replaces the return variable** — `ret_{callsite}` becomes the
+//!   callee's return expression, with the callee's formals mapped to the
+//!   site's actual arguments (`ReplaceRetVariable` + `ReplaceFormalArgs`),
+//! * **pushes callee definitions up** — definition pairs that reach the
+//!   callee's exit and are rooted in a formal argument or returned
+//!   pointer are rewritten into the caller's namespace and both appended
+//!   to the caller's pairs and *substituted* into the caller's
+//!   expressions, connecting memory written by the callee to loads in
+//!   the caller (`UpdatDefPairs`),
+//! * **forwards unresolved uses up** — a sink whose arguments still
+//!   mention formal arguments bubbles to every caller with
+//!   formals replaced by actuals (`ForwardUndefinedUse`), accumulating
+//!   the call chain and the path constraints met along the way.
+//!
+//! The output, [`ProgramDataflow`], is the data-dependency substrate the
+//! detector traverses backwards from sinks to sources.
+
+use crate::alias::alias_replace;
+use crate::indirect::{resolve_indirect_calls, ResolvedCall};
+use dtaint_cfg::CallGraph;
+use dtaint_fwbin::Binary;
+use dtaint_symex::pool::{CmpOp, ExprPool, SymNode};
+use dtaint_symex::{CalleeRef, Constraint, DefPair, ExprId, FuncSummary};
+use std::collections::{HashMap, HashSet};
+
+/// Switches for the pipeline stages (used by the ablation benches).
+#[derive(Debug, Clone)]
+pub struct DataflowConfig {
+    /// Run pointer-aliasing recognition (Algorithm 1).
+    pub enable_alias: bool,
+    /// Resolve indirect calls by layout similarity (§III-D).
+    pub enable_indirect: bool,
+    /// Import names treated as sensitive sinks (bubbled up the call
+    /// graph as [`SinkObservation`]s).
+    pub sink_names: HashSet<String>,
+    /// Treat memory-copy statements in loops as sinks.
+    pub loop_copy_sinks: bool,
+    /// Cap on sink observations carried per function (safety valve).
+    pub max_sinks_per_fn: usize,
+}
+
+impl Default for DataflowConfig {
+    fn default() -> Self {
+        DataflowConfig {
+            enable_alias: true,
+            enable_indirect: true,
+            sink_names: ["strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system",
+                "popen"]
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+            loop_copy_sinks: true,
+            max_sinks_per_fn: 4096,
+        }
+    }
+}
+
+/// What kind of sink an observation describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkKind {
+    /// A call to a sensitive library function.
+    Import(String),
+    /// A memory copy inside a loop.
+    LoopCopy,
+}
+
+/// A sensitive sink, as visible from some function up the call chain.
+///
+/// `args` and `constraints` are expressed in the *observing* function's
+/// namespace; when the observation bubbles from callee to caller, formals
+/// are replaced by actuals and the caller's own constraints on the
+/// calling path are appended.
+#[derive(Debug, Clone)]
+pub struct SinkObservation {
+    /// The sink's kind.
+    pub kind: SinkKind,
+    /// Instruction address of the sink itself.
+    pub sink_ins: u32,
+    /// Function that contains the sink.
+    pub sink_fn: u32,
+    /// Sink arguments in the observing function's namespace. For
+    /// [`SinkKind::LoopCopy`] this is `[destination address, value]`.
+    pub args: Vec<ExprId>,
+    /// Call-site chain from the observing function down to the sink
+    /// (instruction addresses; empty when observed in `sink_fn` itself).
+    pub call_chain: Vec<u32>,
+    /// Path constraints collected along the chain, for the sanitisation
+    /// check.
+    pub constraints: Vec<(CmpOp, ExprId, ExprId)>,
+}
+
+/// Final (post-propagation) summary of one function.
+#[derive(Debug, Clone)]
+pub struct FinalSummary {
+    /// The function's summary with callee knowledge substituted in.
+    pub summary: FuncSummary,
+    /// Sinks visible from this function (own + inherited from callees).
+    pub sinks: Vec<SinkObservation>,
+    /// Number of leading entries of `summary.constraints` that are the
+    /// function's *own* (path-local) constraints; the rest were pulled
+    /// from callees and are not re-exported (transitive pulling would
+    /// compound exponentially up the call graph).
+    pub local_constraints: usize,
+}
+
+/// The whole-program data-flow result.
+#[derive(Debug)]
+pub struct ProgramDataflow {
+    /// The shared expression pool.
+    pub pool: ExprPool,
+    /// Final summaries keyed by function entry address.
+    pub finals: HashMap<u32, FinalSummary>,
+    /// The bottom-up analysis order used.
+    pub order: Vec<u32>,
+    /// Indirect calls resolved by layout similarity.
+    pub resolved_indirect: Vec<ResolvedCall>,
+    /// Import call sites across the program: `ins_addr → import name`.
+    pub import_sites: HashMap<u32, String>,
+}
+
+impl ProgramDataflow {
+    /// Sinks observed at "root" level — in functions with no analyzed
+    /// callers, where argument substitution has gone as far as it can.
+    ///
+    /// Deduplicated by sink instruction: each sink is reported in its
+    /// most-contextualised form(s).
+    pub fn root_sinks(&self) -> Vec<(&FinalSummary, &SinkObservation)> {
+        let called: HashSet<u32> = self
+            .finals
+            .values()
+            .flat_map(|f| f.summary.callsites.iter())
+            .filter_map(|c| match c.callee {
+                CalleeRef::Direct(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        let mut out = Vec::new();
+        for f in self.finals.values() {
+            if called.contains(&f.summary.addr) {
+                continue;
+            }
+            for s in &f.sinks {
+                out.push((f, s));
+            }
+        }
+        out
+    }
+
+    /// Every sink observation, across all functions.
+    pub fn all_sinks(&self) -> impl Iterator<Item = (&FinalSummary, &SinkObservation)> {
+        self.finals.values().flat_map(|f| f.sinks.iter().map(move |s| (f, s)))
+    }
+
+    /// Values known to be stored at the pointee of `ptr` within the given
+    /// function's final definition pairs (any access width).
+    ///
+    /// A copy sink like `strcpy(dst, src)` receives the *pointer* `src`;
+    /// the tainted payload is what memory holds at `deref(src)`. This
+    /// resolves that indirection.
+    pub fn pointee_values(&self, func: u32, ptr: ExprId) -> Vec<ExprId> {
+        let Some(f) = self.finals.get(&func) else { return Vec::new() };
+        // Value closure of the pointer: the pointer expression itself
+        // plus anything the definition pairs say it evaluates to (e.g.
+        // `deref(g + 0x10) = &buf` resolves a field-loaded pointer to
+        // the buffer it designates).
+        let mut vals = vec![ptr];
+        let mut i = 0;
+        while i < vals.len() && vals.len() < 32 {
+            let v = vals[i];
+            i += 1;
+            for dp in &f.summary.def_pairs {
+                if dp.d == v && !vals.contains(&dp.u) {
+                    vals.push(dp.u);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for dp in &f.summary.def_pairs {
+            if let SymNode::Deref { addr, .. } = self.pool.node(dp.d) {
+                if vals.contains(&addr) && !out.contains(&dp.u) {
+                    out.push(dp.u);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs the bottom-up interprocedural analysis.
+///
+/// `locals` are the per-function symbolic summaries, all interned in
+/// `pool` (see [`FuncSummary::translate_into`] for merging parallel
+/// results). The call graph gains edges for indirect calls resolved
+/// during the run.
+pub fn build_dataflow(
+    bin: &Binary,
+    callgraph: &mut CallGraph,
+    locals: Vec<FuncSummary>,
+    mut pool: ExprPool,
+    config: &DataflowConfig,
+) -> ProgramDataflow {
+    let mut by_addr: HashMap<u32, FuncSummary> =
+        locals.into_iter().map(|s| (s.addr, s)).collect();
+
+    // Stage 1: pointer aliasing per function (Algorithm 1).
+    if config.enable_alias {
+        for s in by_addr.values_mut() {
+            alias_replace(s, &mut pool);
+        }
+    }
+
+    // Stage 2: indirect-call resolution (§III-D).
+    let resolved: Vec<ResolvedCall> = if config.enable_indirect {
+        let list: Vec<&FuncSummary> = by_addr.values().collect();
+        let owned: Vec<FuncSummary> = list.into_iter().cloned().collect();
+        resolve_indirect_calls(bin, &owned, &pool)
+    } else {
+        Vec::new()
+    };
+    let resolution: HashMap<u32, u32> =
+        resolved.iter().map(|r| (r.ins_addr, r.callee)).collect();
+    for r in &resolved {
+        callgraph.add_resolved_indirect(r.ins_addr, r.callee);
+    }
+
+    // Import call sites (for the detector's source lookup).
+    let mut import_sites: HashMap<u32, String> = HashMap::new();
+    for s in by_addr.values() {
+        for cs in &s.callsites {
+            if let CalleeRef::Import(name) = &cs.callee {
+                import_sites.insert(cs.ins_addr, name.clone());
+            }
+        }
+    }
+
+    // Stage 3: bottom-up propagation (Algorithm 2).
+    let order = callgraph.post_order();
+    let mut finals: HashMap<u32, FinalSummary> = HashMap::new();
+    for &faddr in &order {
+        let Some(mut summary) = by_addr.remove(&faddr) else { continue };
+        let local_constraints = summary.constraints.len();
+        let mut sinks: Vec<SinkObservation> = Vec::new();
+
+        // Own loop-copy sinks.
+        if config.loop_copy_sinks {
+            for lc in &summary.loop_copies {
+                let cons = constraints_on_path(&summary, lc.path);
+                sinks.push(SinkObservation {
+                    kind: SinkKind::LoopCopy,
+                    sink_ins: lc.ins_addr,
+                    sink_fn: faddr,
+                    args: vec![lc.dst_addr, lc.value],
+                    call_chain: vec![],
+                    constraints: cons,
+                });
+            }
+        }
+
+        // Iterate by index: earlier call sites substitute expressions
+        // (ret symbols, callee stores) that later call sites' arguments
+        // must observe, so each site is re-read after prior rewrites.
+        for idx in 0..summary.callsites.len() {
+            let cs = summary.callsites[idx].clone();
+            let cs = &cs;
+            let callee_addr = match &cs.callee {
+                CalleeRef::Direct(a) => Some(*a),
+                CalleeRef::Indirect(_) => resolution.get(&cs.ins_addr).copied(),
+                CalleeRef::Import(name) => {
+                    if config.sink_names.contains(name) {
+                        let cons = constraints_on_path(&summary, cs.path);
+                        sinks.push(SinkObservation {
+                            kind: SinkKind::Import(name.clone()),
+                            sink_ins: cs.ins_addr,
+                            sink_fn: faddr,
+                            args: cs.args.clone(),
+                            call_chain: vec![],
+                            constraints: cons,
+                        });
+                    }
+                    None
+                }
+            };
+            let Some(callee_addr) = callee_addr else { continue };
+            let Some(callee) = finals.get(&callee_addr) else {
+                // Recursive cycle: callee not yet summarised; treated as
+                // opaque, exactly once, as the paper prescribes.
+                continue;
+            };
+            apply_callee(
+                bin,
+                &mut summary,
+                &mut sinks,
+                callee,
+                cs.ins_addr,
+                cs.path,
+                &cs.args,
+                &mut pool,
+                config,
+            );
+        }
+
+        sinks.truncate(config.max_sinks_per_fn);
+        finals.insert(faddr, FinalSummary { summary, sinks, local_constraints });
+    }
+
+    ProgramDataflow { pool, finals, order, resolved_indirect: resolved, import_sites }
+}
+
+fn constraints_on_path(summary: &FuncSummary, path: u32) -> Vec<(CmpOp, ExprId, ExprId)> {
+    summary
+        .constraints
+        .iter()
+        .filter(|c| c.path == path)
+        .map(|c| (c.op, c.lhs, c.rhs))
+        .collect()
+}
+
+/// Applies one summarised callee at one call site (Algorithm 2 body).
+#[allow(clippy::too_many_arguments)]
+fn apply_callee(
+    bin: &Binary,
+    summary: &mut FuncSummary,
+    sinks: &mut Vec<SinkObservation>,
+    callee: &FinalSummary,
+    cs_ins: u32,
+    cs_path: u32,
+    actual_args: &[ExprId],
+    pool: &mut ExprPool,
+    config: &DataflowConfig,
+) {
+    // Maps a callee-namespace expression into the caller's namespace.
+    let mut stack_unknown: Option<ExprId> = None;
+    let mut reg_unknowns: HashMap<u8, ExprId> = HashMap::new();
+    let mut map_expr = |e: ExprId, pool: &mut ExprPool| -> ExprId {
+        let mut su = stack_unknown;
+        let mut ru = std::mem::take(&mut reg_unknowns);
+        let out = pool.rewrite(e, &mut |p, id| match p.node(id) {
+            SymNode::Arg(i) => Some(match actual_args.get(i as usize) {
+                Some(&a) => a,
+                None => p.fresh_unknown(),
+            }),
+            SymNode::StackBase => Some(*su.get_or_insert_with(|| p.fresh_unknown())),
+            SymNode::InitReg(r) => {
+                Some(*ru.entry(r).or_insert_with(|| p.fresh_unknown()))
+            }
+            _ => None,
+        });
+        stack_unknown = su;
+        reg_unknowns = ru;
+        out
+    };
+
+    // (a) ReplaceRetVariable: ret_{cs} → callee return expression.
+    let ret_sym = pool.ret_sym(cs_ins);
+    if let Some(&rv) = callee.summary.ret_values.first() {
+        let mapped = map_expr(rv, pool);
+        substitute_everywhere(summary, sinks, pool, ret_sym, mapped);
+    }
+
+    // (b) Push callee escape defs: add + substitute.
+    let mut subs: Vec<(ExprId, ExprId)> = Vec::new();
+    for dp in &callee.summary.escape_defs {
+        let d = map_expr(dp.d, pool);
+        let u = map_expr(dp.u, pool);
+        if d == u {
+            continue;
+        }
+        summary.def_pairs.push(DefPair { d, u, ins_addr: cs_ins, path: cs_path });
+        subs.push((d, u));
+    }
+    for (d, u) in subs {
+        substitute_everywhere(summary, sinks, pool, d, u);
+    }
+
+    // (c) Pull callee constraints that are *meaningful to the caller* —
+    // those over formal arguments and call results (the "check helper"
+    // pattern). Constraints over the callee's own stack or saved
+    // registers would map to fresh unknowns, carry no information, and
+    // compound exponentially up deep call graphs.
+    let portable = |p: &ExprPool, e: ExprId| {
+        !p.any_node(e, &mut |n| {
+            matches!(n, SymNode::StackBase | SymNode::InitReg(_) | SymNode::Unknown(_))
+        })
+    };
+    let callee_cons: Vec<(CmpOp, ExprId, ExprId)> = callee
+        .summary
+        .constraints
+        .iter()
+        .take(callee.local_constraints)
+        .filter(|c| portable(pool, c.lhs) && portable(pool, c.rhs))
+        .map(|c| (c.op, c.lhs, c.rhs))
+        .collect();
+    for (op, l, r) in &callee_cons {
+        if summary.constraints.len() >= 4096 {
+            break;
+        }
+        let lhs = map_expr(*l, pool);
+        let rhs = map_expr(*r, pool);
+        let c = Constraint { op: *op, lhs, rhs, ins_addr: cs_ins, path: cs_path };
+        if !summary.constraints.contains(&c) {
+            summary.constraints.push(c);
+        }
+    }
+
+    // (d) ForwardUndefinedUse: bubble the callee's sinks up — but only
+    // those whose arguments still need caller context. The paper pushes
+    // *undefined* uses to callers; a sink whose variables no longer
+    // mention a formal argument (or a writable global that other
+    // functions may define) gains nothing from further substitution and
+    // would otherwise fan out combinatorially through dense call graphs.
+    let caller_cons = constraints_on_path(summary, cs_path);
+    for sk in &callee.sinks {
+        if sinks.len() >= config.max_sinks_per_fn {
+            break;
+        }
+        let unresolved = sk.args.iter().any(|&a| {
+            pool.any_node(a, &mut |n| match n {
+                SymNode::Arg(_) => true,
+                SymNode::Const(c) => {
+                    let addr = c as u32;
+                    bin.section_at(addr).is_some() && !bin.is_immutable_addr(addr)
+                }
+                _ => false,
+            })
+        });
+        if !unresolved {
+            continue;
+        }
+        let args = sk.args.iter().map(|&a| map_expr(a, pool)).collect();
+        let mut constraints: Vec<(CmpOp, ExprId, ExprId)> = sk
+            .constraints
+            .iter()
+            .map(|(op, l, r)| (*op, map_expr(*l, pool), map_expr(*r, pool)))
+            .collect();
+        constraints.extend(caller_cons.iter().copied());
+        let mut call_chain = vec![cs_ins];
+        call_chain.extend(&sk.call_chain);
+        sinks.push(SinkObservation {
+            kind: sk.kind.clone(),
+            sink_ins: sk.sink_ins,
+            sink_fn: sk.sink_fn,
+            args,
+            call_chain,
+            constraints,
+        });
+    }
+}
+
+/// Substitutes `from → to` across every expression a summary holds,
+/// including the sink observations gathered so far.
+fn substitute_everywhere(
+    summary: &mut FuncSummary,
+    sinks: &mut [SinkObservation],
+    pool: &mut ExprPool,
+    from: ExprId,
+    to: ExprId,
+) {
+    if from == to {
+        return;
+    }
+    for dp in &mut summary.def_pairs {
+        // A defined location keeps its name: only *inner* occurrences of
+        // `from` rewrite on the d side, otherwise the fact `from = u`
+        // would degenerate to `to = u` and the binding would be lost.
+        if dp.d != from {
+            dp.d = pool.replace(dp.d, from, to);
+        }
+        dp.u = pool.replace(dp.u, from, to);
+    }
+    for dp in &mut summary.escape_defs {
+        if dp.d != from {
+            dp.d = pool.replace(dp.d, from, to);
+        }
+        dp.u = pool.replace(dp.u, from, to);
+    }
+    for cs in &mut summary.callsites {
+        for a in &mut cs.args {
+            *a = pool.replace(*a, from, to);
+        }
+        if let CalleeRef::Indirect(e) = &mut cs.callee {
+            *e = pool.replace(*e, from, to);
+        }
+    }
+    for c in &mut summary.constraints {
+        c.lhs = pool.replace(c.lhs, from, to);
+        c.rhs = pool.replace(c.rhs, from, to);
+    }
+    for r in &mut summary.ret_values {
+        *r = pool.replace(*r, from, to);
+    }
+    for lc in &mut summary.loop_copies {
+        lc.dst_addr = pool.replace(lc.dst_addr, from, to);
+        lc.value = pool.replace(lc.value, from, to);
+    }
+    for sk in sinks.iter_mut() {
+        for a in &mut sk.args {
+            *a = pool.replace(*a, from, to);
+        }
+        for (_, l, r) in &mut sk.constraints {
+            *l = pool.replace(*l, from, to);
+            *r = pool.replace(*r, from, to);
+        }
+    }
+}

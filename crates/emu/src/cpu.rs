@@ -1,0 +1,410 @@
+//! The concrete CPU: register file and single-step execution for both
+//! dialects.
+
+use crate::mem::Mem;
+use crate::Fault;
+use dtaint_fwbin::arm::{ArmIns, Cond};
+use dtaint_fwbin::mips::MipsIns;
+use dtaint_fwbin::{Arch, Reg, INS_SIZE};
+
+/// Concrete machine state.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Guest architecture.
+    pub arch: Arch,
+    /// General-purpose registers (16 used on ARM, 32 on MIPS).
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Operands of the latest ARM `CMP` (flags surrogate).
+    pub last_cmp: (i32, i32),
+}
+
+/// What a single step asked the machine to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Keep executing at the (already updated) PC.
+    Continue,
+    /// A call: PC is the callee, the link register holds the return.
+    Call,
+    /// A return or indirect jump through a register.
+    Jump,
+}
+
+impl Cpu {
+    /// A CPU at `entry` with an empty register file.
+    pub fn new(arch: Arch, entry: u32) -> Cpu {
+        Cpu { arch, regs: [0; 32], pc: entry, last_cmp: (0, 0) }
+    }
+
+    /// Reads a register (MIPS `$zero` reads 0).
+    pub fn get(&self, r: Reg) -> u32 {
+        if self.arch == Arch::Mips32e && r == Reg::ZERO {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// Writes a register (writes to MIPS `$zero` are dropped).
+    pub fn set(&mut self, r: Reg, v: u32) {
+        if self.arch == Arch::Mips32e && r == Reg::ZERO {
+            return;
+        }
+        self.regs[r.0 as usize] = v;
+    }
+
+    fn cond(&self, c: Cond) -> bool {
+        let (l, r) = self.last_cmp;
+        match c {
+            Cond::Eq => l == r,
+            Cond::Ne => l != r,
+            Cond::Lt => l < r,
+            Cond::Ge => l >= r,
+            Cond::Le => l <= r,
+            Cond::Gt => l > r,
+            Cond::Al => true,
+        }
+    }
+
+    /// Executes one instruction at the current PC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults and undecodable instructions
+    /// ([`Fault::Undecodable`]).
+    pub fn step(&mut self, mem: &mut Mem) -> Result<Step, Fault> {
+        let pc = self.pc;
+        let word = mem.load32(pc).map_err(|_| Fault::BadFetch { pc })?;
+        match self.arch {
+            Arch::Arm32e => self.step_arm(word, pc, mem),
+            Arch::Mips32e => self.step_mips(word, pc, mem),
+        }
+    }
+
+    fn step_arm(&mut self, word: u32, pc: u32, mem: &mut Mem) -> Result<Step, Fault> {
+        use ArmIns::*;
+        let ins = ArmIns::decode(word, pc).map_err(|_| Fault::Undecodable { pc })?;
+        let next = pc + INS_SIZE;
+        self.pc = next;
+        match ins {
+            Nop => {}
+            MovR { rd, rm } => self.set(rd, self.get(rm)),
+            MovI { rd, imm } => self.set(rd, imm as u32),
+            MovT { rd, imm } => {
+                let low = self.get(rd) & 0xffff;
+                self.set(rd, ((imm as u32) << 16) | low);
+            }
+            AddR { rd, rn, rm } => self.set(rd, self.get(rn).wrapping_add(self.get(rm))),
+            AddI { rd, rn, imm } => self.set(rd, self.get(rn).wrapping_add(imm as i32 as u32)),
+            SubR { rd, rn, rm } => self.set(rd, self.get(rn).wrapping_sub(self.get(rm))),
+            SubI { rd, rn, imm } => self.set(rd, self.get(rn).wrapping_sub(imm as i32 as u32)),
+            Mul { rd, rn, rm } => self.set(rd, self.get(rn).wrapping_mul(self.get(rm))),
+            AndR { rd, rn, rm } => self.set(rd, self.get(rn) & self.get(rm)),
+            OrrR { rd, rn, rm } => self.set(rd, self.get(rn) | self.get(rm)),
+            EorR { rd, rn, rm } => self.set(rd, self.get(rn) ^ self.get(rm)),
+            LslI { rd, rn, sh } => self.set(rd, self.get(rn) << sh),
+            LsrI { rd, rn, sh } => self.set(rd, self.get(rn) >> sh),
+            LslR { rd, rn, rm } => self.set(rd, self.get(rn) << (self.get(rm) & 31)),
+            LsrR { rd, rn, rm } => self.set(rd, self.get(rn) >> (self.get(rm) & 31)),
+            CmpR { rn, rm } => self.last_cmp = (self.get(rn) as i32, self.get(rm) as i32),
+            CmpI { rn, imm } => self.last_cmp = (self.get(rn) as i32, imm as i32),
+            Ldr { rt, rn, off } => {
+                let a = self.get(rn).wrapping_add(off as i32 as u32);
+                let v = mem.load32(a)?;
+                self.set(rt, v);
+            }
+            Str { rt, rn, off } => {
+                let a = self.get(rn).wrapping_add(off as i32 as u32);
+                mem.store32(a, self.get(rt))?;
+            }
+            Ldrb { rt, rn, off } => {
+                let a = self.get(rn).wrapping_add(off as i32 as u32);
+                let v = mem.load8(a)?;
+                self.set(rt, v as u32);
+            }
+            Strb { rt, rn, off } => {
+                let a = self.get(rn).wrapping_add(off as i32 as u32);
+                mem.store8(a, self.get(rt) as u8)?;
+            }
+            Ldrh { rt, rn, off } => {
+                let a = self.get(rn).wrapping_add(off as i32 as u32);
+                let v = mem.load16(a)?;
+                self.set(rt, v as u32);
+            }
+            Strh { rt, rn, off } => {
+                let a = self.get(rn).wrapping_add(off as i32 as u32);
+                mem.store16(a, self.get(rt) as u16)?;
+            }
+            Push { mask } => {
+                let regs: Vec<Reg> = (0..16).filter(|i| mask & (1 << i) != 0).map(Reg).collect();
+                let n = regs.len() as u32;
+                let base = self.get(Reg::SP).wrapping_sub(4 * n);
+                for (k, r) in regs.iter().enumerate() {
+                    mem.store32(base + 4 * k as u32, self.get(*r))?;
+                }
+                self.set(Reg::SP, base);
+            }
+            Pop { mask } => {
+                let regs: Vec<Reg> = (0..16).filter(|i| mask & (1 << i) != 0).map(Reg).collect();
+                let base = self.get(Reg::SP);
+                for (k, r) in regs.iter().enumerate() {
+                    let v = mem.load32(base + 4 * k as u32)?;
+                    self.set(*r, v);
+                }
+                self.set(Reg::SP, base + 4 * regs.len() as u32);
+            }
+            B { cond, off } => {
+                if self.cond(cond) {
+                    self.pc = (next as i64 + off as i64 * 4) as u32;
+                }
+            }
+            Bl { off } => {
+                self.set(Reg::LR, next);
+                self.pc = (next as i64 + off as i64 * 4) as u32;
+                return Ok(Step::Call);
+            }
+            Blx { rm } => {
+                let target = self.get(rm);
+                self.set(Reg::LR, next);
+                self.pc = target;
+                return Ok(Step::Call);
+            }
+            Bx { rm } => {
+                self.pc = self.get(rm);
+                return Ok(Step::Jump);
+            }
+        }
+        Ok(Step::Continue)
+    }
+
+    fn step_mips(&mut self, word: u32, pc: u32, mem: &mut Mem) -> Result<Step, Fault> {
+        use MipsIns::*;
+        let ins = MipsIns::decode(word, pc).map_err(|_| Fault::Undecodable { pc })?;
+        let next = pc + INS_SIZE;
+        self.pc = next;
+        match ins {
+            Nop => {}
+            Addu { rd, rs, rt } => self.set(rd, self.get(rs).wrapping_add(self.get(rt))),
+            Addiu { rt, rs, imm } => self.set(rt, self.get(rs).wrapping_add(imm as i32 as u32)),
+            Subu { rd, rs, rt } => self.set(rd, self.get(rs).wrapping_sub(self.get(rt))),
+            And { rd, rs, rt } => self.set(rd, self.get(rs) & self.get(rt)),
+            Andi { rt, rs, imm } => self.set(rt, self.get(rs) & imm as u32),
+            Or { rd, rs, rt } => self.set(rd, self.get(rs) | self.get(rt)),
+            Ori { rt, rs, imm } => self.set(rt, self.get(rs) | imm as u32),
+            Xor { rd, rs, rt } => self.set(rd, self.get(rs) ^ self.get(rt)),
+            Sll { rd, rt, sh } => self.set(rd, self.get(rt) << sh),
+            Srl { rd, rt, sh } => self.set(rd, self.get(rt) >> sh),
+            Mul { rd, rs, rt } => self.set(rd, self.get(rs).wrapping_mul(self.get(rt))),
+            Slt { rd, rs, rt } => {
+                self.set(rd, ((self.get(rs) as i32) < (self.get(rt) as i32)) as u32)
+            }
+            Slti { rt, rs, imm } => {
+                self.set(rt, ((self.get(rs) as i32) < imm as i32) as u32)
+            }
+            Lui { rt, imm } => self.set(rt, (imm as u32) << 16),
+            Lw { rt, base, off } => {
+                let a = self.get(base).wrapping_add(off as i32 as u32);
+                let v = mem.load32(a)?;
+                self.set(rt, v);
+            }
+            Sw { rt, base, off } => {
+                let a = self.get(base).wrapping_add(off as i32 as u32);
+                mem.store32(a, self.get(rt))?;
+            }
+            Lb { rt, base, off } => {
+                let a = self.get(base).wrapping_add(off as i32 as u32);
+                let v = mem.load8(a)?;
+                self.set(rt, v as u32);
+            }
+            Sb { rt, base, off } => {
+                let a = self.get(base).wrapping_add(off as i32 as u32);
+                mem.store8(a, self.get(rt) as u8)?;
+            }
+            Lh { rt, base, off } => {
+                let a = self.get(base).wrapping_add(off as i32 as u32);
+                let v = mem.load16(a)?;
+                self.set(rt, v as u32);
+            }
+            Sh { rt, base, off } => {
+                let a = self.get(base).wrapping_add(off as i32 as u32);
+                mem.store16(a, self.get(rt) as u16)?;
+            }
+            Beq { rs, rt, off } => {
+                if self.get(rs) == self.get(rt) {
+                    self.pc = (next as i64 + off as i64 * 4) as u32;
+                }
+            }
+            Bne { rs, rt, off } => {
+                if self.get(rs) != self.get(rt) {
+                    self.pc = (next as i64 + off as i64 * 4) as u32;
+                }
+            }
+            Blez { rs, off } => {
+                if self.get(rs) as i32 <= 0 {
+                    self.pc = (next as i64 + off as i64 * 4) as u32;
+                }
+            }
+            Bgtz { rs, off } => {
+                if self.get(rs) as i32 > 0 {
+                    self.pc = (next as i64 + off as i64 * 4) as u32;
+                }
+            }
+            J { off } => {
+                self.pc = (next as i64 + off as i64 * 4) as u32;
+            }
+            Jal { off } => {
+                self.set(Reg::RA, next);
+                self.pc = (next as i64 + off as i64 * 4) as u32;
+                return Ok(Step::Call);
+            }
+            Jalr { rs } => {
+                let t = self.get(rs);
+                self.set(Reg::RA, next);
+                self.pc = t;
+                return Ok(Step::Call);
+            }
+            Jr { rs } => {
+                self.pc = self.get(rs);
+                return Ok(Step::Jump);
+            }
+        }
+        Ok(Step::Continue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtaint_fwbin::asm::Assembler;
+    use dtaint_fwbin::link::BinaryBuilder;
+
+    fn setup(arch: Arch, f: impl FnOnce(&mut Assembler)) -> (Cpu, Mem, u32) {
+        let mut a = Assembler::new(arch);
+        f(&mut a);
+        let mut b = BinaryBuilder::new(arch);
+        b.add_function("f", a);
+        let bin = b.link().unwrap();
+        let entry = bin.function("f").unwrap().addr;
+        let mut cpu = Cpu::new(arch, entry);
+        cpu.set(arch.sp(), crate::mem::STACK_TOP - 64);
+        (cpu, Mem::new(&bin), entry)
+    }
+
+    #[test]
+    fn arm_arithmetic_and_flags() {
+        let (mut cpu, mut mem, _) = setup(Arch::Arm32e, |a| {
+            a.arm(ArmIns::MovI { rd: Reg(0), imm: 10 });
+            a.arm(ArmIns::MovI { rd: Reg(1), imm: 3 });
+            a.arm(ArmIns::SubR { rd: Reg(2), rn: Reg(0), rm: Reg(1) });
+            a.arm(ArmIns::CmpI { rn: Reg(2), imm: 7 });
+            a.arm_b(Cond::Eq, "yes");
+            a.arm(ArmIns::MovI { rd: Reg(3), imm: 0 });
+            a.ret();
+            a.label("yes");
+            a.arm(ArmIns::MovI { rd: Reg(3), imm: 1 });
+            a.ret();
+        });
+        for _ in 0..8 {
+            if cpu.step(&mut mem).unwrap() == Step::Jump {
+                break;
+            }
+        }
+        assert_eq!(cpu.get(Reg(2)), 7);
+        assert_eq!(cpu.get(Reg(3)), 1, "beq must be taken");
+    }
+
+    #[test]
+    fn arm_push_pop_roundtrip() {
+        let (mut cpu, mut mem, _) = setup(Arch::Arm32e, |a| {
+            a.arm(ArmIns::MovI { rd: Reg(4), imm: 0x42 });
+            a.arm(ArmIns::Push { mask: 1 << 4 });
+            a.arm(ArmIns::MovI { rd: Reg(4), imm: 0 });
+            a.arm(ArmIns::Pop { mask: 1 << 4 });
+            a.ret();
+        });
+        let sp0 = cpu.get(Reg::SP);
+        for _ in 0..4 {
+            cpu.step(&mut mem).unwrap();
+        }
+        assert_eq!(cpu.get(Reg(4)), 0x42);
+        assert_eq!(cpu.get(Reg::SP), sp0);
+    }
+
+    #[test]
+    fn mips_slt_branching() {
+        let (mut cpu, mut mem, _) = setup(Arch::Mips32e, |a| {
+            a.load_const(Reg(8), 5);
+            a.load_const(Reg(9), 9);
+            a.mips(MipsIns::Slt { rd: Reg(10), rs: Reg(8), rt: Reg(9) });
+            a.mips_bne(Reg(10), Reg::ZERO, "lt");
+            a.load_const(Reg(11), 0);
+            a.ret();
+            a.label("lt");
+            a.load_const(Reg(11), 1);
+            a.ret();
+        });
+        for _ in 0..8 {
+            if cpu.step(&mut mem).unwrap() == Step::Jump {
+                break;
+            }
+        }
+        assert_eq!(cpu.get(Reg(11)), 1);
+    }
+
+    #[test]
+    fn mips_zero_register_semantics() {
+        let (mut cpu, mut mem, _) = setup(Arch::Mips32e, |a| {
+            a.mips(MipsIns::Addiu { rt: Reg::ZERO, rs: Reg::ZERO, imm: 5 });
+            a.mips(MipsIns::Addu { rd: Reg(8), rs: Reg::ZERO, rt: Reg::ZERO });
+            a.ret();
+        });
+        cpu.step(&mut mem).unwrap();
+        cpu.step(&mut mem).unwrap();
+        assert_eq!(cpu.get(Reg::ZERO), 0);
+        assert_eq!(cpu.get(Reg(8)), 0);
+    }
+
+    #[test]
+    fn loads_and_stores_hit_memory() {
+        let (mut cpu, mut mem, _) = setup(Arch::Arm32e, |a| {
+            a.load_const(Reg(0), 0x1234_5678);
+            a.arm(ArmIns::Str { rt: Reg(0), rn: Reg::SP, off: -8 });
+            a.arm(ArmIns::Ldrb { rt: Reg(1), rn: Reg::SP, off: -8 });
+            a.ret();
+        });
+        for _ in 0..4 {
+            cpu.step(&mut mem).unwrap();
+        }
+        assert_eq!(cpu.get(Reg(1)), 0x78, "little-endian low byte");
+    }
+
+    #[test]
+    fn halfword_load_store_roundtrip() {
+        let (mut cpu, mut mem, _) = setup(Arch::Arm32e, |a| {
+            a.load_const(Reg(0), 0xcafe);
+            a.arm(ArmIns::Strh { rt: Reg(0), rn: Reg::SP, off: -4 });
+            a.arm(ArmIns::Ldrh { rt: Reg(1), rn: Reg::SP, off: -4 });
+            a.ret();
+        });
+        for _ in 0..3 {
+            cpu.step(&mut mem).unwrap();
+        }
+        assert_eq!(cpu.get(Reg(1)), 0xcafe);
+        // The high halfword of the slot is untouched garbage (zero).
+        assert_eq!(mem.load16(cpu.get(Reg::SP).wrapping_sub(2)).unwrap(), 0);
+    }
+
+    #[test]
+    fn jump_to_garbage_is_a_bad_fetch() {
+        let (mut cpu, mut mem, _) = setup(Arch::Arm32e, |a| {
+            a.load_const(Reg(4), 0x4141_4141);
+            a.arm(ArmIns::Bx { rm: Reg(4) });
+        });
+        cpu.step(&mut mem).unwrap(); // movi
+        cpu.step(&mut mem).unwrap(); // movt
+        assert_eq!(cpu.step(&mut mem), Ok(Step::Jump));
+        assert_eq!(cpu.pc, 0x4141_4141);
+        assert_eq!(cpu.step(&mut mem), Err(Fault::BadFetch { pc: 0x4141_4141 }));
+    }
+}

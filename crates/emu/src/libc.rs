@@ -1,0 +1,452 @@
+//! Hooked library functions with *real* semantics.
+//!
+//! Unlike the static analyzer's models, these hooks actually move bytes:
+//! `strcpy` copies until NUL, `memcpy` copies exactly `n` bytes,
+//! `sscanf("%s")` copies an unbounded token — so an attacker-sized input
+//! genuinely smashes the saved return slot and the subsequent return
+//! faults, giving dynamic proof for the static findings.
+
+use crate::machine::Machine;
+use crate::Fault;
+
+/// Executes the hook for `name` on the machine.
+///
+/// Unknown imports return 0 — a benign default matching how stripped
+/// firmware links against large libcs the analysis does not model.
+///
+/// # Errors
+///
+/// Propagates memory faults raised while the hook moves data (e.g. a
+/// copy running off mapped space).
+pub fn dispatch(m: &mut Machine<'_>, name: &str) -> Result<(), Fault> {
+    match name {
+        "read" | "BIO_read" => read_like(m, 1, 2),
+        "recv" | "recvfrom" | "recvmsg" => read_like(m, 1, 2),
+        "fgets" => fgets(m),
+        "getenv" => getenv(m),
+        "websGetVar" => webs_get_var(m),
+        "find_var" => find_var(m),
+        "strcpy" => strcpy(m),
+        "strncpy" => strncpy(m),
+        "strcat" => strcat(m),
+        "memcpy" => memcpy(m),
+        "memset" => memset(m),
+        "strlen" => strlen(m),
+        "strcmp" => strcmp(m),
+        "strchr" => strchr(m),
+        "atoi" => atoi(m),
+        "malloc" => malloc(m),
+        "free" | "close" => {
+            m.set_ret(0);
+            Ok(())
+        }
+        "socket" => {
+            m.set_ret(3);
+            Ok(())
+        }
+        "printf" => printf(m),
+        "sprintf" => sprintf_like(m, None),
+        "snprintf" => {
+            let cap = m.arg(1);
+            sprintf_like_at(m, 0, 2, Some(cap))
+        }
+        "sscanf" => sscanf(m),
+        "system" | "popen" => system_like(m),
+        _ => {
+            m.set_ret(0);
+            Ok(())
+        }
+    }
+}
+
+fn read_like(m: &mut Machine<'_>, buf_arg: usize, len_arg: usize) -> Result<(), Fault> {
+    let buf = m.arg(buf_arg);
+    let len = m.arg(len_arg) as usize;
+    let data = m.inputs.pop_front().unwrap_or_default();
+    let n = data.len().min(len);
+    m.mem.write_bytes(buf, &data[..n])?;
+    m.set_ret(n as u32);
+    Ok(())
+}
+
+fn fgets(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let buf = m.arg(0);
+    let cap = (m.arg(1) as usize).saturating_sub(1);
+    let data = m.inputs.pop_front().unwrap_or_default();
+    let n = data.len().min(cap);
+    m.mem.write_bytes(buf, &data[..n])?;
+    m.mem.store8(buf + n as u32, 0)?;
+    m.set_ret(if n == 0 { 0 } else { buf });
+    Ok(())
+}
+
+/// Materialises an env value as a heap C string (cached per name).
+fn env_value_ptr(m: &mut Machine<'_>, name: &str) -> Result<Option<u32>, Fault> {
+    if let Some(&p) = m.env_cache.get(name) {
+        return Ok(Some(p));
+    }
+    let Some(value) = m.env.get(name).cloned() else { return Ok(None) };
+    let p = m.mem.alloc(value.len() as u32 + 1).ok_or(Fault::OutOfMemory)?;
+    m.mem.write_bytes(p, &value)?;
+    m.mem.store8(p + value.len() as u32, 0)?;
+    m.env_cache.insert(name.to_owned(), p);
+    Ok(Some(p))
+}
+
+fn getenv(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let name = String::from_utf8_lossy(&m.mem.read_cstr(m.arg(0))?).into_owned();
+    let p = env_value_ptr(m, &name)?.unwrap_or(0);
+    m.set_ret(p);
+    Ok(())
+}
+
+fn webs_get_var(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let name = String::from_utf8_lossy(&m.mem.read_cstr(m.arg(1))?).into_owned();
+    let default = m.arg(2);
+    let p = env_value_ptr(m, &name)?.unwrap_or(default);
+    m.set_ret(p);
+    Ok(())
+}
+
+fn find_var(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let name = String::from_utf8_lossy(&m.mem.read_cstr(m.arg(1))?).into_owned();
+    let p = env_value_ptr(m, &name)?.unwrap_or(0);
+    m.set_ret(p);
+    Ok(())
+}
+
+fn strcpy(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let (dst, src) = (m.arg(0), m.arg(1));
+    let s = m.mem.read_cstr(src)?;
+    m.mem.write_bytes(dst, &s)?;
+    m.mem.store8(dst + s.len() as u32, 0)?;
+    m.set_ret(dst);
+    Ok(())
+}
+
+fn strncpy(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let (dst, src, n) = (m.arg(0), m.arg(1), m.arg(2) as usize);
+    let s = m.mem.read_cstr(src)?;
+    let copy = s.len().min(n);
+    m.mem.write_bytes(dst, &s[..copy])?;
+    for k in copy..n {
+        m.mem.store8(dst + k as u32, 0)?;
+    }
+    m.set_ret(dst);
+    Ok(())
+}
+
+fn strcat(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let (dst, src) = (m.arg(0), m.arg(1));
+    let head = m.mem.read_cstr(dst)?;
+    let tail = m.mem.read_cstr(src)?;
+    let at = dst + head.len() as u32;
+    m.mem.write_bytes(at, &tail)?;
+    m.mem.store8(at + tail.len() as u32, 0)?;
+    m.set_ret(dst);
+    Ok(())
+}
+
+fn memcpy(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let (dst, src, n) = (m.arg(0), m.arg(1), m.arg(2));
+    for k in 0..n {
+        let b = m.mem.load8(src.wrapping_add(k))?;
+        m.mem.store8(dst.wrapping_add(k), b)?;
+    }
+    m.set_ret(dst);
+    Ok(())
+}
+
+fn memset(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let (dst, c, n) = (m.arg(0), m.arg(1) as u8, m.arg(2));
+    for k in 0..n {
+        m.mem.store8(dst.wrapping_add(k), c)?;
+    }
+    m.set_ret(dst);
+    Ok(())
+}
+
+fn strlen(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let n = m.mem.read_cstr(m.arg(0))?.len() as u32;
+    m.set_ret(n);
+    Ok(())
+}
+
+fn strcmp(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let a = m.mem.read_cstr(m.arg(0))?;
+    let b = m.mem.read_cstr(m.arg(1))?;
+    m.set_ret(match a.cmp(&b) {
+        std::cmp::Ordering::Less => -1i32 as u32,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    });
+    Ok(())
+}
+
+fn strchr(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let s = m.arg(0);
+    let c = m.arg(1) as u8;
+    let bytes = m.mem.read_cstr(s)?;
+    match bytes.iter().position(|&b| b == c) {
+        Some(i) => m.set_ret(s + i as u32),
+        None => m.set_ret(0),
+    }
+    Ok(())
+}
+
+fn atoi(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let s = m.mem.read_cstr(m.arg(0))?;
+    let text = String::from_utf8_lossy(&s);
+    let v: i32 = text.trim().parse().unwrap_or(0);
+    m.set_ret(v as u32);
+    Ok(())
+}
+
+fn malloc(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let p = m.mem.alloc(m.arg(0)).unwrap_or(0);
+    m.set_ret(p);
+    Ok(())
+}
+
+fn printf(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let fmt = m.mem.read_cstr(m.arg(0))?;
+    m.printed += fmt.len();
+    m.set_ret(fmt.len() as u32);
+    Ok(())
+}
+
+fn sprintf_like(m: &mut Machine<'_>, cap: Option<u32>) -> Result<(), Fault> {
+    sprintf_like_at(m, 0, 1, cap)
+}
+
+/// `sprintf`/`snprintf` core: expand `%s`/`%d` from the varargs starting
+/// at `fmt_arg + 1`, writing to `dst_arg`, optionally capped.
+fn sprintf_like_at(
+    m: &mut Machine<'_>,
+    dst_arg: usize,
+    fmt_arg: usize,
+    cap: Option<u32>,
+) -> Result<(), Fault> {
+    let dst = m.arg(dst_arg);
+    let fmt = m.mem.read_cstr(m.arg(fmt_arg))?;
+    let mut out: Vec<u8> = Vec::new();
+    let mut vararg = fmt_arg + 1;
+    let mut i = 0;
+    while i < fmt.len() {
+        if fmt[i] == b'%' && i + 1 < fmt.len() {
+            match fmt[i + 1] {
+                b's' => {
+                    let p = m.arg(vararg);
+                    vararg += 1;
+                    out.extend(m.mem.read_cstr(p)?);
+                    i += 2;
+                    continue;
+                }
+                b'd' => {
+                    let v = m.arg(vararg) as i32;
+                    vararg += 1;
+                    out.extend(v.to_string().into_bytes());
+                    i += 2;
+                    continue;
+                }
+                b'%' => {
+                    out.push(b'%');
+                    i += 2;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(fmt[i]);
+        i += 1;
+    }
+    if let Some(cap) = cap {
+        out.truncate((cap as usize).saturating_sub(1));
+    }
+    m.mem.write_bytes(dst, &out)?;
+    m.mem.store8(dst + out.len() as u32, 0)?;
+    m.set_ret(out.len() as u32);
+    Ok(())
+}
+
+fn sscanf(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let src = m.mem.read_cstr(m.arg(0))?;
+    let fmt = m.mem.read_cstr(m.arg(1))?;
+    let mut tokens = src.split(|b| b.is_ascii_whitespace()).filter(|t| !t.is_empty());
+    let mut out_arg = 2;
+    let mut converted = 0u32;
+    let mut i = 0;
+    while i + 1 < fmt.len() + 1 && i < fmt.len() {
+        if fmt[i] == b'%' && i + 1 < fmt.len() && fmt[i + 1] == b's' {
+            let Some(tok) = tokens.next() else { break };
+            let dst = m.arg(out_arg);
+            out_arg += 1;
+            m.mem.write_bytes(dst, tok)?;
+            m.mem.store8(dst + tok.len() as u32, 0)?;
+            converted += 1;
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    m.set_ret(converted);
+    Ok(())
+}
+
+fn system_like(m: &mut Machine<'_>) -> Result<(), Fault> {
+    let cmd = m.mem.read_cstr(m.arg(0))?;
+    m.commands.push(cmd);
+    m.set_ret(0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{Exit, Machine};
+    use dtaint_fwbin::asm::Assembler;
+    use dtaint_fwbin::link::BinaryBuilder;
+    use dtaint_fwbin::{Arch, Binary, Reg};
+
+    /// Builds `main` that calls one import with the given rodata-backed
+    /// arguments and returns the import's return value.
+    fn call_import(import: &str, setup: impl FnOnce(&mut Assembler), extra: &[(&str, &str)]) -> Binary {
+        let mut a = Assembler::new(Arch::Arm32e);
+        a.arm(dtaint_fwbin::arm::ArmIns::Push { mask: 1 << 14 });
+        setup(&mut a);
+        a.call(import);
+        a.arm(dtaint_fwbin::arm::ArmIns::Pop { mask: 1 << 14 });
+        a.ret();
+        let mut b = BinaryBuilder::new(Arch::Arm32e);
+        b.add_function("main", a);
+        b.add_import(import);
+        for (label, value) in extra {
+            b.add_cstring(label, value);
+        }
+        b.add_bss("g_buf", 256);
+        b.link().unwrap()
+    }
+
+    #[test]
+    fn atoi_parses_decimal() {
+        let bin = call_import("atoi", |a| a.load_addr(Reg(0), "num"), &[("num", "  1234")]);
+        assert_eq!(Machine::new(&bin).run("main"), Exit::Returned(1234));
+    }
+
+    #[test]
+    fn strcmp_orders_strings() {
+        let bin = call_import(
+            "strcmp",
+            |a| {
+                a.load_addr(Reg(0), "s1");
+                a.load_addr(Reg(1), "s2");
+            },
+            &[("s1", "abc"), ("s2", "abd")],
+        );
+        assert_eq!(Machine::new(&bin).run("main"), Exit::Returned(-1i32 as u32));
+    }
+
+    #[test]
+    fn strchr_finds_and_misses() {
+        let bin = call_import(
+            "strchr",
+            |a| {
+                a.load_addr(Reg(0), "s");
+                a.load_const(Reg(1), b';' as u32);
+            },
+            &[("s", "ab;cd")],
+        );
+        let Exit::Returned(p) = Machine::new(&bin).run("main") else { panic!() };
+        assert_ne!(p, 0);
+        let bin = call_import(
+            "strchr",
+            |a| {
+                a.load_addr(Reg(0), "s");
+                a.load_const(Reg(1), b'!' as u32);
+            },
+            &[("s", "ab;cd")],
+        );
+        assert_eq!(Machine::new(&bin).run("main"), Exit::Returned(0));
+    }
+
+    #[test]
+    fn sprintf_expands_percent_s_and_d() {
+        // sprintf(g_buf, "v=%s n=%d", "xy", 7); strlen(g_buf) == 9
+        let mut a = Assembler::new(Arch::Arm32e);
+        a.arm(dtaint_fwbin::arm::ArmIns::Push { mask: 1 << 14 });
+        a.load_addr(Reg(0), "g_buf");
+        a.load_addr(Reg(1), "fmt");
+        a.load_addr(Reg(2), "val");
+        a.load_const(Reg(3), 7);
+        a.call("sprintf");
+        a.load_addr(Reg(0), "g_buf");
+        a.call("strlen");
+        a.arm(dtaint_fwbin::arm::ArmIns::Pop { mask: 1 << 14 });
+        a.ret();
+        let mut b = BinaryBuilder::new(Arch::Arm32e);
+        b.add_function("main", a);
+        b.add_import("sprintf");
+        b.add_import("strlen");
+        b.add_cstring("fmt", "v=%s n=%d");
+        b.add_cstring("val", "xy");
+        b.add_bss("g_buf", 64);
+        let bin = b.link().unwrap();
+        assert_eq!(Machine::new(&bin).run("main"), Exit::Returned("v=xy n=7".len() as u32));
+    }
+
+    #[test]
+    fn sscanf_tokenises_on_whitespace() {
+        // sscanf("hello world", "%s", g_buf); strlen(g_buf) == 5
+        let mut a = Assembler::new(Arch::Arm32e);
+        a.arm(dtaint_fwbin::arm::ArmIns::Push { mask: 1 << 14 });
+        a.load_addr(Reg(0), "src");
+        a.load_addr(Reg(1), "fmt");
+        a.load_addr(Reg(2), "g_buf");
+        a.call("sscanf");
+        a.load_addr(Reg(0), "g_buf");
+        a.call("strlen");
+        a.arm(dtaint_fwbin::arm::ArmIns::Pop { mask: 1 << 14 });
+        a.ret();
+        let mut b = BinaryBuilder::new(Arch::Arm32e);
+        b.add_function("main", a);
+        b.add_import("sscanf");
+        b.add_import("strlen");
+        b.add_cstring("src", "hello world");
+        b.add_cstring("fmt", "%s");
+        b.add_bss("g_buf", 64);
+        let bin = b.link().unwrap();
+        assert_eq!(Machine::new(&bin).run("main"), Exit::Returned(5));
+    }
+
+    #[test]
+    fn strcat_appends_in_place() {
+        // strcpy(g_buf, "ab"); strcat(g_buf, "cd"); strlen → 4
+        let mut a = Assembler::new(Arch::Arm32e);
+        a.arm(dtaint_fwbin::arm::ArmIns::Push { mask: 1 << 14 });
+        a.load_addr(Reg(0), "g_buf");
+        a.load_addr(Reg(1), "s1");
+        a.call("strcpy");
+        a.load_addr(Reg(0), "g_buf");
+        a.load_addr(Reg(1), "s2");
+        a.call("strcat");
+        a.load_addr(Reg(0), "g_buf");
+        a.call("strlen");
+        a.arm(dtaint_fwbin::arm::ArmIns::Pop { mask: 1 << 14 });
+        a.ret();
+        let mut b = BinaryBuilder::new(Arch::Arm32e);
+        b.add_function("main", a);
+        b.add_import("strcpy");
+        b.add_import("strcat");
+        b.add_import("strlen");
+        b.add_cstring("s1", "ab");
+        b.add_cstring("s2", "cd");
+        b.add_bss("g_buf", 64);
+        let bin = b.link().unwrap();
+        assert_eq!(Machine::new(&bin).run("main"), Exit::Returned(4));
+    }
+
+    #[test]
+    fn unknown_import_returns_zero() {
+        let bin = call_import("mystery_fn", |a| a.load_const(Reg(0), 99), &[]);
+        assert_eq!(Machine::new(&bin).run("main"), Exit::Returned(0));
+    }
+}

@@ -1,0 +1,290 @@
+//! The run loop: concrete execution with hooked library imports.
+
+use crate::cpu::Cpu;
+use crate::libc;
+use crate::mem::{Mem, STACK_TOP};
+use crate::Fault;
+use dtaint_fwbin::Binary;
+use std::collections::{HashMap, VecDeque};
+
+/// PC value standing for "return to the harness".
+pub const RETURN_SENTINEL: u32 = 0xdead_0000;
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exit {
+    /// The entry function returned normally with this value.
+    Returned(u32),
+    /// Execution faulted — for overflow PoCs, typically a
+    /// [`Fault::BadFetch`] at an attacker-controlled address after a
+    /// smashed return slot was restored.
+    Fault(Fault),
+    /// The step budget ran out (hangs, unbounded loops).
+    StepLimit,
+}
+
+/// A concrete emulator instance for one binary.
+///
+/// # Examples
+///
+/// ```
+/// use dtaint_emu::Machine;
+/// use dtaint_fwbin::asm::Assembler;
+/// use dtaint_fwbin::link::BinaryBuilder;
+/// use dtaint_fwbin::{Arch, Reg};
+///
+/// let mut a = Assembler::new(Arch::Mips32e);
+/// a.load_const(Reg(2), 41);
+/// a.mips(dtaint_fwbin::mips::MipsIns::Addiu { rt: Reg(2), rs: Reg(2), imm: 1 });
+/// a.ret();
+/// let mut b = BinaryBuilder::new(Arch::Mips32e);
+/// b.add_function("main", a);
+/// let bin = b.link()?;
+/// let mut m = Machine::new(&bin);
+/// assert_eq!(m.run("main"), dtaint_emu::Exit::Returned(42));
+/// # Ok::<(), dtaint_fwbin::Error>(())
+/// ```
+pub struct Machine<'a> {
+    /// CPU state.
+    pub cpu: Cpu,
+    /// Address space.
+    pub mem: Mem,
+    pub(crate) bin: &'a Binary,
+    /// Environment/web variables served to `getenv`/`websGetVar`/
+    /// `find_var`.
+    pub(crate) env: HashMap<String, Vec<u8>>,
+    pub(crate) env_cache: HashMap<String, u32>,
+    /// Queued input frames for `read`/`recv`/`fgets`/`BIO_read`.
+    pub(crate) inputs: VecDeque<Vec<u8>>,
+    /// Commands passed to `system`/`popen`, in order.
+    pub commands: Vec<Vec<u8>>,
+    /// Bytes "printed" by printf (counted only).
+    pub printed: usize,
+    max_steps: u64,
+    /// Instructions executed so far.
+    pub steps: u64,
+}
+
+impl<'a> Machine<'a> {
+    /// Creates a machine for `bin` with default limits.
+    pub fn new(bin: &'a Binary) -> Machine<'a> {
+        Machine {
+            cpu: Cpu::new(bin.arch, bin.entry),
+            mem: Mem::new(bin),
+            bin,
+            env: HashMap::new(),
+            env_cache: HashMap::new(),
+            inputs: VecDeque::new(),
+            commands: Vec::new(),
+            printed: 0,
+            max_steps: 2_000_000,
+            steps: 0,
+        }
+    }
+
+    /// Sets the instruction budget.
+    pub fn set_max_steps(&mut self, n: u64) {
+        self.max_steps = n;
+    }
+
+    /// Defines an environment/web variable.
+    pub fn set_env(&mut self, name: &str, value: &[u8]) {
+        self.env.insert(name.to_owned(), value.to_vec());
+        self.env_cache.remove(name);
+    }
+
+    /// Queues one input frame for the next `read`-family call.
+    pub fn push_input(&mut self, data: &[u8]) {
+        self.inputs.push_back(data.to_vec());
+    }
+
+    /// Runs the named function to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the function name is not in the symbol table — a
+    /// harness bug, not an input condition.
+    pub fn run(&mut self, entry: &str) -> Exit {
+        let addr = self
+            .bin
+            .function(entry)
+            .unwrap_or_else(|| panic!("no function `{entry}`"))
+            .addr;
+        self.run_at(addr)
+    }
+
+    /// Runs from an entry address to completion.
+    pub fn run_at(&mut self, entry: u32) -> Exit {
+        let arch = self.bin.arch;
+        self.cpu.pc = entry;
+        self.cpu.set(arch.sp(), STACK_TOP - 64);
+        self.cpu.set(arch.link_reg(), RETURN_SENTINEL);
+        loop {
+            if self.steps >= self.max_steps {
+                return Exit::StepLimit;
+            }
+            if self.cpu.pc == RETURN_SENTINEL {
+                return Exit::Returned(self.cpu.get(arch.ret_reg()));
+            }
+            if let Some(import) = self.bin.import_at(self.cpu.pc) {
+                let name = import.name.clone();
+                self.steps += 1;
+                match libc::dispatch(self, &name) {
+                    Ok(()) => {
+                        // Return to the caller.
+                        self.cpu.pc = self.cpu.get(arch.link_reg());
+                        continue;
+                    }
+                    Err(f) => return Exit::Fault(f),
+                }
+            }
+            self.steps += 1;
+            if let Err(f) = self.cpu.step(&mut self.mem) {
+                return Exit::Fault(f);
+            }
+        }
+    }
+
+    /// The i-th integer argument at an import boundary (register args,
+    /// then stack slots).
+    pub(crate) fn arg(&self, i: usize) -> u32 {
+        let arch = self.bin.arch;
+        if i < 4 {
+            self.cpu.get(arch.arg_regs()[i])
+        } else {
+            let sp = self.cpu.get(arch.sp());
+            self.mem.load32(sp + 4 * (i as u32 - 4)).unwrap_or(0)
+        }
+    }
+
+    /// Sets the return value at an import boundary.
+    pub(crate) fn set_ret(&mut self, v: u32) {
+        let arch = self.bin.arch;
+        self.cpu.set(arch.ret_reg(), v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtaint_fwbin::arm::ArmIns;
+    use dtaint_fwbin::asm::Assembler;
+    use dtaint_fwbin::link::BinaryBuilder;
+    use dtaint_fwbin::{Arch, Reg};
+
+    fn machine_for(
+        arch: Arch,
+        imports: &[&str],
+        f: impl FnOnce(&mut Assembler),
+    ) -> (Binary, ()) {
+        let mut a = Assembler::new(arch);
+        f(&mut a);
+        let mut b = BinaryBuilder::new(arch);
+        b.add_function("main", a);
+        for i in imports {
+            b.add_import(i);
+        }
+        (b.link().unwrap(), ())
+    }
+
+    #[test]
+    fn returns_value_through_sentinel() {
+        let (bin, _) = machine_for(Arch::Arm32e, &[], |a| {
+            a.load_const(Reg(0), 7);
+            a.ret();
+        });
+        assert_eq!(Machine::new(&bin).run("main"), Exit::Returned(7));
+    }
+
+    #[test]
+    fn calls_between_functions_work() {
+        let arch = Arch::Arm32e;
+        let mut callee = Assembler::new(arch);
+        callee.arm(ArmIns::AddI { rd: Reg(0), rn: Reg(0), imm: 5 });
+        callee.ret();
+        let mut main = Assembler::new(arch);
+        // Save LR across the call, the way compiled code does.
+        main.arm(ArmIns::Push { mask: 1 << 14 });
+        main.load_const(Reg(0), 10);
+        main.call("callee");
+        main.arm(ArmIns::Pop { mask: 1 << 14 });
+        main.ret();
+        let mut b = BinaryBuilder::new(arch);
+        b.add_function("main", main);
+        b.add_function("callee", callee);
+        let bin = b.link().unwrap();
+        assert_eq!(Machine::new(&bin).run("main"), Exit::Returned(15));
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loops() {
+        let (bin, _) = machine_for(Arch::Mips32e, &[], |a| {
+            a.label("spin");
+            a.jump("spin");
+        });
+        let mut m = Machine::new(&bin);
+        m.set_max_steps(1000);
+        assert_eq!(m.run("main"), Exit::StepLimit);
+    }
+
+    #[test]
+    fn getenv_returns_configured_value() {
+        let mut a = Assembler::new(Arch::Arm32e);
+        a.arm(ArmIns::Push { mask: 1 << 14 });
+        a.load_addr(Reg(0), "name");
+        a.call("getenv");
+        a.call("strlen"); // strlen(getenv("PATH"))
+        a.arm(ArmIns::Pop { mask: 1 << 14 });
+        a.ret();
+        let mut b = BinaryBuilder::new(Arch::Arm32e);
+        b.add_function("main", a);
+        b.add_import("getenv");
+        b.add_import("strlen");
+        b.add_cstring("name", "PATH");
+        let bin = b.link().unwrap();
+        let mut m = Machine::new(&bin);
+        m.set_env("PATH", b"hello");
+        assert_eq!(m.run("main"), Exit::Returned(5));
+    }
+
+    #[test]
+    fn read_consumes_queued_frames() {
+        let mut a = Assembler::new(Arch::Mips32e);
+        // read(0, sp-256, 128); return n
+        a.mips(dtaint_fwbin::mips::MipsIns::Addiu { rt: Reg(29), rs: Reg(29), imm: -512 });
+        a.mips(dtaint_fwbin::mips::MipsIns::Sw { rt: Reg(31), base: Reg(29), off: 4 });
+        a.load_const(Reg(4), 0);
+        a.mips(dtaint_fwbin::mips::MipsIns::Addiu { rt: Reg(5), rs: Reg(29), imm: 64 });
+        a.load_const(Reg(6), 128);
+        a.call("read");
+        a.mips(dtaint_fwbin::mips::MipsIns::Lw { rt: Reg(31), base: Reg(29), off: 4 });
+        a.mips(dtaint_fwbin::mips::MipsIns::Addiu { rt: Reg(29), rs: Reg(29), imm: 512 });
+        a.ret();
+        let mut b = BinaryBuilder::new(Arch::Mips32e);
+        b.add_function("main", a);
+        b.add_import("read");
+        let bin = b.link().unwrap();
+        let mut m = Machine::new(&bin);
+        m.push_input(b"0123456789");
+        assert_eq!(m.run("main"), Exit::Returned(10));
+        // Second run with no input returns 0 bytes.
+        let mut m = Machine::new(&bin);
+        assert_eq!(m.run("main"), Exit::Returned(0));
+    }
+
+    #[test]
+    fn system_logs_commands() {
+        let mut a = Assembler::new(Arch::Arm32e);
+        a.load_addr(Reg(0), "cmd");
+        a.call("system");
+        a.ret();
+        let mut b = BinaryBuilder::new(Arch::Arm32e);
+        b.add_function("main", a);
+        b.add_import("system");
+        b.add_cstring("cmd", "reboot");
+        let bin = b.link().unwrap();
+        let mut m = Machine::new(&bin);
+        m.run("main");
+        assert_eq!(m.commands, vec![b"reboot".to_vec()]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Attack-driven dynamic validation of static findings.
+//!
+//! The paper validated its findings on real devices ("We use real
+//! devices for verifying these vulnerabilities", §V-A). The equivalent
+//! here: run the binary concretely under hostile inputs and observe the
+//! consequence —
+//!
+//! * **buffer overflows** smash the saved return slot; when the function
+//!   returns, the restored PC is attacker bytes and the fetch faults,
+//! * **command injections** deliver a `;`-separated payload into the
+//!   logged `system`/`popen` command line.
+//!
+//! Guarded code rejects both probes, so sanitised twins validate as
+//! [`Verdict::NoEffect`] — dynamic confirmation of the static
+//! sanitisation judgement.
+
+use crate::machine::{Exit, Machine};
+use dtaint_fwbin::Binary;
+
+/// Outcome of one validation attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// A hostile input crashed the program with corrupted control flow
+    /// or a wild memory access — the overflow is real.
+    MemoryCorruption(crate::Fault),
+    /// The injected separator reached a command interpreter.
+    CommandInjected(String),
+    /// The program survived every probe.
+    NoEffect,
+    /// The program hung (step budget exhausted).
+    Hang,
+}
+
+/// Attack configuration.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// Length of the overflow probe (a run of `'A'`s).
+    pub overflow_len: usize,
+    /// Marker used for the injection probe.
+    pub injection_marker: String,
+    /// Environment/web variable names to poison (empty = every name the
+    /// program asks for is served the probe — implemented by pre-seeding
+    /// the given names).
+    pub env_names: Vec<String>,
+    /// Number of hostile input frames to queue.
+    pub input_frames: usize,
+    /// Instruction budget per run.
+    pub max_steps: u64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            overflow_len: 4096,
+            injection_marker: ";touch_pwned".to_owned(),
+            env_names: Vec::new(),
+            input_frames: 4,
+            max_steps: 4_000_000,
+        }
+    }
+}
+
+/// Runs one probe: `payload` is served as every poisoned variable and
+/// every queued input frame.
+fn run_probe(bin: &Binary, entry: &str, config: &AttackConfig, payload: &[u8]) -> (Exit, Vec<Vec<u8>>) {
+    let mut m = Machine::new(bin);
+    m.set_max_steps(config.max_steps);
+    for name in &config.env_names {
+        m.set_env(name, payload);
+    }
+    for _ in 0..config.input_frames {
+        m.push_input(payload);
+    }
+    let exit = m.run(entry);
+    (exit, m.commands.clone())
+}
+
+/// Validates the program under two canonical probes: a long-input
+/// overflow probe and a separator injection probe.
+///
+/// Returns the strongest verdict observed (corruption > injection >
+/// hang > no effect).
+pub fn validate(bin: &Binary, entry: &str, config: &AttackConfig) -> Verdict {
+    // Probe 1: overflow — long non-separator payload.
+    let overflow_payload = vec![b'A'; config.overflow_len];
+    let (exit, _) = run_probe(bin, entry, config, &overflow_payload);
+    match exit {
+        Exit::Fault(f) => return Verdict::MemoryCorruption(f),
+        Exit::StepLimit => return Verdict::Hang,
+        Exit::Returned(_) => {}
+    }
+
+    // Probe 2: injection — short payload led by the separator.
+    let inj = config.injection_marker.as_bytes().to_vec();
+    let (exit, commands) = run_probe(bin, entry, config, &inj);
+    if let Exit::Fault(f) = exit {
+        return Verdict::MemoryCorruption(f);
+    }
+    for cmd in &commands {
+        if cmd.windows(inj.len()).any(|w| w == inj.as_slice()) && cmd.contains(&b';') {
+            return Verdict::CommandInjected(String::from_utf8_lossy(cmd).into_owned());
+        }
+    }
+    if exit == Exit::StepLimit {
+        return Verdict::Hang;
+    }
+    Verdict::NoEffect
+}
+
+/// Convenience: poison every string literal that looks like a variable
+/// name. Generated firmware names its variables in `.rodata`; seeding
+/// them all makes `validate` usable without knowing the finding's exact
+/// source variable.
+pub fn poison_all_rodata_names(bin: &Binary, config: &mut AttackConfig) {
+    use dtaint_fwbin::SectionKind;
+    let Some(ro) = bin.section(SectionKind::RoData) else { return };
+    let mut start = 0usize;
+    for (i, &b) in ro.data.iter().enumerate() {
+        if b == 0 {
+            if i > start {
+                let s = String::from_utf8_lossy(&ro.data[start..i]).into_owned();
+                // Variable-name shaped: alphanumeric/underscore, no '%'.
+                if !s.is_empty()
+                    && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    config.env_names.push(s);
+                }
+            }
+            start = i + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtaint_fwgen::spec::{Callee, FnSpec, ProgramSpec, Stmt};
+    use dtaint_fwgen::templates::{plant, PlantKind, PlantSpec};
+    use dtaint_fwbin::Arch;
+
+    fn build(kind: PlantKind, sanitized: bool, arch: Arch) -> Binary {
+        let mut spec = ProgramSpec::new("v");
+        let gt = plant(&mut spec, &PlantSpec::new(kind, "x", sanitized, 0));
+        let mut main = FnSpec::new("main", 0);
+        main.push(Stmt::Call { callee: Callee::Func(gt.entry_fn), args: vec![], ret: None });
+        main.push(Stmt::Return(None));
+        spec.func(main);
+        dtaint_fwgen::compile(&spec, arch).unwrap()
+    }
+
+    fn verdict(kind: PlantKind, sanitized: bool, arch: Arch) -> Verdict {
+        let bin = build(kind, sanitized, arch);
+        let mut config = AttackConfig::default();
+        poison_all_rodata_names(&bin, &mut config);
+        validate(&bin, "main", &config)
+    }
+
+    #[test]
+    fn overflow_plants_crash_with_corrupted_control_flow() {
+        for kind in [
+            PlantKind::BofRecvMemcpy,
+            PlantKind::BofGetenvStrcpy,
+            PlantKind::BofReadMemcpySmall,
+            PlantKind::BofSscanfRtsp,
+            PlantKind::BofReadLoopcopy,
+            PlantKind::BofGetenvSprintf,
+            PlantKind::BofReadStrncpy,
+        ] {
+            let v = verdict(kind, false, Arch::Arm32e);
+            assert!(
+                matches!(v, Verdict::MemoryCorruption(_)),
+                "{kind:?} must crash, got {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn injection_plants_deliver_the_marker() {
+        for kind in [
+            PlantKind::CmdiGetenvSystem,
+            PlantKind::CmdiWebsgetvarSystem,
+            PlantKind::CmdiFindvarPopen,
+        ] {
+            let v = verdict(kind, false, Arch::Mips32e);
+            assert!(
+                matches!(v, Verdict::CommandInjected(_)),
+                "{kind:?} must inject, got {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitized_twins_survive_both_probes() {
+        for kind in [
+            PlantKind::BofRecvMemcpy,
+            PlantKind::BofReadLoopcopy,
+            PlantKind::CmdiGetenvSystem,
+            PlantKind::CmdiWebsgetvarSystem,
+        ] {
+            let v = verdict(kind, true, Arch::Arm32e);
+            assert_eq!(v, Verdict::NoEffect, "{kind:?} guarded twin must survive");
+        }
+    }
+
+    #[test]
+    fn alias_indirect_plant_crashes_dynamically_too() {
+        let v = verdict(PlantKind::BofUrlParamAliasIndirect, false, Arch::Arm32e);
+        assert!(matches!(v, Verdict::MemoryCorruption(_)), "got {v:?}");
+    }
+}

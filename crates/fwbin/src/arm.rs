@@ -1,0 +1,512 @@
+//! The `arm32e` dialect: an ARM-flavoured 32-bit RISC instruction set.
+//!
+//! Distinctive ARM traits kept by the dialect:
+//!
+//! * comparisons (`CMP`) set condition flags consumed by conditional
+//!   branches ([`ArmIns::B`]),
+//! * calls write the link register `LR` ([`ArmIns::Bl`], [`ArmIns::Blx`]),
+//!   and returns are `BX LR`,
+//! * `PUSH`/`POP` with register masks for prologues/epilogues,
+//! * 32-bit constants are materialised with `MOVI` + `MOVT` pairs.
+//!
+//! Encoding: fixed 32-bit little-endian words, `op` in bits `[31:26]`,
+//! register fields `a`/`b`/`c` at `[25:21]`/`[20:16]`/`[15:11]`, and 16- or
+//! 26-bit immediates in the low bits. Branch offsets are in *words* relative
+//! to the instruction after the branch.
+
+use crate::{Error, Reg, Result};
+use std::fmt;
+
+/// Branch condition, evaluated against the flags set by the latest `CMP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Always (unconditional branch).
+    Al,
+}
+
+impl Cond {
+    /// Condition encoded from its 3-bit field value.
+    pub fn from_bits(v: u32) -> Option<Cond> {
+        Some(match v {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Lt,
+            3 => Cond::Ge,
+            4 => Cond::Le,
+            5 => Cond::Gt,
+            6 => Cond::Al,
+            _ => return None,
+        })
+    }
+
+    /// The 3-bit field value of this condition.
+    pub fn bits(self) -> u32 {
+        match self {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Lt => 2,
+            Cond::Ge => 3,
+            Cond::Le => 4,
+            Cond::Gt => 5,
+            Cond::Al => 6,
+        }
+    }
+
+    /// The condition that is true exactly when `self` is false.
+    ///
+    /// [`Cond::Al`] has no negation and is returned unchanged.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Al => Cond::Al,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Al => "",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An `arm32e` instruction.
+///
+/// Branch offsets ([`ArmIns::B`], [`ArmIns::Bl`]) are measured in
+/// instruction words relative to the *next* instruction, mirroring the
+/// PC-relative addressing of real ARM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operand fields are self-describing (rd/rn/rm/imm)
+pub enum ArmIns {
+    /// No operation.
+    Nop,
+    /// `rd = rm`.
+    MovR { rd: Reg, rm: Reg },
+    /// `rd = imm` (zero-extended; clears the high half).
+    MovI { rd: Reg, imm: u16 },
+    /// `rd = (imm << 16) | (rd & 0xffff)`.
+    MovT { rd: Reg, imm: u16 },
+    /// `rd = rn + rm`.
+    AddR { rd: Reg, rn: Reg, rm: Reg },
+    /// `rd = rn + imm` (signed immediate).
+    AddI { rd: Reg, rn: Reg, imm: i16 },
+    /// `rd = rn - rm`.
+    SubR { rd: Reg, rn: Reg, rm: Reg },
+    /// `rd = rn - imm` (signed immediate).
+    SubI { rd: Reg, rn: Reg, imm: i16 },
+    /// `rd = rn * rm`.
+    Mul { rd: Reg, rn: Reg, rm: Reg },
+    /// `rd = rn & rm`.
+    AndR { rd: Reg, rn: Reg, rm: Reg },
+    /// `rd = rn | rm`.
+    OrrR { rd: Reg, rn: Reg, rm: Reg },
+    /// `rd = rn ^ rm`.
+    EorR { rd: Reg, rn: Reg, rm: Reg },
+    /// `rd = rn << sh`.
+    LslI { rd: Reg, rn: Reg, sh: u8 },
+    /// `rd = rn >> sh` (logical).
+    LsrI { rd: Reg, rn: Reg, sh: u8 },
+    /// `rd = rn << rm`.
+    LslR { rd: Reg, rn: Reg, rm: Reg },
+    /// `rd = rn >> rm` (logical).
+    LsrR { rd: Reg, rn: Reg, rm: Reg },
+    /// Compare `rn` with `rm`, setting the flags.
+    CmpR { rn: Reg, rm: Reg },
+    /// Compare `rn` with a signed immediate, setting the flags.
+    CmpI { rn: Reg, imm: i16 },
+    /// `rt = mem32[rn + off]`.
+    Ldr { rt: Reg, rn: Reg, off: i16 },
+    /// `mem32[rn + off] = rt`.
+    Str { rt: Reg, rn: Reg, off: i16 },
+    /// `rt = zext(mem8[rn + off])`.
+    Ldrb { rt: Reg, rn: Reg, off: i16 },
+    /// `mem8[rn + off] = rt & 0xff`.
+    Strb { rt: Reg, rn: Reg, off: i16 },
+    /// `rt = zext(mem16[rn + off])`.
+    Ldrh { rt: Reg, rn: Reg, off: i16 },
+    /// `mem16[rn + off] = rt & 0xffff`.
+    Strh { rt: Reg, rn: Reg, off: i16 },
+    /// Push the registers in `mask` (bit *i* = `Ri`), decrementing `SP`.
+    Push { mask: u16 },
+    /// Pop the registers in `mask`, incrementing `SP`.
+    Pop { mask: u16 },
+    /// Conditional (or `AL`) branch; `off` is in words from the next insn.
+    B { cond: Cond, off: i16 },
+    /// Call: `LR = next pc`, branch by `off` words from the next insn.
+    Bl { off: i32 },
+    /// Indirect call through a register: `LR = next pc; pc = rm`.
+    Blx { rm: Reg },
+    /// Indirect jump `pc = rm`; `BX LR` is the function return.
+    Bx { rm: Reg },
+}
+
+const OP_SHIFT: u32 = 26;
+const A_SHIFT: u32 = 21;
+const B_SHIFT: u32 = 16;
+const C_SHIFT: u32 = 11;
+
+fn check_reg(r: Reg) -> Result<u32> {
+    if r.0 < 16 {
+        Ok(r.0 as u32)
+    } else {
+        Err(Error::BadRegister { index: r.0 })
+    }
+}
+
+fn pack3(op: u32, a: Reg, b: Reg, c: Reg) -> Result<u32> {
+    Ok((op << OP_SHIFT)
+        | (check_reg(a)? << A_SHIFT)
+        | (check_reg(b)? << B_SHIFT)
+        | (check_reg(c)? << C_SHIFT))
+}
+
+fn pack_imm16(op: u32, a: Reg, b: Reg, imm: u16) -> Result<u32> {
+    Ok((op << OP_SHIFT) | (check_reg(a)? << A_SHIFT) | (check_reg(b)? << B_SHIFT) | imm as u32)
+}
+
+fn field_a(w: u32) -> Reg {
+    Reg(((w >> A_SHIFT) & 0x1f) as u8)
+}
+fn field_b(w: u32) -> Reg {
+    Reg(((w >> B_SHIFT) & 0x1f) as u8)
+}
+fn field_c(w: u32) -> Reg {
+    Reg(((w >> C_SHIFT) & 0x1f) as u8)
+}
+fn imm16(w: u32) -> u16 {
+    (w & 0xffff) as u16
+}
+
+impl ArmIns {
+    /// Encodes the instruction to its 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadRegister`] for register indices outside `0..16`
+    /// and [`Error::ImmOutOfRange`] for a shift amount of 32 or more or a
+    /// `BL` offset that does not fit in 26 bits.
+    pub fn encode(self) -> Result<u32> {
+        use ArmIns::*;
+        Ok(match self {
+            Nop => 0,
+            MovR { rd, rm } => pack3(0x01, rd, rm, Reg(0))?,
+            MovI { rd, imm } => pack_imm16(0x02, rd, Reg(0), imm)?,
+            MovT { rd, imm } => pack_imm16(0x03, rd, Reg(0), imm)?,
+            AddR { rd, rn, rm } => pack3(0x04, rd, rn, rm)?,
+            AddI { rd, rn, imm } => pack_imm16(0x05, rd, rn, imm as u16)?,
+            SubR { rd, rn, rm } => pack3(0x06, rd, rn, rm)?,
+            SubI { rd, rn, imm } => pack_imm16(0x07, rd, rn, imm as u16)?,
+            Mul { rd, rn, rm } => pack3(0x08, rd, rn, rm)?,
+            AndR { rd, rn, rm } => pack3(0x09, rd, rn, rm)?,
+            OrrR { rd, rn, rm } => pack3(0x0a, rd, rn, rm)?,
+            EorR { rd, rn, rm } => pack3(0x0b, rd, rn, rm)?,
+            LslI { rd, rn, sh } | LsrI { rd, rn, sh } => {
+                if sh >= 32 {
+                    return Err(Error::ImmOutOfRange { field: "shift", value: sh as i64 });
+                }
+                let op = if matches!(self, LslI { .. }) { 0x0c } else { 0x0d };
+                pack_imm16(op, rd, rn, sh as u16)?
+            }
+            LslR { rd, rn, rm } => pack3(0x0e, rd, rn, rm)?,
+            LsrR { rd, rn, rm } => pack3(0x0f, rd, rn, rm)?,
+            CmpR { rn, rm } => pack3(0x10, rn, rm, Reg(0))?,
+            CmpI { rn, imm } => pack_imm16(0x11, rn, Reg(0), imm as u16)?,
+            Ldr { rt, rn, off } => pack_imm16(0x12, rt, rn, off as u16)?,
+            Str { rt, rn, off } => pack_imm16(0x13, rt, rn, off as u16)?,
+            Ldrb { rt, rn, off } => pack_imm16(0x14, rt, rn, off as u16)?,
+            Strb { rt, rn, off } => pack_imm16(0x15, rt, rn, off as u16)?,
+            Ldrh { rt, rn, off } => pack_imm16(0x1c, rt, rn, off as u16)?,
+            Strh { rt, rn, off } => pack_imm16(0x1d, rt, rn, off as u16)?,
+            Push { mask } => (0x16 << OP_SHIFT) | mask as u32,
+            Pop { mask } => (0x17 << OP_SHIFT) | mask as u32,
+            B { cond, off } => {
+                (0x18 << OP_SHIFT) | (cond.bits() << A_SHIFT) | (off as u16 as u32)
+            }
+            Bl { off } => {
+                if !(-(1 << 25)..(1 << 25)).contains(&off) {
+                    return Err(Error::ImmOutOfRange { field: "bl offset", value: off as i64 });
+                }
+                (0x19 << OP_SHIFT) | ((off as u32) & 0x03ff_ffff)
+            }
+            Blx { rm } => pack3(0x1a, rm, Reg(0), Reg(0))?,
+            Bx { rm } => pack3(0x1b, rm, Reg(0), Reg(0))?,
+        })
+    }
+
+    /// Decodes a 32-bit word into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadInstruction`] when the opcode is unknown, a
+    /// register field exceeds 15, or a condition field is invalid. `addr`
+    /// is only used to enrich the error.
+    pub fn decode(word: u32, addr: u32) -> Result<ArmIns> {
+        use ArmIns::*;
+        let bad = || Error::BadInstruction { word, addr };
+        let op = word >> OP_SHIFT;
+        let a = field_a(word);
+        let b = field_b(word);
+        let c = field_c(word);
+        let reg_ok = |r: Reg| if r.0 < 16 { Ok(r) } else { Err(bad()) };
+        Ok(match op {
+            0x00 => Nop,
+            0x01 => MovR { rd: reg_ok(a)?, rm: reg_ok(b)? },
+            0x02 => MovI { rd: reg_ok(a)?, imm: imm16(word) },
+            0x03 => MovT { rd: reg_ok(a)?, imm: imm16(word) },
+            0x04 => AddR { rd: reg_ok(a)?, rn: reg_ok(b)?, rm: reg_ok(c)? },
+            0x05 => AddI { rd: reg_ok(a)?, rn: reg_ok(b)?, imm: imm16(word) as i16 },
+            0x06 => SubR { rd: reg_ok(a)?, rn: reg_ok(b)?, rm: reg_ok(c)? },
+            0x07 => SubI { rd: reg_ok(a)?, rn: reg_ok(b)?, imm: imm16(word) as i16 },
+            0x08 => Mul { rd: reg_ok(a)?, rn: reg_ok(b)?, rm: reg_ok(c)? },
+            0x09 => AndR { rd: reg_ok(a)?, rn: reg_ok(b)?, rm: reg_ok(c)? },
+            0x0a => OrrR { rd: reg_ok(a)?, rn: reg_ok(b)?, rm: reg_ok(c)? },
+            0x0b => EorR { rd: reg_ok(a)?, rn: reg_ok(b)?, rm: reg_ok(c)? },
+            0x0c => LslI { rd: reg_ok(a)?, rn: reg_ok(b)?, sh: (imm16(word) & 31) as u8 },
+            0x0d => LsrI { rd: reg_ok(a)?, rn: reg_ok(b)?, sh: (imm16(word) & 31) as u8 },
+            0x0e => LslR { rd: reg_ok(a)?, rn: reg_ok(b)?, rm: reg_ok(c)? },
+            0x0f => LsrR { rd: reg_ok(a)?, rn: reg_ok(b)?, rm: reg_ok(c)? },
+            0x10 => CmpR { rn: reg_ok(a)?, rm: reg_ok(b)? },
+            0x11 => CmpI { rn: reg_ok(a)?, imm: imm16(word) as i16 },
+            0x12 => Ldr { rt: reg_ok(a)?, rn: reg_ok(b)?, off: imm16(word) as i16 },
+            0x13 => Str { rt: reg_ok(a)?, rn: reg_ok(b)?, off: imm16(word) as i16 },
+            0x14 => Ldrb { rt: reg_ok(a)?, rn: reg_ok(b)?, off: imm16(word) as i16 },
+            0x15 => Strb { rt: reg_ok(a)?, rn: reg_ok(b)?, off: imm16(word) as i16 },
+            0x16 => Push { mask: imm16(word) },
+            0x17 => Pop { mask: imm16(word) },
+            0x18 => B {
+                cond: Cond::from_bits((word >> A_SHIFT) & 0x1f).ok_or_else(bad)?,
+                off: imm16(word) as i16,
+            },
+            0x19 => {
+                let raw = word & 0x03ff_ffff;
+                // Sign-extend the 26-bit field.
+                let off = ((raw << 6) as i32) >> 6;
+                Bl { off }
+            }
+            0x1a => Blx { rm: reg_ok(a)? },
+            0x1b => Bx { rm: reg_ok(a)? },
+            0x1c => Ldrh { rt: reg_ok(a)?, rn: reg_ok(b)?, off: imm16(word) as i16 },
+            0x1d => Strh { rt: reg_ok(a)?, rn: reg_ok(b)?, off: imm16(word) as i16 },
+            _ => return Err(bad()),
+        })
+    }
+
+    /// True when the instruction ends a basic block (any branch/call/ret).
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            ArmIns::B { .. } | ArmIns::Bl { .. } | ArmIns::Blx { .. } | ArmIns::Bx { .. }
+        )
+    }
+}
+
+impl fmt::Display for ArmIns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ArmIns::*;
+        let r = |x: Reg| format!("r{}", x.0);
+        match *self {
+            Nop => write!(f, "nop"),
+            MovR { rd, rm } => write!(f, "mov {}, {}", r(rd), r(rm)),
+            MovI { rd, imm } => write!(f, "mov {}, #{imm:#x}", r(rd)),
+            MovT { rd, imm } => write!(f, "movt {}, #{imm:#x}", r(rd)),
+            AddR { rd, rn, rm } => write!(f, "add {}, {}, {}", r(rd), r(rn), r(rm)),
+            AddI { rd, rn, imm } => write!(f, "add {}, {}, #{imm}", r(rd), r(rn)),
+            SubR { rd, rn, rm } => write!(f, "sub {}, {}, {}", r(rd), r(rn), r(rm)),
+            SubI { rd, rn, imm } => write!(f, "sub {}, {}, #{imm}", r(rd), r(rn)),
+            Mul { rd, rn, rm } => write!(f, "mul {}, {}, {}", r(rd), r(rn), r(rm)),
+            AndR { rd, rn, rm } => write!(f, "and {}, {}, {}", r(rd), r(rn), r(rm)),
+            OrrR { rd, rn, rm } => write!(f, "orr {}, {}, {}", r(rd), r(rn), r(rm)),
+            EorR { rd, rn, rm } => write!(f, "eor {}, {}, {}", r(rd), r(rn), r(rm)),
+            LslI { rd, rn, sh } => write!(f, "lsl {}, {}, #{sh}", r(rd), r(rn)),
+            LsrI { rd, rn, sh } => write!(f, "lsr {}, {}, #{sh}", r(rd), r(rn)),
+            LslR { rd, rn, rm } => write!(f, "lsl {}, {}, {}", r(rd), r(rn), r(rm)),
+            LsrR { rd, rn, rm } => write!(f, "lsr {}, {}, {}", r(rd), r(rn), r(rm)),
+            CmpR { rn, rm } => write!(f, "cmp {}, {}", r(rn), r(rm)),
+            CmpI { rn, imm } => write!(f, "cmp {}, #{imm}", r(rn)),
+            Ldr { rt, rn, off } => write!(f, "ldr {}, [{}, #{off}]", r(rt), r(rn)),
+            Str { rt, rn, off } => write!(f, "str {}, [{}, #{off}]", r(rt), r(rn)),
+            Ldrb { rt, rn, off } => write!(f, "ldrb {}, [{}, #{off}]", r(rt), r(rn)),
+            Strb { rt, rn, off } => write!(f, "strb {}, [{}, #{off}]", r(rt), r(rn)),
+            Ldrh { rt, rn, off } => write!(f, "ldrh {}, [{}, #{off}]", r(rt), r(rn)),
+            Strh { rt, rn, off } => write!(f, "strh {}, [{}, #{off}]", r(rt), r(rn)),
+            Push { mask } => write!(f, "push {mask:#06x}"),
+            Pop { mask } => write!(f, "pop {mask:#06x}"),
+            B { cond, off } => write!(f, "b{cond} {off:+}"),
+            Bl { off } => write!(f, "bl {off:+}"),
+            Blx { rm } => write!(f, "blx {}", r(rm)),
+            Bx { rm } => write!(f, "bx {}", r(rm)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip_basics() {
+        let samples = [
+            ArmIns::Nop,
+            ArmIns::MovR { rd: Reg(1), rm: Reg(2) },
+            ArmIns::MovI { rd: Reg(3), imm: 0xffff },
+            ArmIns::MovT { rd: Reg(3), imm: 0x1234 },
+            ArmIns::AddR { rd: Reg(0), rn: Reg(1), rm: Reg(2) },
+            ArmIns::AddI { rd: Reg(0), rn: Reg(13), imm: -8 },
+            ArmIns::SubI { rd: Reg::SP, rn: Reg::SP, imm: 0x118 },
+            ArmIns::Mul { rd: Reg(4), rn: Reg(5), rm: Reg(6) },
+            ArmIns::LslI { rd: Reg(1), rn: Reg(1), sh: 8 },
+            ArmIns::CmpR { rn: Reg(9), rm: Reg(1) },
+            ArmIns::CmpI { rn: Reg(0), imm: -1 },
+            ArmIns::Ldr { rt: Reg(4), rn: Reg(11), off: 0x68 },
+            ArmIns::Str { rt: Reg(9), rn: Reg(5), off: 0x4c },
+            ArmIns::Ldrb { rt: Reg(6), rn: Reg(5), off: -1 },
+            ArmIns::Strb { rt: Reg(6), rn: Reg(5), off: 1 },
+            ArmIns::Ldrh { rt: Reg(6), rn: Reg(5), off: 2 },
+            ArmIns::Strh { rt: Reg(6), rn: Reg(5), off: -2 },
+            ArmIns::Push { mask: 0b0100_1000_1111_0000 },
+            ArmIns::Pop { mask: 0x8ff0 },
+            ArmIns::B { cond: Cond::Eq, off: -5 },
+            ArmIns::B { cond: Cond::Al, off: 100 },
+            ArmIns::Bl { off: -33_000_000 + 40_000_000 },
+            ArmIns::Bl { off: -1 },
+            ArmIns::Blx { rm: Reg(3) },
+            ArmIns::Bx { rm: Reg::LR },
+        ];
+        for ins in samples {
+            let w = ins.encode().unwrap();
+            let back = ArmIns::decode(w, 0).unwrap();
+            assert_eq!(ins, back, "word {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn bad_register_rejected_on_encode() {
+        let e = ArmIns::MovR { rd: Reg(16), rm: Reg(0) }.encode().unwrap_err();
+        assert_eq!(e, Error::BadRegister { index: 16 });
+    }
+
+    #[test]
+    fn shift_out_of_range_rejected() {
+        let e = ArmIns::LslI { rd: Reg(0), rn: Reg(0), sh: 32 }.encode().unwrap_err();
+        assert!(matches!(e, Error::ImmOutOfRange { field: "shift", .. }));
+    }
+
+    #[test]
+    fn bl_offset_bounds() {
+        assert!(ArmIns::Bl { off: (1 << 25) - 1 }.encode().is_ok());
+        assert!(ArmIns::Bl { off: -(1 << 25) }.encode().is_ok());
+        assert!(ArmIns::Bl { off: 1 << 25 }.encode().is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_rejected_on_decode() {
+        let word = 0x3f << 26;
+        let e = ArmIns::decode(word, 0x44).unwrap_err();
+        assert_eq!(e, Error::BadInstruction { word, addr: 0x44 });
+    }
+
+    #[test]
+    fn decode_rejects_reg_field_out_of_range() {
+        // MOVR with a-field = 17.
+        let word = (0x01 << 26) | (17 << 21);
+        assert!(ArmIns::decode(word, 0).is_err());
+    }
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for bits in 0..6 {
+            let c = Cond::from_bits(bits).unwrap();
+            assert_eq!(c.negate().negate(), c);
+            assert_ne!(c.negate(), c);
+        }
+        assert_eq!(Cond::Al.negate(), Cond::Al);
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(ArmIns::Bl { off: 0 }.is_terminator());
+        assert!(ArmIns::Bx { rm: Reg::LR }.is_terminator());
+        assert!(ArmIns::B { cond: Cond::Eq, off: 1 }.is_terminator());
+        assert!(!ArmIns::CmpI { rn: Reg(0), imm: 0 }.is_terminator());
+        assert!(!ArmIns::Push { mask: 0xf }.is_terminator());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let s = ArmIns::Ldr { rt: Reg(4), rn: Reg(11), off: 0x68 }.to_string();
+        assert_eq!(s, "ldr r4, [r11, #104]");
+        assert_eq!(ArmIns::B { cond: Cond::Eq, off: 3 }.to_string(), "beq +3");
+    }
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..16).prop_map(Reg)
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_three_reg(op in 0u8..6, a in arb_reg(), b in arb_reg(), c in arb_reg()) {
+            let ins = match op {
+                0 => ArmIns::AddR { rd: a, rn: b, rm: c },
+                1 => ArmIns::SubR { rd: a, rn: b, rm: c },
+                2 => ArmIns::Mul { rd: a, rn: b, rm: c },
+                3 => ArmIns::AndR { rd: a, rn: b, rm: c },
+                4 => ArmIns::OrrR { rd: a, rn: b, rm: c },
+                _ => ArmIns::EorR { rd: a, rn: b, rm: c },
+            };
+            prop_assert_eq!(ArmIns::decode(ins.encode().unwrap(), 0).unwrap(), ins);
+        }
+
+        #[test]
+        fn roundtrip_mem(load in any::<bool>(), t in arb_reg(), n in arb_reg(), off in any::<i16>()) {
+            let ins = if load {
+                ArmIns::Ldr { rt: t, rn: n, off }
+            } else {
+                ArmIns::Str { rt: t, rn: n, off }
+            };
+            prop_assert_eq!(ArmIns::decode(ins.encode().unwrap(), 0).unwrap(), ins);
+        }
+
+        #[test]
+        fn roundtrip_branches(cond in 0u32..7, off in any::<i16>()) {
+            let ins = ArmIns::B { cond: Cond::from_bits(cond).unwrap(), off };
+            prop_assert_eq!(ArmIns::decode(ins.encode().unwrap(), 0).unwrap(), ins);
+        }
+
+        #[test]
+        fn roundtrip_bl(off in -(1i32 << 25)..(1i32 << 25)) {
+            let ins = ArmIns::Bl { off };
+            prop_assert_eq!(ArmIns::decode(ins.encode().unwrap(), 0).unwrap(), ins);
+        }
+
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = ArmIns::decode(word, 0);
+        }
+    }
+}

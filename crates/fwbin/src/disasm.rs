@@ -1,0 +1,186 @@
+//! Disassembly listings: objdump-style text for loaded binaries.
+//!
+//! Used by the `dtaint disasm` CLI subcommand and handy in tests when a
+//! generated function needs eyeballing.
+
+use crate::arm::ArmIns;
+use crate::mips::MipsIns;
+use crate::{Arch, Binary, SectionKind, INS_SIZE};
+use std::fmt::Write as _;
+
+/// One disassembled instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Instruction address.
+    pub addr: u32,
+    /// Raw instruction word.
+    pub word: u32,
+    /// Rendered mnemonic and operands, or `".word"` for undecodable data.
+    pub text: String,
+    /// Resolved call-target name when the instruction is a direct call.
+    pub call_target: Option<String>,
+}
+
+/// Disassembles `[start, end)` of a binary's code.
+pub fn disassemble_range(bin: &Binary, start: u32, end: u32) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    let mut pc = start;
+    while pc < end {
+        let Some(word) = bin.read_u32(pc) else { break };
+        let (text, target) = render(bin, word, pc);
+        out.push(DisasmLine { addr: pc, word, text, call_target: target });
+        pc += INS_SIZE;
+    }
+    out
+}
+
+/// Disassembles one named function.
+///
+/// Returns `None` when the symbol does not exist.
+pub fn disassemble_function(bin: &Binary, name: &str) -> Option<Vec<DisasmLine>> {
+    let sym = bin.function(name)?;
+    Some(disassemble_range(bin, sym.addr, sym.addr + sym.size))
+}
+
+fn render(bin: &Binary, word: u32, pc: u32) -> (String, Option<String>) {
+    match bin.arch {
+        Arch::Arm32e => match ArmIns::decode(word, pc) {
+            Ok(ins) => {
+                let target = match ins {
+                    ArmIns::Bl { off } => {
+                        let t = (pc as i64 + 4 + off as i64 * 4) as u32;
+                        resolve_target(bin, t)
+                    }
+                    _ => None,
+                };
+                (ins.to_string(), target)
+            }
+            Err(_) => (format!(".word {word:#010x}"), None),
+        },
+        Arch::Mips32e => match MipsIns::decode(word, pc) {
+            Ok(ins) => {
+                let target = match ins {
+                    MipsIns::Jal { off } => {
+                        let t = (pc as i64 + 4 + off as i64 * 4) as u32;
+                        resolve_target(bin, t)
+                    }
+                    _ => None,
+                };
+                (ins.to_string(), target)
+            }
+            Err(_) => (format!(".word {word:#010x}"), None),
+        },
+    }
+}
+
+fn resolve_target(bin: &Binary, addr: u32) -> Option<String> {
+    if let Some(f) = bin.function_at(addr) {
+        return Some(f.name.clone());
+    }
+    bin.import_at(addr).map(|i| format!("{}@plt", i.name))
+}
+
+/// Renders a full objdump-style listing of the text section, with
+/// function headers and call-target annotations.
+pub fn listing(bin: &Binary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; {} binary, entry {:#x}", bin.arch, bin.entry);
+    for sym in bin.functions() {
+        let _ = writeln!(out, "\n{:#010x} <{}>:", sym.addr, sym.name);
+        for line in disassemble_range(bin, sym.addr, sym.addr + sym.size) {
+            match &line.call_target {
+                Some(t) => {
+                    let _ =
+                        writeln!(out, "  {:#010x}: {:08x}  {:<28} ; → {t}", line.addr, line.word, line.text);
+                }
+                None => {
+                    let _ = writeln!(out, "  {:#010x}: {:08x}  {}", line.addr, line.word, line.text);
+                }
+            }
+        }
+    }
+    if let Some(s) = bin.section(SectionKind::Plt) {
+        let _ = writeln!(out, "\n; plt ({} imports)", bin.imports.len());
+        for imp in &bin.imports {
+            let _ = writeln!(out, "  {:#010x}: <{}@plt>", imp.stub_addr, imp.name);
+        }
+        let _ = s;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::link::BinaryBuilder;
+    use crate::Reg;
+
+    fn sample(arch: Arch) -> Binary {
+        let mut f = Assembler::new(arch);
+        f.load_const(Reg(4) , 7);
+        f.call("strcpy");
+        f.ret();
+        let mut g = Assembler::new(arch);
+        g.call("f");
+        g.ret();
+        let mut b = BinaryBuilder::new(arch);
+        b.add_function("f", f);
+        b.add_function("g", g);
+        b.add_import("strcpy");
+        b.link().unwrap()
+    }
+
+    #[test]
+    fn function_disassembly_roundtrips_mnemonics() {
+        let bin = sample(Arch::Arm32e);
+        let lines = disassemble_function(&bin, "f").unwrap();
+        assert!(lines.iter().any(|l| l.text.starts_with("mov")));
+        assert!(lines.iter().any(|l| l.text.starts_with("bl")));
+        assert!(lines.iter().any(|l| l.text.starts_with("bx")));
+    }
+
+    #[test]
+    fn call_targets_resolve_to_imports_and_functions() {
+        for arch in [Arch::Arm32e, Arch::Mips32e] {
+            let bin = sample(arch);
+            let f_lines = disassemble_function(&bin, "f").unwrap();
+            assert!(
+                f_lines.iter().any(|l| l.call_target.as_deref() == Some("strcpy@plt")),
+                "{arch}"
+            );
+            let g_lines = disassemble_function(&bin, "g").unwrap();
+            assert!(g_lines.iter().any(|l| l.call_target.as_deref() == Some("f")), "{arch}");
+        }
+    }
+
+    #[test]
+    fn listing_has_headers_and_plt() {
+        let bin = sample(Arch::Mips32e);
+        let text = listing(&bin);
+        assert!(text.contains("<f>:"));
+        assert!(text.contains("<g>:"));
+        assert!(text.contains("strcpy@plt"));
+        assert!(text.contains("mips32e binary"));
+    }
+
+    #[test]
+    fn unknown_function_is_none() {
+        let bin = sample(Arch::Arm32e);
+        assert!(disassemble_function(&bin, "nope").is_none());
+    }
+
+    #[test]
+    fn undecodable_words_render_as_data() {
+        let mut bin = sample(Arch::Arm32e);
+        // Corrupt the first word of text with an invalid opcode.
+        let bad = 0x3fu32 << 26;
+        let addr = {
+            let text = bin.sections.iter_mut().find(|s| s.kind == SectionKind::Text).unwrap();
+            text.data[..4].copy_from_slice(&bad.to_le_bytes());
+            text.addr
+        };
+        let lines = disassemble_range(&bin, addr, addr + 4);
+        assert!(lines[0].text.starts_with(".word"));
+    }
+}

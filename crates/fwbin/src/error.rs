@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// Errors produced while encoding, decoding, assembling or linking binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An instruction word did not decode to a known instruction.
+    BadInstruction {
+        /// The raw instruction word.
+        word: u32,
+        /// Address the word was decoded at, when known.
+        addr: u32,
+    },
+    /// An immediate operand does not fit in its encoding field.
+    ImmOutOfRange {
+        /// Human-readable description of the field.
+        field: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// A register index is not valid for the target architecture.
+    BadRegister {
+        /// The offending register index.
+        index: u8,
+    },
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch target is too far away for its offset field.
+    BranchOutOfRange {
+        /// The label that could not be reached.
+        label: String,
+        /// Byte distance that was required.
+        distance: i64,
+    },
+    /// The byte stream is not a valid FBF binary.
+    BadFormat(String),
+    /// The byte stream ended before a complete structure was read.
+    Truncated,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadInstruction { word, addr } => {
+                write!(f, "undecodable instruction word {word:#010x} at {addr:#x}")
+            }
+            Error::ImmOutOfRange { field, value } => {
+                write!(f, "immediate {value} does not fit in {field}")
+            }
+            Error::BadRegister { index } => write!(f, "invalid register index {index}"),
+            Error::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            Error::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            Error::BranchOutOfRange { label, distance } => {
+                write!(f, "branch to `{label}` out of range ({distance} bytes)")
+            }
+            Error::BadFormat(m) => write!(f, "malformed binary: {m}"),
+            Error::Truncated => write!(f, "unexpected end of input"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::BadInstruction { word: 0xdead_beef, addr: 0x1000 };
+        let s = e.to_string();
+        assert!(s.contains("0xdeadbeef"));
+        assert!(s.contains("0x1000"));
+        assert!(s.starts_with(char::is_lowercase));
+
+        let e = Error::UndefinedLabel("foo".into());
+        assert!(e.to_string().contains("`foo`"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,224 @@
+//! Substrate crate: simplified embedded instruction sets, an assembler, and
+//! the FBF binary container used by the DTaint reproduction.
+//!
+//! Real firmware ships as ELF binaries for ARM32 or MIPS32. This crate
+//! provides the equivalent machinery built from scratch:
+//!
+//! * [`arm`] — `arm32e`, an ARM-flavoured RISC dialect: condition flags set
+//!   by `CMP`, arguments in `R0..R3`, a link register, `PUSH`/`POP`.
+//! * [`mips`] — `mips32e`, a MIPS-flavoured dialect: compare-and-branch
+//!   (no flags), arguments in `$a0..$a3`, `$ra`, `LUI`/`ORI` address
+//!   materialisation.
+//! * [`asm`] — a label/fixup assembler shared by both dialects.
+//! * [`link`] — a tiny static linker that lays out text/PLT/rodata/data
+//!   sections and resolves fixups, producing a [`fbf::Binary`].
+//! * [`fbf`] — the Firmware Binary Format: sections, function symbols and
+//!   import stubs, with round-trip (de)serialisation.
+//!
+//! Both dialects use fixed 32-bit little-endian instruction words with a
+//! common field scheme (`op[31:26] a[25:21] b[20:16] c[15:11]`, `imm16`
+//! in `[15:0]`, `imm26` in `[25:0]`). The bit layouts are deliberately
+//! simplified relative to real ARM/MIPS — the analyses in the rest of the
+//! workspace depend on instruction *semantics* (indirect memory access,
+//! calling conventions, indirect calls), not on vendor encodings.
+//!
+//! # Examples
+//!
+//! Assemble a function that copies its first argument into a stack buffer
+//! and link it into a loadable binary:
+//!
+//! ```
+//! use dtaint_fwbin::arm::ArmIns;
+//! use dtaint_fwbin::asm::Assembler;
+//! use dtaint_fwbin::link::BinaryBuilder;
+//! use dtaint_fwbin::{Arch, Reg};
+//!
+//! let mut a = Assembler::new(Arch::Arm32e);
+//! a.arm(ArmIns::SubI { rd: Reg::SP, rn: Reg::SP, imm: 64 });
+//! a.arm(ArmIns::MovR { rd: Reg(1), rm: Reg(0) });
+//! a.arm(ArmIns::MovR { rd: Reg(0), rm: Reg::SP });
+//! a.call("strcpy");
+//! a.arm(ArmIns::AddI { rd: Reg::SP, rn: Reg::SP, imm: 64 });
+//! a.ret();
+//!
+//! let mut b = BinaryBuilder::new(Arch::Arm32e);
+//! b.add_function("copy_in", a);
+//! b.add_import("strcpy");
+//! let bin = b.link()?;
+//! assert!(bin.function("copy_in").is_some());
+//! # Ok::<(), dtaint_fwbin::Error>(())
+//! ```
+
+pub mod arm;
+pub mod asm;
+pub mod disasm;
+pub mod fbf;
+pub mod link;
+pub mod mips;
+
+mod error;
+mod reg;
+
+pub use error::Error;
+pub use fbf::{Binary, Import, Section, SectionKind, Symbol, SymbolKind};
+pub use reg::Reg;
+
+use std::fmt;
+
+/// A convenient result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The guest instruction-set architecture of a binary.
+///
+/// The two dialects mirror the paper's ARM and MIPS targets: `arm32e`
+/// communicates conditions through flags set by `CMP`, while `mips32e`
+/// uses compare-and-branch instructions and a dedicated zero register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arch {
+    /// ARM-flavoured 32-bit dialect (condition flags, `R0..R15`).
+    Arm32e,
+    /// MIPS-flavoured 32-bit dialect (compare-and-branch, `$0..$31`).
+    Mips32e,
+}
+
+impl Arch {
+    /// Registers that carry the first four integer arguments.
+    pub fn arg_regs(self) -> [Reg; 4] {
+        match self {
+            Arch::Arm32e => [Reg(0), Reg(1), Reg(2), Reg(3)],
+            Arch::Mips32e => [Reg(4), Reg(5), Reg(6), Reg(7)],
+        }
+    }
+
+    /// Register holding a function's return value.
+    pub fn ret_reg(self) -> Reg {
+        match self {
+            Arch::Arm32e => Reg(0),
+            Arch::Mips32e => Reg(2),
+        }
+    }
+
+    /// The stack pointer register.
+    pub fn sp(self) -> Reg {
+        match self {
+            Arch::Arm32e => Reg::SP,
+            Arch::Mips32e => Reg(29),
+        }
+    }
+
+    /// The link register written by call instructions.
+    pub fn link_reg(self) -> Reg {
+        match self {
+            Arch::Arm32e => Reg::LR,
+            Arch::Mips32e => Reg(31),
+        }
+    }
+
+    /// Number of architectural registers in the guest register file.
+    pub fn reg_count(self) -> usize {
+        match self {
+            Arch::Arm32e => 16,
+            Arch::Mips32e => 32,
+        }
+    }
+
+    /// Scratch registers safe for code generation temporaries.
+    ///
+    /// These are caller-saved registers that the calling convention does not
+    /// assign a dedicated role.
+    pub fn scratch_regs(self) -> &'static [Reg] {
+        match self {
+            Arch::Arm32e => &[Reg(4), Reg(5), Reg(6), Reg(7), Reg(8), Reg(9), Reg(10)],
+            Arch::Mips32e => &[
+                Reg(8),
+                Reg(9),
+                Reg(10),
+                Reg(11),
+                Reg(12),
+                Reg(13),
+                Reg(14),
+                Reg(15),
+            ],
+        }
+    }
+
+    /// Human-readable name of a register in this architecture's convention.
+    pub fn reg_name(self, r: Reg) -> String {
+        match self {
+            Arch::Arm32e => match r.0 {
+                11 => "fp".to_owned(),
+                12 => "ip".to_owned(),
+                13 => "sp".to_owned(),
+                14 => "lr".to_owned(),
+                15 => "pc".to_owned(),
+                n => format!("r{n}"),
+            },
+            Arch::Mips32e => {
+                const NAMES: [&str; 32] = [
+                    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3",
+                    "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8",
+                    "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+                ];
+                format!("${}", NAMES[r.0 as usize & 31])
+            }
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arch::Arm32e => f.write_str("arm32e"),
+            Arch::Mips32e => f.write_str("mips32e"),
+        }
+    }
+}
+
+/// Size in bytes of every instruction in both dialects.
+pub const INS_SIZE: u32 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_conventions_are_consistent() {
+        for arch in [Arch::Arm32e, Arch::Mips32e] {
+            let args = arch.arg_regs();
+            assert_eq!(args.len(), 4);
+            // SP and LR never overlap the argument registers.
+            assert!(!args.contains(&arch.sp()));
+            assert!(!args.contains(&arch.link_reg()));
+            // Scratch registers never overlap args or SP.
+            for s in arch.scratch_regs() {
+                assert!(!args.contains(s), "{arch}: scratch {s:?} is an arg reg");
+                assert_ne!(*s, arch.sp());
+            }
+            assert!((arch.ret_reg().0 as usize) < arch.reg_count());
+        }
+    }
+
+    #[test]
+    fn arm_ret_reg_is_first_arg() {
+        // ARM's convention returns values in R0, which is also arg0. The
+        // analyses rely on this (the paper seeds R0 with ret_callsite).
+        assert_eq!(Arch::Arm32e.ret_reg(), Arch::Arm32e.arg_regs()[0]);
+        // MIPS keeps them distinct ($v0 vs $a0).
+        assert_ne!(Arch::Mips32e.ret_reg(), Arch::Mips32e.arg_regs()[0]);
+    }
+
+    #[test]
+    fn reg_names_follow_convention() {
+        assert_eq!(Arch::Arm32e.reg_name(Reg(13)), "sp");
+        assert_eq!(Arch::Arm32e.reg_name(Reg(3)), "r3");
+        assert_eq!(Arch::Mips32e.reg_name(Reg(4)), "$a0");
+        assert_eq!(Arch::Mips32e.reg_name(Reg(29)), "$sp");
+        assert_eq!(Arch::Mips32e.reg_name(Reg(0)), "$zero");
+    }
+
+    #[test]
+    fn arch_display() {
+        assert_eq!(Arch::Arm32e.to_string(), "arm32e");
+        assert_eq!(Arch::Mips32e.to_string(), "mips32e");
+    }
+}

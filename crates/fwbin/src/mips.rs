@@ -1,0 +1,406 @@
+//! The `mips32e` dialect: a MIPS-flavoured 32-bit RISC instruction set.
+//!
+//! Distinctive MIPS traits kept by the dialect:
+//!
+//! * no condition flags — control flow uses compare-and-branch
+//!   ([`MipsIns::Beq`], [`MipsIns::Bne`], [`MipsIns::Blez`],
+//!   [`MipsIns::Bgtz`]) and the set-on-less-than family ([`MipsIns::Slt`],
+//!   [`MipsIns::Slti`]),
+//! * `$zero` (register 0) reads as zero and ignores writes,
+//! * calls write `$ra` ([`MipsIns::Jal`], [`MipsIns::Jalr`]) and the return
+//!   is `JR $ra`,
+//! * 32-bit constants are materialised with `LUI` + `ORI` pairs.
+//!
+//! Unlike real MIPS there are **no branch delay slots** — a documented
+//! simplification; delay slots are a pipeline artefact with no effect on the
+//! data-flow analyses this workspace studies.
+//!
+//! Encoding mirrors `arm32e`'s field scheme: `op[31:26]`,
+//! `a[25:21] b[20:16] c[15:11]`, `imm16[15:0]`, `imm26[25:0]`. Branch and
+//! jump offsets are in words relative to the next instruction.
+
+use crate::{Error, Reg, Result};
+use std::fmt;
+
+/// A `mips32e` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operand fields are self-describing (rd/rs/rt/imm)
+pub enum MipsIns {
+    /// No operation.
+    Nop,
+    /// `rd = rs + rt`.
+    Addu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rt = rs + imm` (signed).
+    Addiu { rt: Reg, rs: Reg, imm: i16 },
+    /// `rd = rs - rt`.
+    Subu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs & rt`.
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rt = rs & imm` (zero-extended).
+    Andi { rt: Reg, rs: Reg, imm: u16 },
+    /// `rd = rs | rt`.
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rt = rs | imm` (zero-extended).
+    Ori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rd = rs ^ rt`.
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rt << sh`.
+    Sll { rd: Reg, rt: Reg, sh: u8 },
+    /// `rd = rt >> sh` (logical).
+    Srl { rd: Reg, rt: Reg, sh: u8 },
+    /// `rd = rs * rt`.
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = (rs < rt) ? 1 : 0` (signed).
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    /// `rt = (rs < imm) ? 1 : 0` (signed).
+    Slti { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = imm << 16`.
+    Lui { rt: Reg, imm: u16 },
+    /// `rt = mem32[base + off]`.
+    Lw { rt: Reg, base: Reg, off: i16 },
+    /// `mem32[base + off] = rt`.
+    Sw { rt: Reg, base: Reg, off: i16 },
+    /// `rt = zext(mem8[base + off])`.
+    Lb { rt: Reg, base: Reg, off: i16 },
+    /// `mem8[base + off] = rt & 0xff`.
+    Sb { rt: Reg, base: Reg, off: i16 },
+    /// `rt = zext(mem16[base + off])`.
+    Lh { rt: Reg, base: Reg, off: i16 },
+    /// `mem16[base + off] = rt & 0xffff`.
+    Sh { rt: Reg, base: Reg, off: i16 },
+    /// Branch by `off` words (from the next insn) when `rs == rt`.
+    Beq { rs: Reg, rt: Reg, off: i16 },
+    /// Branch when `rs != rt`.
+    Bne { rs: Reg, rt: Reg, off: i16 },
+    /// Branch when `rs <= 0` (signed).
+    Blez { rs: Reg, off: i16 },
+    /// Branch when `rs > 0` (signed).
+    Bgtz { rs: Reg, off: i16 },
+    /// Unconditional jump by `off` words from the next insn.
+    J { off: i32 },
+    /// Call: `$ra = next pc`, jump by `off` words from the next insn.
+    Jal { off: i32 },
+    /// Indirect jump `pc = rs`; `JR $ra` is the function return.
+    Jr { rs: Reg },
+    /// Indirect call: `$ra = next pc; pc = rs`.
+    Jalr { rs: Reg },
+}
+
+const OP_SHIFT: u32 = 26;
+const A_SHIFT: u32 = 21;
+const B_SHIFT: u32 = 16;
+const C_SHIFT: u32 = 11;
+
+fn check_reg(r: Reg) -> Result<u32> {
+    if r.0 < 32 {
+        Ok(r.0 as u32)
+    } else {
+        Err(Error::BadRegister { index: r.0 })
+    }
+}
+
+fn pack3(op: u32, a: Reg, b: Reg, c: Reg) -> Result<u32> {
+    Ok((op << OP_SHIFT)
+        | (check_reg(a)? << A_SHIFT)
+        | (check_reg(b)? << B_SHIFT)
+        | (check_reg(c)? << C_SHIFT))
+}
+
+fn pack_imm16(op: u32, a: Reg, b: Reg, imm: u16) -> Result<u32> {
+    Ok((op << OP_SHIFT) | (check_reg(a)? << A_SHIFT) | (check_reg(b)? << B_SHIFT) | imm as u32)
+}
+
+fn field_a(w: u32) -> Reg {
+    Reg(((w >> A_SHIFT) & 0x1f) as u8)
+}
+fn field_b(w: u32) -> Reg {
+    Reg(((w >> B_SHIFT) & 0x1f) as u8)
+}
+fn field_c(w: u32) -> Reg {
+    Reg(((w >> C_SHIFT) & 0x1f) as u8)
+}
+fn imm16(w: u32) -> u16 {
+    (w & 0xffff) as u16
+}
+
+impl MipsIns {
+    /// Encodes the instruction to its 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadRegister`] for register indices outside `0..32`,
+    /// and [`Error::ImmOutOfRange`] for shifts of 32 or more or jump offsets
+    /// outside the signed 26-bit range.
+    pub fn encode(self) -> Result<u32> {
+        use MipsIns::*;
+        Ok(match self {
+            Nop => 0,
+            Addu { rd, rs, rt } => pack3(0x01, rd, rs, rt)?,
+            Addiu { rt, rs, imm } => pack_imm16(0x02, rt, rs, imm as u16)?,
+            Subu { rd, rs, rt } => pack3(0x03, rd, rs, rt)?,
+            And { rd, rs, rt } => pack3(0x04, rd, rs, rt)?,
+            Andi { rt, rs, imm } => pack_imm16(0x05, rt, rs, imm)?,
+            Or { rd, rs, rt } => pack3(0x06, rd, rs, rt)?,
+            Ori { rt, rs, imm } => pack_imm16(0x07, rt, rs, imm)?,
+            Xor { rd, rs, rt } => pack3(0x08, rd, rs, rt)?,
+            Sll { rd, rt, sh } | Srl { rd, rt, sh } => {
+                if sh >= 32 {
+                    return Err(Error::ImmOutOfRange { field: "shift", value: sh as i64 });
+                }
+                let op = if matches!(self, Sll { .. }) { 0x09 } else { 0x0a };
+                pack_imm16(op, rd, rt, sh as u16)?
+            }
+            Mul { rd, rs, rt } => pack3(0x0b, rd, rs, rt)?,
+            Slt { rd, rs, rt } => pack3(0x0c, rd, rs, rt)?,
+            Slti { rt, rs, imm } => pack_imm16(0x0d, rt, rs, imm as u16)?,
+            Lui { rt, imm } => pack_imm16(0x0e, rt, Reg(0), imm)?,
+            Lw { rt, base, off } => pack_imm16(0x0f, rt, base, off as u16)?,
+            Sw { rt, base, off } => pack_imm16(0x10, rt, base, off as u16)?,
+            Lb { rt, base, off } => pack_imm16(0x11, rt, base, off as u16)?,
+            Sb { rt, base, off } => pack_imm16(0x12, rt, base, off as u16)?,
+            Beq { rs, rt, off } => pack_imm16(0x13, rs, rt, off as u16)?,
+            Bne { rs, rt, off } => pack_imm16(0x14, rs, rt, off as u16)?,
+            Blez { rs, off } => pack_imm16(0x15, rs, Reg(0), off as u16)?,
+            Bgtz { rs, off } => pack_imm16(0x16, rs, Reg(0), off as u16)?,
+            J { off } | Jal { off } => {
+                if !(-(1 << 25)..(1 << 25)).contains(&off) {
+                    return Err(Error::ImmOutOfRange { field: "jump offset", value: off as i64 });
+                }
+                let op = if matches!(self, J { .. }) { 0x17 } else { 0x18 };
+                (op << OP_SHIFT) | ((off as u32) & 0x03ff_ffff)
+            }
+            Jr { rs } => pack3(0x19, rs, Reg(0), Reg(0))?,
+            Jalr { rs } => pack3(0x1a, rs, Reg(0), Reg(0))?,
+            Lh { rt, base, off } => pack_imm16(0x1b, rt, base, off as u16)?,
+            Sh { rt, base, off } => pack_imm16(0x1c, rt, base, off as u16)?,
+        })
+    }
+
+    /// Decodes a 32-bit word into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadInstruction`] when the opcode is unknown. `addr`
+    /// is only used to enrich the error.
+    pub fn decode(word: u32, addr: u32) -> Result<MipsIns> {
+        use MipsIns::*;
+        let bad = || Error::BadInstruction { word, addr };
+        let op = word >> OP_SHIFT;
+        let a = field_a(word);
+        let b = field_b(word);
+        let c = field_c(word);
+        Ok(match op {
+            0x00 => Nop,
+            0x01 => Addu { rd: a, rs: b, rt: c },
+            0x02 => Addiu { rt: a, rs: b, imm: imm16(word) as i16 },
+            0x03 => Subu { rd: a, rs: b, rt: c },
+            0x04 => And { rd: a, rs: b, rt: c },
+            0x05 => Andi { rt: a, rs: b, imm: imm16(word) },
+            0x06 => Or { rd: a, rs: b, rt: c },
+            0x07 => Ori { rt: a, rs: b, imm: imm16(word) },
+            0x08 => Xor { rd: a, rs: b, rt: c },
+            0x09 => Sll { rd: a, rt: b, sh: (imm16(word) & 31) as u8 },
+            0x0a => Srl { rd: a, rt: b, sh: (imm16(word) & 31) as u8 },
+            0x0b => Mul { rd: a, rs: b, rt: c },
+            0x0c => Slt { rd: a, rs: b, rt: c },
+            0x0d => Slti { rt: a, rs: b, imm: imm16(word) as i16 },
+            0x0e => Lui { rt: a, imm: imm16(word) },
+            0x0f => Lw { rt: a, base: b, off: imm16(word) as i16 },
+            0x10 => Sw { rt: a, base: b, off: imm16(word) as i16 },
+            0x11 => Lb { rt: a, base: b, off: imm16(word) as i16 },
+            0x12 => Sb { rt: a, base: b, off: imm16(word) as i16 },
+            0x13 => Beq { rs: a, rt: b, off: imm16(word) as i16 },
+            0x14 => Bne { rs: a, rt: b, off: imm16(word) as i16 },
+            0x15 => Blez { rs: a, off: imm16(word) as i16 },
+            0x16 => Bgtz { rs: a, off: imm16(word) as i16 },
+            0x17 | 0x18 => {
+                let raw = word & 0x03ff_ffff;
+                let off = ((raw << 6) as i32) >> 6;
+                if op == 0x17 {
+                    J { off }
+                } else {
+                    Jal { off }
+                }
+            }
+            0x19 => Jr { rs: a },
+            0x1a => Jalr { rs: a },
+            0x1b => Lh { rt: a, base: b, off: imm16(word) as i16 },
+            0x1c => Sh { rt: a, base: b, off: imm16(word) as i16 },
+            _ => return Err(bad()),
+        })
+    }
+
+    /// True when the instruction ends a basic block (any branch/jump/call).
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            MipsIns::Beq { .. }
+                | MipsIns::Bne { .. }
+                | MipsIns::Blez { .. }
+                | MipsIns::Bgtz { .. }
+                | MipsIns::J { .. }
+                | MipsIns::Jal { .. }
+                | MipsIns::Jr { .. }
+                | MipsIns::Jalr { .. }
+        )
+    }
+}
+
+impl fmt::Display for MipsIns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use MipsIns::*;
+        let r = |x: Reg| format!("${}", x.0);
+        match *self {
+            Nop => write!(f, "nop"),
+            Addu { rd, rs, rt } => write!(f, "addu {}, {}, {}", r(rd), r(rs), r(rt)),
+            Addiu { rt, rs, imm } => write!(f, "addiu {}, {}, {imm}", r(rt), r(rs)),
+            Subu { rd, rs, rt } => write!(f, "subu {}, {}, {}", r(rd), r(rs), r(rt)),
+            And { rd, rs, rt } => write!(f, "and {}, {}, {}", r(rd), r(rs), r(rt)),
+            Andi { rt, rs, imm } => write!(f, "andi {}, {}, {imm:#x}", r(rt), r(rs)),
+            Or { rd, rs, rt } => write!(f, "or {}, {}, {}", r(rd), r(rs), r(rt)),
+            Ori { rt, rs, imm } => write!(f, "ori {}, {}, {imm:#x}", r(rt), r(rs)),
+            Xor { rd, rs, rt } => write!(f, "xor {}, {}, {}", r(rd), r(rs), r(rt)),
+            Sll { rd, rt, sh } => write!(f, "sll {}, {}, {sh}", r(rd), r(rt)),
+            Srl { rd, rt, sh } => write!(f, "srl {}, {}, {sh}", r(rd), r(rt)),
+            Mul { rd, rs, rt } => write!(f, "mul {}, {}, {}", r(rd), r(rs), r(rt)),
+            Slt { rd, rs, rt } => write!(f, "slt {}, {}, {}", r(rd), r(rs), r(rt)),
+            Slti { rt, rs, imm } => write!(f, "slti {}, {}, {imm}", r(rt), r(rs)),
+            Lui { rt, imm } => write!(f, "lui {}, {imm:#x}", r(rt)),
+            Lw { rt, base, off } => write!(f, "lw {}, {off}({})", r(rt), r(base)),
+            Sw { rt, base, off } => write!(f, "sw {}, {off}({})", r(rt), r(base)),
+            Lb { rt, base, off } => write!(f, "lb {}, {off}({})", r(rt), r(base)),
+            Sb { rt, base, off } => write!(f, "sb {}, {off}({})", r(rt), r(base)),
+            Lh { rt, base, off } => write!(f, "lh {}, {off}({})", r(rt), r(base)),
+            Sh { rt, base, off } => write!(f, "sh {}, {off}({})", r(rt), r(base)),
+            Beq { rs, rt, off } => write!(f, "beq {}, {}, {off:+}", r(rs), r(rt)),
+            Bne { rs, rt, off } => write!(f, "bne {}, {}, {off:+}", r(rs), r(rt)),
+            Blez { rs, off } => write!(f, "blez {}, {off:+}", r(rs)),
+            Bgtz { rs, off } => write!(f, "bgtz {}, {off:+}", r(rs)),
+            J { off } => write!(f, "j {off:+}"),
+            Jal { off } => write!(f, "jal {off:+}"),
+            Jr { rs } => write!(f, "jr {}", r(rs)),
+            Jalr { rs } => write!(f, "jalr {}", r(rs)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip_basics() {
+        let samples = [
+            MipsIns::Nop,
+            MipsIns::Addu { rd: Reg(2), rs: Reg(4), rt: Reg(5) },
+            MipsIns::Addiu { rt: Reg(29), rs: Reg(29), imm: -32 },
+            MipsIns::Subu { rd: Reg(8), rs: Reg(9), rt: Reg(10) },
+            MipsIns::Andi { rt: Reg(8), rs: Reg(8), imm: 0xff },
+            MipsIns::Ori { rt: Reg(4), rs: Reg(4), imm: 0x1234 },
+            MipsIns::Sll { rd: Reg(8), rt: Reg(8), sh: 2 },
+            MipsIns::Mul { rd: Reg(2), rs: Reg(4), rt: Reg(5) },
+            MipsIns::Slt { rd: Reg(8), rs: Reg(4), rt: Reg(5) },
+            MipsIns::Slti { rt: Reg(8), rs: Reg(4), imm: 64 },
+            MipsIns::Lui { rt: Reg(4), imm: 0x8000 },
+            MipsIns::Lw { rt: Reg(4), base: Reg(29), off: 16 },
+            MipsIns::Sw { rt: Reg(31), base: Reg(29), off: -4 },
+            MipsIns::Lb { rt: Reg(8), base: Reg(4), off: 0 },
+            MipsIns::Sb { rt: Reg(8), base: Reg(5), off: 1 },
+            MipsIns::Lh { rt: Reg(8), base: Reg(4), off: 2 },
+            MipsIns::Sh { rt: Reg(8), base: Reg(5), off: -2 },
+            MipsIns::Beq { rs: Reg(4), rt: Reg(0), off: 8 },
+            MipsIns::Bne { rs: Reg(8), rt: Reg(9), off: -3 },
+            MipsIns::Blez { rs: Reg(2), off: 5 },
+            MipsIns::Bgtz { rs: Reg(2), off: -5 },
+            MipsIns::J { off: 1000 },
+            MipsIns::Jal { off: -1000 },
+            MipsIns::Jr { rs: Reg(31) },
+            MipsIns::Jalr { rs: Reg(25) },
+        ];
+        for ins in samples {
+            let w = ins.encode().unwrap();
+            assert_eq!(MipsIns::decode(w, 0).unwrap(), ins, "word {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let e = MipsIns::Addu { rd: Reg(32), rs: Reg(0), rt: Reg(0) }.encode().unwrap_err();
+        assert_eq!(e, Error::BadRegister { index: 32 });
+    }
+
+    #[test]
+    fn jump_offset_bounds() {
+        assert!(MipsIns::Jal { off: (1 << 25) - 1 }.encode().is_ok());
+        assert!(MipsIns::Jal { off: -(1 << 25) }.encode().is_ok());
+        assert!(MipsIns::Jal { off: 1 << 25 }.encode().is_err());
+        assert!(MipsIns::J { off: -(1 << 25) - 1 }.encode().is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let word = 0x2fu32 << 26;
+        assert_eq!(
+            MipsIns::decode(word, 4).unwrap_err(),
+            Error::BadInstruction { word, addr: 4 }
+        );
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(MipsIns::Jr { rs: Reg(31) }.is_terminator());
+        assert!(MipsIns::Beq { rs: Reg(0), rt: Reg(0), off: 0 }.is_terminator());
+        assert!(!MipsIns::Lw { rt: Reg(2), base: Reg(29), off: 0 }.is_terminator());
+    }
+
+    #[test]
+    fn display_follows_mips_syntax() {
+        assert_eq!(
+            MipsIns::Lw { rt: Reg(4), base: Reg(29), off: 16 }.to_string(),
+            "lw $4, 16($29)"
+        );
+        assert_eq!(MipsIns::Jal { off: 4 }.to_string(), "jal +4");
+    }
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg)
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_three_reg(op in 0u8..6, a in arb_reg(), b in arb_reg(), c in arb_reg()) {
+            let ins = match op {
+                0 => MipsIns::Addu { rd: a, rs: b, rt: c },
+                1 => MipsIns::Subu { rd: a, rs: b, rt: c },
+                2 => MipsIns::And { rd: a, rs: b, rt: c },
+                3 => MipsIns::Or { rd: a, rs: b, rt: c },
+                4 => MipsIns::Xor { rd: a, rs: b, rt: c },
+                _ => MipsIns::Slt { rd: a, rs: b, rt: c },
+            };
+            prop_assert_eq!(MipsIns::decode(ins.encode().unwrap(), 0).unwrap(), ins);
+        }
+
+        #[test]
+        fn roundtrip_mem(kind in 0u8..4, t in arb_reg(), n in arb_reg(), off in any::<i16>()) {
+            let ins = match kind {
+                0 => MipsIns::Lw { rt: t, base: n, off },
+                1 => MipsIns::Sw { rt: t, base: n, off },
+                2 => MipsIns::Lb { rt: t, base: n, off },
+                _ => MipsIns::Sb { rt: t, base: n, off },
+            };
+            prop_assert_eq!(MipsIns::decode(ins.encode().unwrap(), 0).unwrap(), ins);
+        }
+
+        #[test]
+        fn roundtrip_jumps(call in any::<bool>(), off in -(1i32 << 25)..(1i32 << 25)) {
+            let ins = if call { MipsIns::Jal { off } } else { MipsIns::J { off } };
+            prop_assert_eq!(MipsIns::decode(ins.encode().unwrap(), 0).unwrap(), ins);
+        }
+
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = MipsIns::decode(word, 0);
+        }
+    }
+}

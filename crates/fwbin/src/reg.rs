@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// An architectural register index.
+///
+/// The meaning of the index depends on the enclosing [`Arch`](crate::Arch):
+/// `arm32e` uses `0..=15` (with [`Reg::SP`], [`Reg::LR`], [`Reg::PC`] at the
+/// ARM positions) and `mips32e` uses `0..=31` (with `$zero` at index 0).
+///
+/// # Examples
+///
+/// ```
+/// use dtaint_fwbin::Reg;
+/// assert_eq!(Reg::SP, Reg(13));
+/// assert_eq!(Reg(5).0, 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// ARM stack pointer (`R13`).
+    pub const SP: Reg = Reg(13);
+    /// ARM link register (`R14`).
+    pub const LR: Reg = Reg(14);
+    /// ARM program counter (`R15`).
+    pub const PC: Reg = Reg(15);
+    /// ARM frame pointer (`R11`), as used in the paper's listings.
+    pub const FP: Reg = Reg(11);
+
+    /// MIPS zero register (`$0`), hard-wired to zero.
+    pub const ZERO: Reg = Reg(0);
+    /// MIPS return-value register (`$v0`).
+    pub const V0: Reg = Reg(2);
+    /// MIPS first argument register (`$a0`).
+    pub const A0: Reg = Reg(4);
+    /// MIPS stack pointer (`$29`).
+    pub const MSP: Reg = Reg(29);
+    /// MIPS return-address register (`$31`).
+    pub const RA: Reg = Reg(31);
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u8> for Reg {
+    fn from(v: u8) -> Self {
+        Reg(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constants_match_indices() {
+        assert_eq!(Reg::SP.0, 13);
+        assert_eq!(Reg::LR.0, 14);
+        assert_eq!(Reg::PC.0, 15);
+        assert_eq!(Reg::ZERO.0, 0);
+        assert_eq!(Reg::RA.0, 31);
+        assert_eq!(Reg::MSP.0, 29);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_ordered() {
+        assert_eq!(Reg(7).to_string(), "x7");
+        assert!(Reg(1) < Reg(2));
+        assert_eq!(Reg::from(9u8), Reg(9));
+    }
+}

@@ -1,0 +1,788 @@
+//! Lowering the program DSL to `arm32e` / `mips32e` machine code.
+//!
+//! The generated code is deliberately "compiler-shaped": parameters are
+//! spilled to the frame in the prologue, every statement reloads its
+//! operands from the stack, conditionals compile to compare-and-branch
+//! in the target dialect's idiom (flags on ARM, `SLT`+branch on MIPS),
+//! and copy loops produce the exact load/store/increment/branch cycles
+//! the paper's loop-copy sink detector looks for.
+
+use crate::spec::{Arith, BufId, Callee, Cmp, FnSpec, LocalId, ProgramSpec, Stmt, Val};
+use dtaint_fwbin::arm::{ArmIns, Cond};
+use dtaint_fwbin::asm::Assembler;
+use dtaint_fwbin::link::BinaryBuilder;
+use dtaint_fwbin::mips::MipsIns;
+use dtaint_fwbin::{Arch, Binary, Reg, Result};
+use std::collections::BTreeSet;
+
+/// Bytes reserved at the bottom of every frame for outgoing stack
+/// arguments (arguments 5..=10 of calls).
+const OUT_ARGS_BYTES: u32 = 24;
+
+/// Compiles a program for the given architecture.
+///
+/// # Errors
+///
+/// Propagates linker errors (duplicate/undefined symbols, out-of-range
+/// branches).
+///
+/// # Panics
+///
+/// Panics on DSL constructs the target cannot encode — more than four
+/// register parameters, more than ten call arguments, or a variable
+/// shift amount on MIPS (which has immediate shifts only). These are
+/// generator bugs, not input errors.
+pub fn compile(spec: &ProgramSpec, arch: Arch) -> Result<Binary> {
+    let mut builder = BinaryBuilder::new(arch);
+    for (label, value) in &spec.strings {
+        builder.add_cstring(label, value);
+    }
+    for (label, size) in &spec.globals {
+        builder.add_bss(label, *size);
+    }
+    for import in collect_imports(spec) {
+        builder.add_import(&import);
+    }
+    for f in &spec.functions {
+        let asm = FnCodegen::new(arch, f).emit();
+        builder.add_function(&f.name, asm);
+    }
+    if spec.functions.iter().any(|f| f.name == "main") {
+        builder.set_entry("main");
+    }
+    builder.link()
+}
+
+fn collect_imports(spec: &ProgramSpec) -> BTreeSet<String> {
+    fn walk(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+        for s in stmts {
+            match s {
+                Stmt::Call { callee: Callee::Import(name), .. } => {
+                    out.insert(name.clone());
+                }
+                Stmt::If { then, els, .. } => {
+                    walk(then, out);
+                    walk(els, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    for f in &spec.functions {
+        walk(&f.body, &mut out);
+    }
+    out
+}
+
+struct FnCodegen<'a> {
+    arch: Arch,
+    f: &'a FnSpec,
+    asm: Assembler,
+    frame: u32,
+    buf_offs: Vec<u32>,
+    locals_base: u32,
+    params_base: u32,
+    lr_off: u32,
+    label_n: u32,
+}
+
+impl<'a> FnCodegen<'a> {
+    fn new(arch: Arch, f: &'a FnSpec) -> Self {
+        assert!(f.n_params <= 4, "{}: at most 4 register params", f.name);
+        let mut off = OUT_ARGS_BYTES;
+        let mut buf_offs = Vec::with_capacity(f.bufs.len());
+        for &size in &f.bufs {
+            buf_offs.push(off);
+            off += (size + 7) & !7;
+        }
+        let locals_base = off;
+        off += 4 * f.n_locals as u32;
+        let params_base = off;
+        off += 4 * 4;
+        let lr_off = off;
+        off += 4;
+        let frame = (off + 7) & !7;
+        FnCodegen {
+            arch,
+            f,
+            asm: Assembler::new(arch),
+            frame,
+            buf_offs,
+            locals_base,
+            params_base,
+            lr_off,
+            label_n: 0,
+        }
+    }
+
+    fn fresh_label(&mut self, tag: &str) -> String {
+        self.label_n += 1;
+        format!("__{tag}_{}", self.label_n)
+    }
+
+    fn scratch(&self, i: usize) -> Reg {
+        self.arch.scratch_regs()[i]
+    }
+
+    fn sp(&self) -> Reg {
+        self.arch.sp()
+    }
+
+    // ---- primitive emitters -------------------------------------------
+
+    fn emit_load_word(&mut self, rt: Reg, base: Reg, off: i16) {
+        match self.arch {
+            Arch::Arm32e => self.asm.arm(ArmIns::Ldr { rt, rn: base, off }),
+            Arch::Mips32e => self.asm.mips(MipsIns::Lw { rt, base, off }),
+        }
+    }
+
+    fn emit_store_word(&mut self, rt: Reg, base: Reg, off: i16) {
+        match self.arch {
+            Arch::Arm32e => self.asm.arm(ArmIns::Str { rt, rn: base, off }),
+            Arch::Mips32e => self.asm.mips(MipsIns::Sw { rt, base, off }),
+        }
+    }
+
+    fn emit_load_byte(&mut self, rt: Reg, base: Reg, off: i16) {
+        match self.arch {
+            Arch::Arm32e => self.asm.arm(ArmIns::Ldrb { rt, rn: base, off }),
+            Arch::Mips32e => self.asm.mips(MipsIns::Lb { rt, base, off }),
+        }
+    }
+
+    fn emit_store_byte(&mut self, rt: Reg, base: Reg, off: i16) {
+        match self.arch {
+            Arch::Arm32e => self.asm.arm(ArmIns::Strb { rt, rn: base, off }),
+            Arch::Mips32e => self.asm.mips(MipsIns::Sb { rt, base, off }),
+        }
+    }
+
+    fn emit_load_half(&mut self, rt: Reg, base: Reg, off: i16) {
+        match self.arch {
+            Arch::Arm32e => self.asm.arm(ArmIns::Ldrh { rt, rn: base, off }),
+            Arch::Mips32e => self.asm.mips(MipsIns::Lh { rt, base, off }),
+        }
+    }
+
+    fn emit_store_half(&mut self, rt: Reg, base: Reg, off: i16) {
+        match self.arch {
+            Arch::Arm32e => self.asm.arm(ArmIns::Strh { rt, rn: base, off }),
+            Arch::Mips32e => self.asm.mips(MipsIns::Sh { rt, base, off }),
+        }
+    }
+
+    fn emit_add_imm(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        match self.arch {
+            Arch::Arm32e => self.asm.arm(ArmIns::AddI { rd, rn, imm }),
+            Arch::Mips32e => self.asm.mips(MipsIns::Addiu { rt: rd, rs: rn, imm }),
+        }
+    }
+
+    /// Branches to `label` when `lhs <op> rhs` is **false** (the idiom
+    /// for skipping a guarded block).
+    fn emit_branch_unless(&mut self, lhs: Reg, op: Cmp, rhs: Reg, label: &str) {
+        match self.arch {
+            Arch::Arm32e => {
+                self.asm.arm(ArmIns::CmpR { rn: lhs, rm: rhs });
+                let cond = match op {
+                    Cmp::Eq => Cond::Ne,
+                    Cmp::Ne => Cond::Eq,
+                    Cmp::Lt => Cond::Ge,
+                    Cmp::Ge => Cond::Lt,
+                    Cmp::Le => Cond::Gt,
+                    Cmp::Gt => Cond::Le,
+                };
+                self.asm.arm_b(cond, label);
+            }
+            Arch::Mips32e => {
+                let t = self.scratch(6);
+                match op {
+                    Cmp::Eq => self.asm.mips_bne(lhs, rhs, label),
+                    Cmp::Ne => self.asm.mips_beq(lhs, rhs, label),
+                    Cmp::Lt => {
+                        // !(lhs < rhs) → slt t,lhs,rhs; beq t,$0,label
+                        self.asm.mips(MipsIns::Slt { rd: t, rs: lhs, rt: rhs });
+                        self.asm.mips_beq(t, Reg::ZERO, label);
+                    }
+                    Cmp::Ge => {
+                        self.asm.mips(MipsIns::Slt { rd: t, rs: lhs, rt: rhs });
+                        self.asm.mips_bne(t, Reg::ZERO, label);
+                    }
+                    Cmp::Le => {
+                        // !(lhs <= rhs) == rhs < lhs
+                        self.asm.mips(MipsIns::Slt { rd: t, rs: rhs, rt: lhs });
+                        self.asm.mips_bne(t, Reg::ZERO, label);
+                    }
+                    Cmp::Gt => {
+                        self.asm.mips(MipsIns::Slt { rd: t, rs: rhs, rt: lhs });
+                        self.asm.mips_beq(t, Reg::ZERO, label);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Branches to `label` when `lhs <op> rhs` is **true**.
+    fn emit_branch_if(&mut self, lhs: Reg, op: Cmp, rhs: Reg, label: &str) {
+        let inverse = match op {
+            Cmp::Eq => Cmp::Ne,
+            Cmp::Ne => Cmp::Eq,
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Ge => Cmp::Lt,
+            Cmp::Le => Cmp::Gt,
+            Cmp::Gt => Cmp::Le,
+        };
+        self.emit_branch_unless(lhs, inverse, rhs, label);
+    }
+
+    // ---- value evaluation ---------------------------------------------
+
+    fn local_off(&self, l: LocalId) -> i16 {
+        (self.locals_base + 4 * l.0 as u32) as i16
+    }
+
+    fn param_off(&self, i: u8) -> i16 {
+        (self.params_base + 4 * i as u32) as i16
+    }
+
+    fn buf_off(&self, b: BufId) -> i16 {
+        self.buf_offs[b.0 as usize] as i16
+    }
+
+    fn eval(&mut self, v: &Val, rd: Reg) {
+        match v {
+            Val::Const(c) => self.asm.load_const(rd, *c),
+            Val::Param(i) => {
+                assert!(*i < self.f.n_params, "{}: param {i} out of range", self.f.name);
+                let off = self.param_off(*i);
+                let sp = self.sp();
+                self.emit_load_word(rd, sp, off);
+            }
+            Val::Local(l) => {
+                let off = self.local_off(*l);
+                let sp = self.sp();
+                self.emit_load_word(rd, sp, off);
+            }
+            Val::BufAddr(b) => {
+                let off = self.buf_off(*b);
+                let sp = self.sp();
+                self.emit_add_imm(rd, sp, off);
+            }
+            Val::StrAddr(l) | Val::GlobalAddr(l) | Val::FnAddr(l) => self.asm.load_addr(rd, l),
+        }
+    }
+
+    fn store_local(&mut self, l: LocalId, src: Reg) {
+        let off = self.local_off(l);
+        let sp = self.sp();
+        self.emit_store_word(src, sp, off);
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn emit_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.emit_stmt(s);
+        }
+    }
+
+    fn emit_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Set { dst, src } => {
+                let r = self.scratch(0);
+                self.eval(src, r);
+                self.store_local(*dst, r);
+            }
+            Stmt::Bin { dst, op, lhs, rhs } => {
+                let (a, b) = (self.scratch(0), self.scratch(1));
+                self.eval(lhs, a);
+                self.eval(rhs, b);
+                self.emit_arith(*op, a, b, rhs);
+                self.store_local(*dst, a);
+            }
+            Stmt::Store { base, off, src } => {
+                let (b, v) = (self.scratch(0), self.scratch(1));
+                self.eval(base, b);
+                self.eval(src, v);
+                self.emit_store_word(v, b, *off);
+            }
+            Stmt::Load { dst, base, off } => {
+                let b = self.scratch(0);
+                self.eval(base, b);
+                self.emit_load_word(b, b, *off);
+                self.store_local(*dst, b);
+            }
+            Stmt::StoreByte { base, off, src } => {
+                let (b, v) = (self.scratch(0), self.scratch(1));
+                self.eval(base, b);
+                self.eval(src, v);
+                self.emit_store_byte(v, b, *off);
+            }
+            Stmt::LoadByte { dst, base, off } => {
+                let b = self.scratch(0);
+                self.eval(base, b);
+                self.emit_load_byte(b, b, *off);
+                self.store_local(*dst, b);
+            }
+            Stmt::StoreHalf { base, off, src } => {
+                let (b, v) = (self.scratch(0), self.scratch(1));
+                self.eval(base, b);
+                self.eval(src, v);
+                self.emit_store_half(v, b, *off);
+            }
+            Stmt::LoadHalf { dst, base, off } => {
+                let b = self.scratch(0);
+                self.eval(base, b);
+                self.emit_load_half(b, b, *off);
+                self.store_local(*dst, b);
+            }
+            Stmt::Call { callee, args, ret } => {
+                self.emit_args(args);
+                match callee {
+                    Callee::Import(n) | Callee::Func(n) => self.asm.call(n),
+                }
+                if let Some(l) = ret {
+                    let rr = self.arch.ret_reg();
+                    self.store_local(*l, rr);
+                }
+            }
+            Stmt::CallIndirect { fn_base, off, args, ret } => {
+                // Load the function pointer first (the args may clobber
+                // low scratch registers).
+                let fp = self.scratch(6);
+                self.eval(fn_base, fp);
+                self.emit_load_word(fp, fp, *off);
+                self.emit_args(args);
+                self.asm.call_reg(fp);
+                if let Some(l) = ret {
+                    let rr = self.arch.ret_reg();
+                    self.store_local(*l, rr);
+                }
+            }
+            Stmt::If { lhs, op, rhs, then, els } => {
+                let (a, b) = (self.scratch(0), self.scratch(1));
+                self.eval(lhs, a);
+                self.eval(rhs, b);
+                let else_label = self.fresh_label("else");
+                let end_label = self.fresh_label("endif");
+                self.emit_branch_unless(a, *op, b, &else_label);
+                self.emit_stmts(then);
+                self.asm.jump(&end_label);
+                self.asm.label(&else_label);
+                self.emit_stmts(els);
+                self.asm.label(&end_label);
+            }
+            Stmt::CopyLoop { dst, src, bound } => {
+                let (d, s) = (self.scratch(0), self.scratch(1));
+                self.eval(dst, d);
+                self.eval(src, s);
+                let byte = self.scratch(2);
+                let head = self.fresh_label("copy");
+                match bound {
+                    None => {
+                        self.asm.label(&head);
+                        self.emit_load_byte(byte, s, 0);
+                        self.emit_store_byte(byte, d, 0);
+                        self.emit_add_imm(s, s, 1);
+                        self.emit_add_imm(d, d, 1);
+                        // loop while byte != 0
+                        let zero = self.scratch(3);
+                        self.asm.load_const(zero, 0);
+                        self.emit_branch_if(byte, Cmp::Ne, zero, &head);
+                    }
+                    Some(n) => {
+                        // Compare the moving source pointer against an
+                        // end pointer, the way compilers lower counted
+                        // copies (`while (s < end)`).
+                        let end = self.scratch(3);
+                        self.eval(n, end);
+                        match self.arch {
+                            Arch::Arm32e => {
+                                self.asm.arm(ArmIns::AddR { rd: end, rn: end, rm: s })
+                            }
+                            Arch::Mips32e => {
+                                self.asm.mips(MipsIns::Addu { rd: end, rs: end, rt: s })
+                            }
+                        }
+                        self.asm.label(&head);
+                        self.emit_load_byte(byte, s, 0);
+                        self.emit_store_byte(byte, d, 0);
+                        self.emit_add_imm(s, s, 1);
+                        self.emit_add_imm(d, d, 1);
+                        self.emit_branch_if(s, Cmp::Lt, end, &head);
+                    }
+                }
+            }
+            Stmt::Return(v) => {
+                if let Some(v) = v {
+                    let rr = self.arch.ret_reg();
+                    self.eval(v, rr);
+                }
+                self.asm.jump("__epilogue");
+            }
+        }
+    }
+
+    fn emit_arith(&mut self, op: Arith, a: Reg, b: Reg, rhs: &Val) {
+        match self.arch {
+            Arch::Arm32e => {
+                let ins = match op {
+                    Arith::Add => ArmIns::AddR { rd: a, rn: a, rm: b },
+                    Arith::Sub => ArmIns::SubR { rd: a, rn: a, rm: b },
+                    Arith::Mul => ArmIns::Mul { rd: a, rn: a, rm: b },
+                    Arith::And => ArmIns::AndR { rd: a, rn: a, rm: b },
+                    Arith::Or => ArmIns::OrrR { rd: a, rn: a, rm: b },
+                    Arith::Xor => ArmIns::EorR { rd: a, rn: a, rm: b },
+                    Arith::Shl => ArmIns::LslR { rd: a, rn: a, rm: b },
+                    Arith::Shr => ArmIns::LsrR { rd: a, rn: a, rm: b },
+                };
+                self.asm.arm(ins);
+            }
+            Arch::Mips32e => {
+                let ins = match op {
+                    Arith::Add => MipsIns::Addu { rd: a, rs: a, rt: b },
+                    Arith::Sub => MipsIns::Subu { rd: a, rs: a, rt: b },
+                    Arith::Mul => MipsIns::Mul { rd: a, rs: a, rt: b },
+                    Arith::And => MipsIns::And { rd: a, rs: a, rt: b },
+                    Arith::Or => MipsIns::Or { rd: a, rs: a, rt: b },
+                    Arith::Xor => MipsIns::Xor { rd: a, rs: a, rt: b },
+                    Arith::Shl | Arith::Shr => {
+                        let Val::Const(sh) = rhs else {
+                            panic!("mips32e has immediate shifts only");
+                        };
+                        let sh = (*sh & 31) as u8;
+                        if op == Arith::Shl {
+                            MipsIns::Sll { rd: a, rt: a, sh }
+                        } else {
+                            MipsIns::Srl { rd: a, rt: a, sh }
+                        }
+                    }
+                };
+                self.asm.mips(ins);
+            }
+        }
+    }
+
+    fn emit_args(&mut self, args: &[Val]) {
+        assert!(args.len() <= 10, "at most 10 call arguments");
+        // Evaluate into scratch first — argument registers may be needed
+        // as sources (parameters live in the frame, so this is safe).
+        let n_reg = args.len().min(4);
+        for (i, a) in args.iter().take(4).enumerate() {
+            let s = self.scratch(i);
+            self.eval(a, s);
+        }
+        // Stack arguments at [SP + 0..).
+        for (k, a) in args.iter().skip(4).enumerate() {
+            let s = self.scratch(4);
+            self.eval(a, s);
+            let sp = self.sp();
+            self.emit_store_word(s, sp, (4 * k) as i16);
+        }
+        let arg_regs = self.arch.arg_regs();
+        for (i, &dst) in arg_regs.iter().take(n_reg).enumerate() {
+            let s = self.scratch(i);
+            self.asm.mov(dst, s);
+        }
+    }
+
+    // ---- top level -------------------------------------------------------
+
+    fn emit(mut self) -> Assembler {
+        let sp = self.sp();
+        let lr = self.arch.link_reg();
+        // Prologue.
+        match self.arch {
+            Arch::Arm32e => self.asm.arm(ArmIns::SubI { rd: sp, rn: sp, imm: self.frame as i16 }),
+            Arch::Mips32e => {
+                self.asm.mips(MipsIns::Addiu { rt: sp, rs: sp, imm: -(self.frame as i16) })
+            }
+        }
+        let lr_off = self.lr_off as i16;
+        self.emit_store_word(lr, sp, lr_off);
+        let arg_regs = self.arch.arg_regs();
+        for i in 0..self.f.n_params {
+            let off = self.param_off(i);
+            self.emit_store_word(arg_regs[i as usize], sp, off);
+        }
+        // Body.
+        let body = self.f.body.clone();
+        self.emit_stmts(&body);
+        // Epilogue.
+        self.asm.label("__epilogue");
+        self.emit_load_word(lr, sp, lr_off);
+        match self.arch {
+            Arch::Arm32e => self.asm.arm(ArmIns::AddI { rd: sp, rn: sp, imm: self.frame as i16 }),
+            Arch::Mips32e => {
+                self.asm.mips(MipsIns::Addiu { rt: sp, rs: sp, imm: self.frame as i16 })
+            }
+        }
+        self.asm.ret();
+        self.asm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FnSpec, ProgramSpec, Stmt, Val};
+    use dtaint_core::Dtaint;
+
+    /// A program copying an environment variable into a small stack
+    /// buffer — compiles on both architectures and is detected by the
+    /// full pipeline.
+    fn vulnerable_program() -> ProgramSpec {
+        let mut p = ProgramSpec::new("t");
+        p.string("env_name", "PATH");
+        let mut f = FnSpec::new("entry", 0);
+        let buf = f.buf(32);
+        let v = f.local();
+        f.push(Stmt::Call {
+            callee: Callee::Import("getenv".into()),
+            args: vec![Val::StrAddr("env_name".into())],
+            ret: Some(v),
+        });
+        f.push(Stmt::Call {
+            callee: Callee::Import("strcpy".into()),
+            args: vec![Val::BufAddr(buf), Val::Local(v)],
+            ret: None,
+        });
+        f.push(Stmt::Return(None));
+        p.func(f);
+        p
+    }
+
+    #[test]
+    fn compiles_and_detects_on_both_arches() {
+        for arch in [Arch::Arm32e, Arch::Mips32e] {
+            let bin = compile(&vulnerable_program(), arch).unwrap();
+            assert!(bin.function("entry").is_some());
+            let r = Dtaint::new().analyze(&bin, "t").unwrap();
+            assert_eq!(r.vulnerabilities(), 1, "{arch}: getenv→strcpy must be found");
+        }
+    }
+
+    #[test]
+    fn sanitized_if_compiles_to_guarded_flow() {
+        // n = recv(...); if (n < 16) memcpy(buf, src, n)
+        let mut p = ProgramSpec::new("t");
+        let mut f = FnSpec::new("entry", 0);
+        let big = f.buf(256);
+        let small = f.buf(16);
+        let n = f.local();
+        f.push(Stmt::Call {
+            callee: Callee::Import("recv".into()),
+            args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(256), Val::Const(0)],
+            ret: Some(n),
+        });
+        f.push(Stmt::If {
+            lhs: Val::Local(n),
+            op: Cmp::Lt,
+            rhs: Val::Const(16),
+            then: vec![Stmt::Call {
+                callee: Callee::Import("memcpy".into()),
+                args: vec![Val::BufAddr(small), Val::BufAddr(big), Val::Local(n)],
+                ret: None,
+            }],
+            els: vec![],
+        });
+        f.push(Stmt::Return(None));
+        p.func(f);
+        for arch in [Arch::Arm32e, Arch::Mips32e] {
+            let bin = compile(&p, arch).unwrap();
+            let r = Dtaint::new().analyze(&bin, "t").unwrap();
+            assert_eq!(r.vulnerabilities(), 0, "{arch}: guarded memcpy is sanitized");
+            assert!(r.findings.iter().any(|f| f.sanitized), "{arch}: path still observed");
+        }
+    }
+
+    #[test]
+    fn copy_loop_produces_loop_copy_sink() {
+        let mut p = ProgramSpec::new("t");
+        let mut f = FnSpec::new("entry", 0);
+        let big = f.buf(2048);
+        let small = f.buf(48);
+        let n = f.local();
+        f.push(Stmt::Call {
+            callee: Callee::Import("read".into()),
+            args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(2048)],
+            ret: Some(n),
+        });
+        f.push(Stmt::CopyLoop { dst: Val::BufAddr(small), src: Val::BufAddr(big), bound: None });
+        f.push(Stmt::Return(None));
+        p.func(f);
+        for arch in [Arch::Arm32e, Arch::Mips32e] {
+            let bin = compile(&p, arch).unwrap();
+            let r = Dtaint::new().analyze(&bin, "t").unwrap();
+            let loopy: Vec<_> =
+                r.vulnerable_paths().into_iter().filter(|f| f.sink == "loop-copy").collect();
+            assert!(!loopy.is_empty(), "{arch}: unbounded loop copy must be flagged");
+        }
+    }
+
+    #[test]
+    fn bounded_copy_loop_is_sanitized() {
+        let mut p = ProgramSpec::new("t");
+        let mut f = FnSpec::new("entry", 0);
+        let big = f.buf(2048);
+        let small = f.buf(48);
+        f.push(Stmt::Call {
+            callee: Callee::Import("read".into()),
+            args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(2048)],
+            ret: None,
+        });
+        f.push(Stmt::CopyLoop {
+            dst: Val::BufAddr(small),
+            src: Val::BufAddr(big),
+            bound: Some(Val::Const(48)),
+        });
+        f.push(Stmt::Return(None));
+        p.func(f);
+        for arch in [Arch::Arm32e, Arch::Mips32e] {
+            let bin = compile(&p, arch).unwrap();
+            let r = Dtaint::new().analyze(&bin, "t").unwrap();
+            assert!(
+                !r.vulnerable_paths().iter().any(|f| f.sink == "loop-copy"),
+                "{arch}: counted copy loop is not a vulnerability"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_function_params_flow() {
+        // entry: v = getenv(..); helper(v);  helper(p0): system(p0)
+        let mut p = ProgramSpec::new("t");
+        p.string("name", "CMD");
+        let mut helper = FnSpec::new("helper", 1);
+        helper.push(Stmt::Call {
+            callee: Callee::Import("system".into()),
+            args: vec![Val::Param(0)],
+            ret: None,
+        });
+        helper.push(Stmt::Return(None));
+        let mut entry = FnSpec::new("entry", 0);
+        let v = entry.local();
+        entry.push(Stmt::Call {
+            callee: Callee::Import("getenv".into()),
+            args: vec![Val::StrAddr("name".into())],
+            ret: Some(v),
+        });
+        entry.push(Stmt::Call {
+            callee: Callee::Func("helper".into()),
+            args: vec![Val::Local(v)],
+            ret: None,
+        });
+        entry.push(Stmt::Return(None));
+        p.func(entry);
+        p.func(helper);
+        for arch in [Arch::Arm32e, Arch::Mips32e] {
+            let bin = compile(&p, arch).unwrap();
+            let r = Dtaint::new().analyze(&bin, "t").unwrap();
+            assert_eq!(r.vulnerabilities(), 1, "{arch}");
+            assert_eq!(r.vulnerable_paths()[0].sink_fn, "helper");
+        }
+    }
+
+    #[test]
+    fn indirect_call_dispatch_compiles_and_resolves() {
+        // install(ctx): ctx->fn = &handler; ctx->buf = getenv(..)
+        // dispatch(ctx): uses ctx fields, then (*ctx->fn)(ctx)
+        // handler(ctx): system(ctx->buf)
+        let mut p = ProgramSpec::new("t");
+        p.string("name", "CMD");
+        p.global("g_ctx", 64);
+
+        let mut handler = FnSpec::new("handler", 1);
+        let cmd = handler.local();
+        handler.push(Stmt::Load { dst: cmd, base: Val::Param(0), off: 0x10 });
+        handler.push(Stmt::Call {
+            callee: Callee::Import("system".into()),
+            args: vec![Val::Local(cmd)],
+            ret: None,
+        });
+        handler.push(Stmt::Return(None));
+
+        let mut install = FnSpec::new("install", 1);
+        let v = install.local();
+        install.push(Stmt::Store {
+            base: Val::Param(0),
+            off: 8,
+            src: Val::FnAddr("handler".into()),
+        });
+        install.push(Stmt::Call {
+            callee: Callee::Import("getenv".into()),
+            args: vec![Val::StrAddr("name".into())],
+            ret: Some(v),
+        });
+        install.push(Stmt::Store { base: Val::Param(0), off: 0x10, src: Val::Local(v) });
+        install.push(Stmt::Return(None));
+
+        let mut dispatch = FnSpec::new("dispatch", 1);
+        let tmp = dispatch.local();
+        dispatch.push(Stmt::Load { dst: tmp, base: Val::Param(0), off: 0x10 });
+        dispatch.push(Stmt::CallIndirect {
+            fn_base: Val::Param(0),
+            off: 8,
+            args: vec![Val::Param(0)],
+            ret: None,
+        });
+        dispatch.push(Stmt::Return(None));
+
+        let mut entry = FnSpec::new("entry", 0);
+        entry.push(Stmt::Call {
+            callee: Callee::Func("install".into()),
+            args: vec![Val::GlobalAddr("g_ctx".into())],
+            ret: None,
+        });
+        entry.push(Stmt::Call {
+            callee: Callee::Func("dispatch".into()),
+            args: vec![Val::GlobalAddr("g_ctx".into())],
+            ret: None,
+        });
+        entry.push(Stmt::Return(None));
+
+        p.func(entry);
+        p.func(install);
+        p.func(dispatch);
+        p.func(handler);
+        for arch in [Arch::Arm32e, Arch::Mips32e] {
+            let bin = compile(&p, arch).unwrap();
+            let r = Dtaint::new().analyze(&bin, "t").unwrap();
+            assert!(r.resolved_indirect >= 1, "{arch}: indirect call resolved");
+        }
+    }
+
+    #[test]
+    fn stack_arguments_reach_the_callee() {
+        // callee(p0..p3) + 2 stack args; returns arg5 via memory read.
+        let mut p = ProgramSpec::new("t");
+        let mut many = FnSpec::new("many", 4);
+        // Return p0 + p3 (register args exercise).
+        let acc = many.local();
+        many.push(Stmt::Bin { dst: acc, op: Arith::Add, lhs: Val::Param(0), rhs: Val::Param(3) });
+        many.push(Stmt::Return(Some(Val::Local(acc))));
+        let mut entry = FnSpec::new("entry", 0);
+        let r = entry.local();
+        entry.push(Stmt::Call {
+            callee: Callee::Func("many".into()),
+            args: vec![
+                Val::Const(1),
+                Val::Const(2),
+                Val::Const(3),
+                Val::Const(4),
+                Val::Const(5),
+                Val::Const(6),
+            ],
+            ret: Some(r),
+        });
+        entry.push(Stmt::Return(Some(Val::Local(r))));
+        p.func(entry);
+        p.func(many);
+        for arch in [Arch::Arm32e, Arch::Mips32e] {
+            let bin = compile(&p, arch).unwrap();
+            assert!(bin.function("many").is_some(), "{arch}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic firmware generation with planted ground truth.
+//!
+//! The paper evaluates DTaint on six proprietary vendor images
+//! (Table II) that cannot be redistributed. This crate substitutes them
+//! with *generated* firmware whose statistical shape matches the paper's
+//! — function counts, block counts, call-graph edge densities, source/
+//! sink mixes — and whose vulnerabilities are **planted with ground
+//! truth**, so detection results can be scored exactly:
+//!
+//! * [`spec`] — a C-shaped program DSL,
+//! * [`codegen`] — lowering to `arm32e`/`mips32e` machine code,
+//! * [`templates`] — taint-style vulnerability templates (every
+//!   source/sink pair of Tables IV & V, loop copies, alias-carried and
+//!   indirect-call-carried flows) plus their sanitised twins,
+//! * [`filler`] — benign filler functions for realistic program sizes,
+//! * [`profiles`] — the six Table II firmware images and the four
+//!   Table VII programs (including an OpenSSL/Heartbleed-shaped one).
+
+pub mod codegen;
+pub mod filler;
+pub mod profiles;
+pub mod spec;
+pub mod templates;
+
+pub use codegen::compile;
+pub use profiles::{build_firmware, table2_profiles, table7_programs, FirmwareProfile, GeneratedFirmware};
+pub use templates::{PlantKind, PlantSpec, PlantedVuln};

@@ -1,0 +1,471 @@
+//! Firmware profiles matching the paper's evaluation subjects.
+//!
+//! [`table2_profiles`] reproduces the six Table II images — vendor,
+//! version, architecture, binary name, function count, and the exact
+//! vulnerability mix of Tables III–V (eight previously-reported CVE
+//! shapes, thirteen zero-day shapes) plus sanitised twins. For the two
+//! large camera images the profile also carries the *analyzed module
+//! prefixes*, matching the paper's manual extraction of the RTSP/HTTP/
+//! ONVIF/ISAPI handlers.
+//!
+//! [`table7_programs`] provides the four Table VII subjects, including
+//! an OpenSSL-shaped program whose `tls1_process_heartbeat` reproduces
+//! the Heartbleed data flow of the paper's Figures 2–3 (the inlined
+//! `n2s` macro reading a 16-bit length from network data).
+
+use crate::codegen::compile;
+use crate::filler::add_filler;
+use crate::spec::{Arith, Callee, FnSpec, ProgramSpec, Stmt, Val};
+use crate::templates::{plant, PlantKind, PlantSpec, PlantedVuln};
+use dtaint_fwbin::{Arch, Binary};
+use dtaint_fwimage::{Arch2, BootstrapKind, FwFile, FwImage, FwMetadata, Peripheral};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One evaluation subject.
+#[derive(Debug, Clone)]
+pub struct FirmwareProfile {
+    /// Table II row index (1..=6); 0 for Table VII programs.
+    pub index: u8,
+    /// Manufacturer name.
+    pub manufacturer: &'static str,
+    /// Firmware version string.
+    pub firmware_version: &'static str,
+    /// Architecture.
+    pub arch: Arch,
+    /// Analyzed binary's name.
+    pub binary_name: &'static str,
+    /// Total functions in the binary (Table II "Functions").
+    pub total_functions: usize,
+    /// Module prefixes to analyze, when the paper analyzed a subset.
+    pub analyzed_prefixes: Option<Vec<&'static str>>,
+    /// Vulnerability plants (vulnerable and sanitised twins).
+    pub plants: Vec<PlantSpec>,
+    /// Extra wrapper paths per vulnerable plant (inflates the
+    /// vulnerable-path count the way shared helpers do in real images).
+    pub extra_paths: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// A generated firmware subject, ready for analysis.
+#[derive(Debug, Clone)]
+pub struct GeneratedFirmware {
+    /// The source profile.
+    pub profile: FirmwareProfile,
+    /// The analyzed binary.
+    pub binary: Binary,
+    /// The packed firmware image containing the binary.
+    pub image: FwImage,
+    /// Ground truth of planted flows.
+    pub ground_truth: Vec<PlantedVuln>,
+}
+
+fn spec_plant(kind: PlantKind, id: &str, sanitized: bool, depth: u8) -> PlantSpec {
+    PlantSpec::new(kind, id, sanitized, depth)
+}
+
+/// The six Table II firmware images with the Tables III–V vulnerability
+/// mixes.
+pub fn table2_profiles() -> Vec<FirmwareProfile> {
+    use PlantKind::*;
+    vec![
+        FirmwareProfile {
+            index: 1,
+            manufacturer: "D-Link",
+            firmware_version: "DIR-645_1.03",
+            arch: Arch::Mips32e,
+            binary_name: "cgibin",
+            total_functions: 237,
+            analyzed_prefixes: None,
+            plants: vec![
+                // CVE-2013-7389: two flows.
+                spec_plant(BofReadStrncpy, "cve_2013_7389a", false, 1),
+                spec_plant(BofGetenvSprintf, "cve_2013_7389b", false, 1),
+                // CVE-2015-2051.
+                spec_plant(CmdiGetenvSystem, "cve_2015_2051", false, 2),
+                // The unknown command injection (zero-day, repaired).
+                spec_plant(CmdiGetenvSystem, "zeroday_cmdi", false, 1),
+                // Sanitised twins exercising precision.
+                spec_plant(BofGetenvStrcpy, "guarded_copy", true, 1),
+                spec_plant(CmdiGetenvSystem, "guarded_cmdi", true, 0),
+            ],
+            extra_paths: 1,
+            seed: 0x645,
+        },
+        FirmwareProfile {
+            index: 2,
+            manufacturer: "D-Link",
+            firmware_version: "DIR-890L_1.03",
+            arch: Arch::Arm32e,
+            binary_name: "cgibin",
+            total_functions: 358,
+            analyzed_prefixes: None,
+            plants: vec![
+                // CVE-2016-5681 and the 890L variant of CVE-2015-2051.
+                spec_plant(BofGetenvStrcpy, "cve_2016_5681", false, 1),
+                spec_plant(CmdiGetenvSystem, "cve_2015_2051v", false, 1),
+                spec_plant(BofRecvMemcpy, "guarded_recv", true, 1),
+            ],
+            extra_paths: 1,
+            seed: 0x890,
+        },
+        FirmwareProfile {
+            index: 3,
+            manufacturer: "Netgear",
+            firmware_version: "DGN1000-V1.1.00.46",
+            arch: Arch::Mips32e,
+            binary_name: "setup.cgi",
+            total_functions: 732,
+            analyzed_prefixes: None,
+            plants: vec![
+                // EDB-ID:43055.
+                spec_plant(CmdiFindvarPopen, "edb_43055", false, 1),
+                // Four unknown command injections (Table V).
+                spec_plant(CmdiGetenvSystem, "zeroday_cmdi1", false, 2),
+                spec_plant(CmdiWebsgetvarSystem, "zeroday_cmdi2", false, 1),
+                spec_plant(CmdiWebsgetvarSystem, "zeroday_cmdi3", false, 2),
+                spec_plant(CmdiFindvarPopen, "zeroday_cmdi4", false, 0),
+                // One unknown stack overflow (Table V).
+                spec_plant(BofRecvMemcpy, "zeroday_bof", false, 1),
+                // Sanitised twins.
+                spec_plant(CmdiWebsgetvarSystem, "guarded_cmdi", true, 1),
+                spec_plant(BofReadStrncpy, "guarded_bof", true, 1),
+            ],
+            extra_paths: 2,
+            seed: 0x1000,
+        },
+        FirmwareProfile {
+            index: 4,
+            manufacturer: "Netgear",
+            firmware_version: "DGN2200-V1.0.0.50",
+            arch: Arch::Mips32e,
+            binary_name: "httpd",
+            total_functions: 796,
+            analyzed_prefixes: None,
+            plants: vec![
+                spec_plant(CmdiWebsgetvarSystem, "cve_2017_6334", false, 2),
+                spec_plant(CmdiWebsgetvarSystem, "cve_2017_6077", false, 1),
+                spec_plant(CmdiWebsgetvarSystem, "guarded_host", true, 2),
+                spec_plant(BofGetenvStrcpy, "guarded_copy", true, 1),
+            ],
+            extra_paths: 3,
+            seed: 0x2200,
+        },
+        FirmwareProfile {
+            index: 5,
+            manufacturer: "Uniview",
+            firmware_version: "IPC_6201",
+            arch: Arch::Arm32e,
+            binary_name: "mwareserver",
+            total_functions: 6714,
+            analyzed_prefixes: Some(vec!["rtsp_", "http_", "vuln_rtsp", "safe_rtsp"]),
+            plants: vec![
+                // The RTSP session sscanf zero-day.
+                spec_plant(BofSscanfRtsp, "rtsp_sess", false, 0),
+                spec_plant(BofSscanfRtsp, "rtsp_guarded", true, 0),
+            ],
+            extra_paths: 2,
+            seed: 0x6201,
+        },
+        FirmwareProfile {
+            index: 6,
+            manufacturer: "Hikvision",
+            firmware_version: "DS-2CD6233F",
+            arch: Arch::Arm32e,
+            binary_name: "centaurus",
+            total_functions: 14035,
+            analyzed_prefixes: Some(vec![
+                "rtsp_", "http_", "onvif_", "isapi_", "vuln_", "safe_", "copy_", "hop", "run_",
+                "handle_", "install_", "parse_", "dispatch_",
+            ]),
+            plants: vec![
+                // Zero-day 1: read → memcpy into a 48-byte buffer.
+                spec_plant(BofReadMemcpySmall, "http_hdr", false, 1),
+                // Zero-day 2: two read → loop-copy overflows.
+                spec_plant(BofReadLoopcopy, "rtsp_body1", false, 0),
+                spec_plant(BofReadLoopcopy, "rtsp_body2", false, 0),
+                // Zero-day 3: three URL-parameter flows through pointer
+                // aliases and layout-matched indirect calls.
+                spec_plant(BofUrlParamAliasIndirect, "isapi_url1", false, 0),
+                spec_plant(BofUrlParamAliasIndirect, "isapi_url2", false, 0),
+                spec_plant(BofUrlParamAliasIndirect, "onvif_url3", false, 0),
+                // Sanitised twins.
+                spec_plant(BofReadLoopcopy, "rtsp_guarded", true, 0),
+                spec_plant(BofUrlParamAliasIndirect, "isapi_guarded", true, 0),
+            ],
+            extra_paths: 3,
+            seed: 0x6233,
+        },
+    ]
+}
+
+/// The four Table VII programs (`cgibin`, `setup.cgi`, `httpd`,
+/// `openssl`), used for the DTaint-vs-baseline timing comparison.
+pub fn table7_programs() -> Vec<FirmwareProfile> {
+    let mut t2 = table2_profiles();
+    let cgibin = t2.remove(0);
+    let setup = t2.remove(1);
+    let httpd = t2.remove(1);
+    let openssl = FirmwareProfile {
+        index: 0,
+        manufacturer: "OpenSSL",
+        firmware_version: "1.0.1f",
+        arch: Arch::Arm32e,
+        binary_name: "openssl",
+        total_functions: 500,
+        analyzed_prefixes: None,
+        plants: vec![],
+        extra_paths: 0,
+        seed: 0x551,
+    };
+    vec![cgibin, setup, httpd, openssl]
+}
+
+/// Builds the OpenSSL/Heartbleed-shaped functions (Figures 2–3): a BIO
+/// read into a record buffer carried in the connection structure, and a
+/// heartbeat handler whose `memcpy` length is the inlined `n2s` of two
+/// attacker bytes.
+pub fn add_heartbleed(spec: &mut ProgramSpec) {
+    spec.global("g_ssl", 0x120);
+
+    // ssl3_read_n(s, n): BIO_read(s->bio, s->rbuf, n)
+    let mut read_n = FnSpec::new("ssl3_read_n", 2);
+    let bio = read_n.local();
+    let buf = read_n.local();
+    let r = read_n.local();
+    read_n.push(Stmt::Load { dst: bio, base: Val::Param(0), off: 0x18 });
+    read_n.push(Stmt::Load { dst: buf, base: Val::Param(0), off: 0x58 });
+    read_n.push(Stmt::Call {
+        callee: Callee::Import("BIO_read".into()),
+        args: vec![Val::Local(bio), Val::Local(buf), Val::Param(1)],
+        ret: Some(r),
+    });
+    read_n.push(Stmt::Store { base: Val::Param(0), off: 0x4c, src: Val::Local(r) });
+    read_n.push(Stmt::Return(Some(Val::Local(r))));
+    spec.func(read_n);
+
+    // tls1_process_heartbeat(s): payload = n2s(p+1); memcpy(bp, p+3, payload)
+    let mut hb = FnSpec::new("tls1_process_heartbeat", 1);
+    let bp = hb.buf(0x50); // response buffer, much smaller than 64k
+    let p = hb.local();
+    let b1 = hb.local();
+    let b2 = hb.local();
+    let payload = hb.local();
+    let src = hb.local();
+    hb.push(Stmt::Load { dst: p, base: Val::Param(0), off: 0x58 });
+    // The inlined n2s macro: payload = (p[1] << 8) | p[2].
+    hb.push(Stmt::LoadByte { dst: b1, base: Val::Local(p), off: 1 });
+    hb.push(Stmt::LoadByte { dst: b2, base: Val::Local(p), off: 2 });
+    hb.push(Stmt::Bin { dst: b1, op: Arith::Shl, lhs: Val::Local(b1), rhs: Val::Const(8) });
+    hb.push(Stmt::Bin { dst: payload, op: Arith::Or, lhs: Val::Local(b1), rhs: Val::Local(b2) });
+    hb.push(Stmt::Bin { dst: src, op: Arith::Add, lhs: Val::Local(p), rhs: Val::Const(3) });
+    hb.push(Stmt::Call {
+        callee: Callee::Import("memcpy".into()),
+        args: vec![Val::BufAddr(bp), Val::Local(src), Val::Local(payload)],
+        ret: None,
+    });
+    hb.push(Stmt::Return(None));
+    spec.func(hb);
+
+    // ssl3_read_bytes(s): ssl3_read_n(s, 5); tls1_process_heartbeat(s)
+    let mut rb = FnSpec::new("ssl3_read_bytes", 1);
+    rb.push(Stmt::Call {
+        callee: Callee::Func("ssl3_read_n".into()),
+        args: vec![Val::Param(0), Val::Const(5)],
+        ret: None,
+    });
+    rb.push(Stmt::Call {
+        callee: Callee::Func("tls1_process_heartbeat".into()),
+        args: vec![Val::Param(0)],
+        ret: None,
+    });
+    rb.push(Stmt::Return(None));
+    spec.func(rb);
+}
+
+/// Builds the complete firmware subject for a profile.
+///
+/// # Panics
+///
+/// Panics when code generation fails — profile definitions are static,
+/// so a failure is a generator bug.
+pub fn build_firmware(profile: &FirmwareProfile) -> GeneratedFirmware {
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut spec = ProgramSpec::new(profile.binary_name);
+
+    // Plants first (their ids carry module prefixes for the filters).
+    let mut ground_truth = Vec::new();
+    for p in &profile.plants {
+        ground_truth.push(plant(&mut spec, p));
+    }
+
+    // The openssl profile carries the Heartbleed functions instead of
+    // template plants.
+    if profile.binary_name == "openssl" {
+        add_heartbleed(&mut spec);
+    }
+
+    // Extra call paths into the vulnerable entries.
+    let mut wrapper_names = Vec::new();
+    for k in 0..profile.extra_paths {
+        for gt in ground_truth.iter().filter(|g| !g.sanitized) {
+            let name = format!("alt{k}_{}", gt.id);
+            let mut w = FnSpec::new(&name, 0);
+            w.push(Stmt::Call {
+                callee: Callee::Func(gt.entry_fn.clone()),
+                args: vec![],
+                ret: None,
+            });
+            w.push(Stmt::Return(None));
+            spec.func(w);
+            wrapper_names.push(name);
+        }
+    }
+
+    // Fillers up to the target function count (leave room for main).
+    let module_prefixes: &[&str] = match profile.analyzed_prefixes {
+        Some(_) => &["isp_", "sys_", "upg_", "rtsp_", "http_"],
+        None => &["lib_", "util_", "cgi_"],
+    };
+    let current = spec.functions.len();
+    let remaining = profile.total_functions.saturating_sub(current + 1);
+    let per_module = remaining / module_prefixes.len();
+    let mut filler_names = Vec::new();
+    for (i, prefix) in module_prefixes.iter().enumerate() {
+        let n = if i + 1 == module_prefixes.len() {
+            remaining - per_module * (module_prefixes.len() - 1)
+        } else {
+            per_module
+        };
+        filler_names.extend(add_filler(&mut spec, prefix, n, &mut rng));
+    }
+
+    // main wires everything together.
+    let mut main = FnSpec::new("main", 0);
+    for gt in &ground_truth {
+        main.push(Stmt::Call { callee: Callee::Func(gt.entry_fn.clone()), args: vec![], ret: None });
+    }
+    for w in &wrapper_names {
+        main.push(Stmt::Call { callee: Callee::Func(w.clone()), args: vec![], ret: None });
+    }
+    for n in filler_names.iter().rev().take(8) {
+        main.push(Stmt::Call { callee: Callee::Func(n.clone()), args: vec![Val::Const(1)], ret: None });
+    }
+    main.push(Stmt::Return(None));
+    spec.func(main);
+
+    let binary = compile(&spec, profile.arch).expect("profile compiles");
+    let is_camera = matches!(profile.manufacturer, "Hikvision" | "Uniview");
+    let image = FwImage {
+        metadata: FwMetadata {
+            vendor: profile.manufacturer.to_owned(),
+            product: profile.firmware_version.split('_').next().unwrap_or("dev").to_owned(),
+            version: profile.firmware_version.to_owned(),
+            arch: Arch2::from(profile.arch),
+            release_year: 2016,
+            peripherals: if is_camera {
+                vec![Peripheral::Ethernet, Peripheral::Camera { proprietary: true }]
+            } else {
+                vec![Peripheral::Ethernet, Peripheral::Wifi]
+            },
+            nvram_required: true,
+            nvram_defaults_present: false,
+            bootstrap: BootstrapKind::Standard,
+        },
+        files: vec![
+            FwFile {
+                path: format!("bin/{}", profile.binary_name),
+                data: binary.to_bytes(),
+            },
+            FwFile { path: "etc/version".into(), data: profile.firmware_version.into() },
+        ],
+    };
+
+    GeneratedFirmware { profile: profile.clone(), binary, image, ground_truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtaint_core::{Dtaint, DtaintConfig};
+
+    #[test]
+    fn profiles_cover_the_paper_totals() {
+        let profiles = table2_profiles();
+        assert_eq!(profiles.len(), 6);
+        let vulnerable: usize = profiles
+            .iter()
+            .flat_map(|p| p.plants.iter())
+            .filter(|p| !p.sanitized)
+            .count();
+        assert_eq!(vulnerable, 21, "Table III reports 21 vulnerabilities");
+        let functions: Vec<usize> = profiles.iter().map(|p| p.total_functions).collect();
+        assert_eq!(functions, vec![237, 358, 732, 796, 6714, 14035]);
+    }
+
+    #[test]
+    fn dir645_profile_builds_and_detects_all_plants() {
+        let profile = &table2_profiles()[0];
+        let fw = build_firmware(profile);
+        assert_eq!(
+            dtaint_cfg::build_all_cfgs(&fw.binary).unwrap().len(),
+            profile.total_functions
+        );
+        let r = Dtaint::new().analyze(&fw.binary, profile.binary_name).unwrap();
+        let expected = fw.ground_truth.iter().filter(|g| !g.sanitized).count();
+        assert_eq!(r.vulnerabilities(), expected, "all planted vulns found, nothing else");
+    }
+
+    #[test]
+    fn uniview_profile_respects_function_filter() {
+        let mut profile = table2_profiles().remove(4);
+        profile.total_functions = 600; // keep the test fast
+        let fw = build_firmware(&profile);
+        let config = DtaintConfig {
+            function_filter: profile
+                .analyzed_prefixes
+                .clone()
+                .map(|v| v.into_iter().map(str::to_owned).collect()),
+            ..Default::default()
+        };
+        let r = Dtaint::with_config(config).analyze(&fw.binary, "mwareserver").unwrap();
+        assert!(r.functions < 600, "filter restricts the analyzed set");
+        assert_eq!(r.vulnerabilities(), 1, "the RTSP sscanf zero-day is found");
+    }
+
+    #[test]
+    fn heartbleed_program_is_detected() {
+        let mut spec = ProgramSpec::new("openssl");
+        add_heartbleed(&mut spec);
+        let mut main = FnSpec::new("main", 0);
+        main.push(Stmt::Call {
+            callee: Callee::Func("ssl3_read_bytes".into()),
+            args: vec![Val::GlobalAddr("g_ssl".into())],
+            ret: None,
+        });
+        main.push(Stmt::Return(None));
+        spec.func(main);
+        let bin = compile(&spec, Arch::Arm32e).unwrap();
+        let r = Dtaint::new().analyze(&bin, "openssl").unwrap();
+        let v = r.vulnerable_paths();
+        assert!(
+            v.iter().any(|f| f.sink == "memcpy" && f.sources.iter().any(|s| s.name == "BIO_read")),
+            "heartbleed memcpy with BIO_read source must be found: {:?}",
+            v.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn generated_firmware_packs_into_an_image() {
+        let mut profile = table2_profiles().remove(1);
+        profile.total_functions = 60;
+        let fw = build_firmware(&profile);
+        let packed = fw.image.pack(false);
+        let img = dtaint_fwimage::extract_image(&packed).unwrap();
+        let bins = dtaint_fwimage::extract_binaries(&img).unwrap();
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].0, "bin/cgibin");
+        assert_eq!(bins[0].1, fw.binary);
+    }
+}

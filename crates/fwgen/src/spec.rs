@@ -1,0 +1,332 @@
+//! The program DSL the firmware generator compiles to machine code.
+//!
+//! A [`ProgramSpec`] is a C-shaped mini-language: functions with
+//! parameters, a stack frame of named buffers and word locals,
+//! statements for memory access, arithmetic, calls (direct, imported,
+//! and indirect through a function pointer in memory), conditionals and
+//! copy loops. The two code generators in [`crate::codegen`] lower it to
+//! `arm32e` or `mips32e`.
+
+/// A word-sized local variable slot (index into the frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalId(pub u8);
+
+/// A local buffer (index into the function's buffer list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufId(pub u8);
+
+/// A value operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Val {
+    /// A 32-bit constant.
+    Const(u32),
+    /// The i-th parameter (0..=3).
+    Param(u8),
+    /// A word local.
+    Local(LocalId),
+    /// The address of a local buffer.
+    BufAddr(BufId),
+    /// The address of a string literal (label into `.rodata`).
+    StrAddr(String),
+    /// The address of a global object (label into `.data`/`.bss`).
+    GlobalAddr(String),
+    /// The address of a function (for installing handlers).
+    FnAddr(String),
+}
+
+/// Comparison in conditionals and loop bounds (signed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+}
+
+/// Arithmetic/bitwise operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arith {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Left shift.
+    Shl,
+    /// Logical right shift.
+    Shr,
+}
+
+/// A call target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// An imported library function.
+    Import(String),
+    /// A function defined in the same program.
+    Func(String),
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `local = src`.
+    Set {
+        /// Destination local.
+        dst: LocalId,
+        /// Source value.
+        src: Val,
+    },
+    /// `dst = lhs <op> rhs`.
+    Bin {
+        /// Destination local.
+        dst: LocalId,
+        /// Operator.
+        op: Arith,
+        /// Left operand.
+        lhs: Val,
+        /// Right operand.
+        rhs: Val,
+    },
+    /// `*(base + off) = src` (32-bit).
+    Store {
+        /// Base address value.
+        base: Val,
+        /// Constant byte offset.
+        off: i16,
+        /// Stored value.
+        src: Val,
+    },
+    /// `dst = *(base + off)` (32-bit).
+    Load {
+        /// Destination local.
+        dst: LocalId,
+        /// Base address value.
+        base: Val,
+        /// Constant byte offset.
+        off: i16,
+    },
+    /// `*(u8*)(base + off) = src`.
+    StoreByte {
+        /// Base address value.
+        base: Val,
+        /// Constant byte offset.
+        off: i16,
+        /// Stored value (low byte).
+        src: Val,
+    },
+    /// `dst = *(u8*)(base + off)` (zero-extended).
+    LoadByte {
+        /// Destination local.
+        dst: LocalId,
+        /// Base address value.
+        base: Val,
+        /// Constant byte offset.
+        off: i16,
+    },
+    /// `*(u16*)(base + off) = src`.
+    StoreHalf {
+        /// Base address value.
+        base: Val,
+        /// Constant byte offset.
+        off: i16,
+        /// Stored value (low halfword).
+        src: Val,
+    },
+    /// `dst = *(u16*)(base + off)` (zero-extended).
+    LoadHalf {
+        /// Destination local.
+        dst: LocalId,
+        /// Base address value.
+        base: Val,
+        /// Constant byte offset.
+        off: i16,
+    },
+    /// `[ret =] callee(args…)`; up to 4 register + 6 stack arguments.
+    Call {
+        /// The target.
+        callee: Callee,
+        /// Argument values.
+        args: Vec<Val>,
+        /// Local receiving the return value.
+        ret: Option<LocalId>,
+    },
+    /// `[ret =] (*(fn_base + off))(args…)` — indirect call through a
+    /// function pointer stored in memory.
+    CallIndirect {
+        /// Base address of the structure holding the pointer.
+        fn_base: Val,
+        /// Field offset of the pointer.
+        off: i16,
+        /// Argument values.
+        args: Vec<Val>,
+        /// Local receiving the return value.
+        ret: Option<LocalId>,
+    },
+    /// `if (lhs <op> rhs) { then } else { els }`.
+    If {
+        /// Left comparison operand.
+        lhs: Val,
+        /// Comparison operator.
+        op: Cmp,
+        /// Right comparison operand.
+        rhs: Val,
+        /// True branch.
+        then: Vec<Stmt>,
+        /// False branch.
+        els: Vec<Stmt>,
+    },
+    /// A byte-copy loop `do { *dst++ = *src++ } while …`:
+    /// with `bound: None` it stops on a NUL byte (strcpy-shaped,
+    /// unbounded); with `bound: Some(n)` it copies exactly `n` bytes
+    /// (counted, bounded).
+    CopyLoop {
+        /// Destination buffer address.
+        dst: Val,
+        /// Source buffer address.
+        src: Val,
+        /// Byte count, or `None` for copy-until-NUL.
+        bound: Option<Val>,
+    },
+    /// Return, optionally with a value.
+    Return(Option<Val>),
+}
+
+/// One function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpec {
+    /// Symbol name.
+    pub name: String,
+    /// Number of parameters (0..=4).
+    pub n_params: u8,
+    /// Sizes of the local buffers, in bytes.
+    pub bufs: Vec<u32>,
+    /// Number of word locals.
+    pub n_locals: u8,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl FnSpec {
+    /// Creates an empty function spec.
+    pub fn new(name: &str, n_params: u8) -> FnSpec {
+        FnSpec { name: name.to_owned(), n_params, bufs: Vec::new(), n_locals: 0, body: Vec::new() }
+    }
+
+    /// Declares a buffer of `size` bytes, returning its id.
+    pub fn buf(&mut self, size: u32) -> BufId {
+        self.bufs.push(size);
+        BufId((self.bufs.len() - 1) as u8)
+    }
+
+    /// Declares a word local, returning its id.
+    pub fn local(&mut self) -> LocalId {
+        self.n_locals += 1;
+        LocalId(self.n_locals - 1)
+    }
+
+    /// Appends a statement.
+    pub fn push(&mut self, s: Stmt) -> &mut Self {
+        self.body.push(s);
+        self
+    }
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramSpec {
+    /// Binary name (e.g. `cgibin`).
+    pub name: String,
+    /// Functions, in layout order (the first is the entry).
+    pub functions: Vec<FnSpec>,
+    /// String literals: `(label, contents)`.
+    pub strings: Vec<(String, String)>,
+    /// Zero-initialised globals: `(label, size)`.
+    pub globals: Vec<(String, u32)>,
+}
+
+impl ProgramSpec {
+    /// Creates an empty program.
+    pub fn new(name: &str) -> ProgramSpec {
+        ProgramSpec { name: name.to_owned(), ..Default::default() }
+    }
+
+    /// Adds a string literal, returning its label.
+    pub fn string(&mut self, label: &str, value: &str) -> String {
+        self.strings.push((label.to_owned(), value.to_owned()));
+        label.to_owned()
+    }
+
+    /// Adds a zero-initialised global of `size` bytes.
+    pub fn global(&mut self, label: &str, size: u32) -> String {
+        self.globals.push((label.to_owned(), size));
+        label.to_owned()
+    }
+
+    /// Adds a function.
+    pub fn func(&mut self, f: FnSpec) -> &mut Self {
+        self.functions.push(f);
+        self
+    }
+
+    /// Total statement count (a rough program-size metric).
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If { then, els, .. } => 1 + count(then) + count(els),
+                    _ => 1,
+                })
+                .sum()
+        }
+        self.functions.iter().map(|f| count(&f.body)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut f = FnSpec::new("f", 2);
+        let b0 = f.buf(64);
+        let b1 = f.buf(128);
+        let l0 = f.local();
+        let l1 = f.local();
+        assert_eq!((b0, b1), (BufId(0), BufId(1)));
+        assert_eq!((l0, l1), (LocalId(0), LocalId(1)));
+        assert_eq!(f.bufs, vec![64, 128]);
+        assert_eq!(f.n_locals, 2);
+    }
+
+    #[test]
+    fn stmt_count_recurses_into_ifs() {
+        let mut p = ProgramSpec::new("t");
+        let mut f = FnSpec::new("f", 0);
+        f.push(Stmt::If {
+            lhs: Val::Const(1),
+            op: Cmp::Eq,
+            rhs: Val::Const(1),
+            then: vec![Stmt::Return(None)],
+            els: vec![Stmt::Return(None), Stmt::Return(None)],
+        });
+        p.func(f);
+        assert_eq!(p.stmt_count(), 4);
+    }
+}

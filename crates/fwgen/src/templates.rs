@@ -1,0 +1,665 @@
+//! Taint-style vulnerability templates with ground truth.
+//!
+//! Each template plants one `(source, path, sink)` flow shaped after a
+//! vulnerability the paper reports (Tables IV & V), optionally wrapped
+//! in a chain of pass-through functions (interprocedural depth) and
+//! optionally *sanitised* — guarded the way real firmware guards the
+//! flow (a bounding length check for overflows, a `';'` check for
+//! injections). Sanitised twins are planted alongside vulnerable flows
+//! so precision is measurable against ground truth.
+
+use crate::spec::{Callee, Cmp, FnSpec, ProgramSpec, Stmt, Val};
+use serde::{Deserialize, Serialize};
+
+/// The vulnerability shapes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlantKind {
+    /// `getenv → system` (CVE-2015-2051 shape).
+    CmdiGetenvSystem,
+    /// `websGetVar → system` (CVE-2017-6334 / CVE-2017-6077 shape).
+    CmdiWebsgetvarSystem,
+    /// `find_var → popen` (EDB-ID:43055 shape).
+    CmdiFindvarPopen,
+    /// `read → strncpy` with attacker-controlled length
+    /// (CVE-2013-7389 first half).
+    BofReadStrncpy,
+    /// `getenv → sprintf` (CVE-2013-7389 second half).
+    BofGetenvSprintf,
+    /// `getenv → strcpy` into a fixed stack buffer (CVE-2016-5681).
+    BofGetenvStrcpy,
+    /// `recv → memcpy` with the received length (the paper's Figure 5).
+    BofRecvMemcpy,
+    /// RTSP-session `read → sscanf` reading 254 bytes into a 180-byte
+    /// stack buffer (the Uniview zero-day).
+    BofSscanfRtsp,
+    /// `read → memcpy` into a 48-byte stack buffer (Hikvision #1).
+    BofReadMemcpySmall,
+    /// `read` of 2048 bytes, then an unbounded copy loop into a small
+    /// stack buffer (Hikvision #2).
+    BofReadLoopcopy,
+    /// URL parameter copied to a stack buffer through a pointer stored
+    /// in a shared structure *and* an indirect call resolved by layout
+    /// similarity (Hikvision #3 — "associated with pointer alias and
+    /// the similarity of data structure").
+    BofUrlParamAliasIndirect,
+    /// `recv → memcpy` guarded by a bound *larger than the destination
+    /// buffer* (`if (n < 1024)` into a 256-byte buffer) — still
+    /// exploitable; detected only by the strict-bounds extension.
+    BofWeakBound,
+}
+
+impl PlantKind {
+    /// The Table I source the template uses.
+    pub fn source(self) -> &'static str {
+        match self {
+            PlantKind::CmdiGetenvSystem
+            | PlantKind::BofGetenvSprintf
+            | PlantKind::BofGetenvStrcpy => "getenv",
+            PlantKind::CmdiWebsgetvarSystem => "websGetVar",
+            PlantKind::CmdiFindvarPopen => "find_var",
+            PlantKind::BofReadStrncpy
+            | PlantKind::BofSscanfRtsp
+            | PlantKind::BofReadMemcpySmall
+            | PlantKind::BofReadLoopcopy
+            | PlantKind::BofUrlParamAliasIndirect => "read",
+            PlantKind::BofRecvMemcpy | PlantKind::BofWeakBound => "recv",
+        }
+    }
+
+    /// The Table I sink the template uses.
+    pub fn sink(self) -> &'static str {
+        match self {
+            PlantKind::CmdiGetenvSystem | PlantKind::CmdiWebsgetvarSystem => "system",
+            PlantKind::CmdiFindvarPopen => "popen",
+            PlantKind::BofReadStrncpy => "strncpy",
+            PlantKind::BofGetenvSprintf => "sprintf",
+            PlantKind::BofGetenvStrcpy
+            | PlantKind::BofUrlParamAliasIndirect => "strcpy",
+            PlantKind::BofRecvMemcpy
+            | PlantKind::BofReadMemcpySmall
+            | PlantKind::BofWeakBound => "memcpy",
+            PlantKind::BofSscanfRtsp => "sscanf",
+            PlantKind::BofReadLoopcopy => "loop-copy",
+        }
+    }
+
+    /// True for command-injection shapes.
+    pub fn is_injection(self) -> bool {
+        matches!(
+            self,
+            PlantKind::CmdiGetenvSystem
+                | PlantKind::CmdiWebsgetvarSystem
+                | PlantKind::CmdiFindvarPopen
+        )
+    }
+}
+
+/// A request to plant one flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantSpec {
+    /// The flow shape.
+    pub kind: PlantKind,
+    /// Unique id within the program (names functions/labels).
+    pub id: String,
+    /// Plant the guarded (sanitised) twin instead of the vulnerability.
+    pub sanitized: bool,
+    /// Number of pass-through functions between entry and sink.
+    pub depth: u8,
+}
+
+impl PlantSpec {
+    /// Shorthand constructor.
+    pub fn new(kind: PlantKind, id: &str, sanitized: bool, depth: u8) -> PlantSpec {
+        PlantSpec { kind, id: id.to_owned(), sanitized, depth }
+    }
+}
+
+/// Ground truth for one planted flow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlantedVuln {
+    /// The plant id.
+    pub id: String,
+    /// The flow shape.
+    pub kind: PlantKind,
+    /// Source import name.
+    pub source: String,
+    /// Sink name (`loop-copy` for the structural sink).
+    pub sink: String,
+    /// True when the flow is guarded — a detector reporting it as a
+    /// vulnerability scores a false positive.
+    pub sanitized: bool,
+    /// Name of the entry function of the planted flow.
+    pub entry_fn: String,
+}
+
+/// Plants one flow into `spec`, returning its ground truth.
+///
+/// The entry function is named `vuln_<id>` (or `safe_<id>` for the
+/// sanitised twin) and takes no parameters; profiles wire it into the
+/// program's call tree.
+pub fn plant(spec: &mut ProgramSpec, p: &PlantSpec) -> PlantedVuln {
+    let prefix = if p.sanitized { "safe" } else { "vuln" };
+    let entry_name = format!("{prefix}_{}", p.id);
+    match p.kind {
+        PlantKind::CmdiGetenvSystem => plant_cmdi(spec, p, &entry_name, "getenv", "system"),
+        PlantKind::CmdiWebsgetvarSystem => {
+            plant_cmdi(spec, p, &entry_name, "websGetVar", "system")
+        }
+        PlantKind::CmdiFindvarPopen => plant_cmdi(spec, p, &entry_name, "find_var", "popen"),
+        PlantKind::BofReadStrncpy => plant_length_copy(spec, p, &entry_name, "read", "strncpy"),
+        PlantKind::BofRecvMemcpy => plant_length_copy(spec, p, &entry_name, "recv", "memcpy"),
+        PlantKind::BofReadMemcpySmall => {
+            plant_length_copy(spec, p, &entry_name, "read", "memcpy")
+        }
+        PlantKind::BofGetenvSprintf => plant_string_copy(spec, p, &entry_name, "sprintf"),
+        PlantKind::BofGetenvStrcpy => plant_string_copy(spec, p, &entry_name, "strcpy"),
+        PlantKind::BofSscanfRtsp => plant_sscanf(spec, p, &entry_name),
+        PlantKind::BofReadLoopcopy => plant_loopcopy(spec, p, &entry_name),
+        PlantKind::BofUrlParamAliasIndirect => plant_alias_indirect(spec, p, &entry_name),
+        PlantKind::BofWeakBound => plant_weak_bound(spec, p, &entry_name),
+    }
+    PlantedVuln {
+        id: p.id.clone(),
+        kind: p.kind,
+        source: p.kind.source().to_owned(),
+        sink: p.kind.sink().to_owned(),
+        sanitized: p.sanitized,
+        entry_fn: entry_name,
+    }
+}
+
+/// Wraps the `sink_fn` behind `depth` pass-through functions; returns
+/// the name the entry should call with the tainted value.
+fn chain(spec: &mut ProgramSpec, p: &PlantSpec, sink_fn: &str) -> String {
+    let mut target = sink_fn.to_owned();
+    for lvl in 0..p.depth {
+        let name = format!("hop{lvl}_{}", p.id);
+        let mut f = FnSpec::new(&name, 1);
+        f.push(Stmt::Call {
+            callee: Callee::Func(target.clone()),
+            args: vec![Val::Param(0)],
+            ret: None,
+        });
+        f.push(Stmt::Return(None));
+        spec.func(f);
+        target = name;
+    }
+    target
+}
+
+/// Command injection: `v = <source>(…); [guard] <sink>(v)`.
+fn plant_cmdi(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str, source: &str, sink: &str) {
+    let var_label = format!("var_{}", p.id);
+    spec.string(&var_label, &format!("FIELD_{}", p.id));
+    let mode_label = format!("mode_{}", p.id);
+    if sink == "popen" {
+        spec.string(&mode_label, "r");
+    }
+
+    // The sink function receives the tainted string as its parameter.
+    let sink_fn = format!("run_{}", p.id);
+    let mut sf = FnSpec::new(&sink_fn, 1);
+    let sink_call = if sink == "popen" {
+        Stmt::Call {
+            callee: Callee::Import("popen".into()),
+            args: vec![Val::Param(0), Val::StrAddr(mode_label.clone())],
+            ret: None,
+        }
+    } else {
+        Stmt::Call { callee: Callee::Import(sink.into()), args: vec![Val::Param(0)], ret: None }
+    };
+    if p.sanitized {
+        // Reject strings whose first byte is the separator.
+        let b = sf.local();
+        sf.push(Stmt::LoadByte { dst: b, base: Val::Param(0), off: 0 });
+        sf.push(Stmt::If {
+            lhs: Val::Local(b),
+            op: Cmp::Ne,
+            rhs: Val::Const(b';' as u32),
+            then: vec![sink_call],
+            els: vec![],
+        });
+    } else {
+        sf.push(sink_call);
+    }
+    sf.push(Stmt::Return(None));
+    spec.func(sf);
+    let target = chain(spec, p, &sink_fn);
+
+    let mut e = FnSpec::new(entry, 0);
+    let v = e.local();
+    let source_call = match source {
+        "websGetVar" => Stmt::Call {
+            callee: Callee::Import("websGetVar".into()),
+            args: vec![Val::Const(0), Val::StrAddr(var_label.clone()), Val::StrAddr(var_label)],
+            ret: Some(v),
+        },
+        "find_var" => Stmt::Call {
+            callee: Callee::Import("find_var".into()),
+            args: vec![Val::Const(0), Val::StrAddr(var_label)],
+            ret: Some(v),
+        },
+        _ => Stmt::Call {
+            callee: Callee::Import("getenv".into()),
+            args: vec![Val::StrAddr(var_label)],
+            ret: Some(v),
+        },
+    };
+    e.push(source_call);
+    e.push(Stmt::Call { callee: Callee::Func(target), args: vec![Val::Local(v)], ret: None });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// Length-controlled copy: `n = <source>(…, big, N); [if n < small]
+/// <sink>(small, big, n)`.
+fn plant_length_copy(
+    spec: &mut ProgramSpec,
+    p: &PlantSpec,
+    entry: &str,
+    source: &str,
+    sink: &str,
+) {
+    let (big_size, small_size) = match p.kind {
+        PlantKind::BofReadMemcpySmall => (2048, 48),
+        PlantKind::BofReadStrncpy => (512, 64),
+        _ => (0x200, 0x100),
+    };
+    // Sink function takes (dst, src, n).
+    let sink_fn = format!("copy_{}", p.id);
+    let mut sf = FnSpec::new(&sink_fn, 3);
+    let sink_call = Stmt::Call {
+        callee: Callee::Import(sink.into()),
+        args: vec![Val::Param(0), Val::Param(1), Val::Param(2)],
+        ret: None,
+    };
+    if p.sanitized {
+        sf.push(Stmt::If {
+            lhs: Val::Param(2),
+            op: Cmp::Lt,
+            rhs: Val::Const(small_size),
+            then: vec![sink_call],
+            els: vec![],
+        });
+    } else {
+        sf.push(sink_call);
+    }
+    sf.push(Stmt::Return(None));
+    spec.func(sf);
+
+    // Chain forwards all three values (use a 3-arg hop chain).
+    let mut target = sink_fn.clone();
+    for lvl in 0..p.depth {
+        let name = format!("hop{lvl}_{}", p.id);
+        let mut f = FnSpec::new(&name, 3);
+        f.push(Stmt::Call {
+            callee: Callee::Func(target.clone()),
+            args: vec![Val::Param(0), Val::Param(1), Val::Param(2)],
+            ret: None,
+        });
+        f.push(Stmt::Return(None));
+        spec.func(f);
+        target = name;
+    }
+
+    let mut e = FnSpec::new(entry, 0);
+    let big = e.buf(big_size);
+    let small = e.buf(small_size);
+    let n = e.local();
+    let source_call = match source {
+        "recv" => Stmt::Call {
+            callee: Callee::Import("recv".into()),
+            args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(big_size), Val::Const(0)],
+            ret: Some(n),
+        },
+        _ => Stmt::Call {
+            callee: Callee::Import("read".into()),
+            args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(big_size)],
+            ret: Some(n),
+        },
+    };
+    e.push(source_call);
+    e.push(Stmt::Call {
+        callee: Callee::Func(target),
+        args: vec![Val::BufAddr(small), Val::BufAddr(big), Val::Local(n)],
+        ret: None,
+    });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// String copy from an environment value: `v = getenv(…);
+/// [if *v < bound] strcpy/sprintf(dst, v)`.
+fn plant_string_copy(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str, sink: &str) {
+    let var_label = format!("var_{}", p.id);
+    spec.string(&var_label, &format!("COOKIE_{}", p.id));
+    let fmt_label = format!("fmt_{}", p.id);
+    if sink == "sprintf" {
+        spec.string(&fmt_label, "%s");
+    }
+
+    let sink_fn = format!("copy_{}", p.id);
+    let mut sf = FnSpec::new(&sink_fn, 1);
+    let dst = sf.buf(152);
+    let sink_call = if sink == "sprintf" {
+        Stmt::Call {
+            callee: Callee::Import("sprintf".into()),
+            args: vec![Val::BufAddr(dst), Val::StrAddr(fmt_label), Val::Param(0)],
+            ret: None,
+        }
+    } else {
+        Stmt::Call {
+            callee: Callee::Import("strcpy".into()),
+            args: vec![Val::BufAddr(dst), Val::Param(0)],
+            ret: None,
+        }
+    };
+    if p.sanitized {
+        // Firmware-style length-prefix check: the first byte of the
+        // value must be below the buffer bound.
+        let b = sf.local();
+        sf.push(Stmt::LoadByte { dst: b, base: Val::Param(0), off: 0 });
+        sf.push(Stmt::If {
+            lhs: Val::Local(b),
+            op: Cmp::Lt,
+            rhs: Val::Const(64),
+            then: vec![sink_call],
+            els: vec![],
+        });
+    } else {
+        sf.push(sink_call);
+    }
+    sf.push(Stmt::Return(None));
+    spec.func(sf);
+    let target = chain(spec, p, &sink_fn);
+
+    let mut e = FnSpec::new(entry, 0);
+    let v = e.local();
+    e.push(Stmt::Call {
+        callee: Callee::Import("getenv".into()),
+        args: vec![Val::StrAddr(format!("var_{}", p.id))],
+        ret: Some(v),
+    });
+    e.push(Stmt::Call { callee: Callee::Func(target), args: vec![Val::Local(v)], ret: None });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// The strict-bounds extension subject: a guard that exists but does
+/// not fit the destination (`if (n < 1024) memcpy(dst256, …, n)`). The
+/// flow is planted entirely in the entry so the destination's stack
+/// capacity is visible to the checker.
+fn plant_weak_bound(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
+    let mut e = FnSpec::new(entry, 0);
+    let big = e.buf(2048);
+    let small = e.buf(256);
+    let n = e.local();
+    e.push(Stmt::Call {
+        callee: Callee::Import("recv".into()),
+        args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(2048), Val::Const(0)],
+        ret: Some(n),
+    });
+    // A sanitized twin uses a bound that actually fits; the vulnerable
+    // form "checks" against a bound four times the buffer.
+    let bound = if p.sanitized { 200 } else { 1024 };
+    e.push(Stmt::If {
+        lhs: Val::Local(n),
+        op: Cmp::Lt,
+        rhs: Val::Const(bound),
+        then: vec![Stmt::Call {
+            callee: Callee::Import("memcpy".into()),
+            args: vec![Val::BufAddr(small), Val::BufAddr(big), Val::Local(n)],
+            ret: None,
+        }],
+        els: vec![],
+    });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// The Uniview RTSP shape: read 254 bytes, `sscanf(line, "%s", out)`
+/// into a 180-byte stack buffer.
+fn plant_sscanf(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
+    let fmt = format!("fmt_{}", p.id);
+    spec.string(&fmt, "%s");
+    let mut e = FnSpec::new(entry, 0);
+    let line = e.buf(254);
+    let out = e.buf(180);
+    let n = e.local();
+    e.push(Stmt::Call {
+        callee: Callee::Import("read".into()),
+        args: vec![Val::Const(0), Val::BufAddr(line), Val::Const(254)],
+        ret: Some(n),
+    });
+    let sink_call = Stmt::Call {
+        callee: Callee::Import("sscanf".into()),
+        args: vec![Val::BufAddr(line), Val::StrAddr(fmt), Val::BufAddr(out)],
+        ret: None,
+    };
+    if p.sanitized {
+        e.push(Stmt::If {
+            lhs: Val::Local(n),
+            op: Cmp::Lt,
+            rhs: Val::Const(180),
+            then: vec![sink_call],
+            els: vec![],
+        });
+    } else {
+        e.push(sink_call);
+    }
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// The Hikvision loop-copy shape: read 2048 bytes, copy into a small
+/// buffer byte-by-byte until NUL (vulnerable) or counted (sanitised).
+fn plant_loopcopy(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
+    let mut e = FnSpec::new(entry, 0);
+    let big = e.buf(2048);
+    let small = e.buf(64);
+    e.push(Stmt::Call {
+        callee: Callee::Import("read".into()),
+        args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(2048)],
+        ret: None,
+    });
+    let bound = if p.sanitized { Some(Val::Const(64)) } else { None };
+    e.push(Stmt::CopyLoop { dst: Val::BufAddr(small), src: Val::BufAddr(big), bound });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// The Hikvision alias + indirect-call shape:
+///
+/// * `parse` stores its request-buffer *parameter* into a context field
+///   (`ctx->url = req` — the Formula 1 alias) and `read`s into it,
+/// * `install` writes a handler function pointer into another field,
+/// * `dispatch` calls through the pointer (resolved by layout
+///   similarity),
+/// * the handler `strcpy`s `ctx->url` into a small stack buffer.
+fn plant_alias_indirect(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
+    let ctx = spec.global(&format!("g_ctx_{}", p.id), 96);
+    let reqbuf = spec.global(&format!("g_req_{}", p.id), 2048);
+    // Every module defines its own context struct: field offsets vary by
+    // plant so distinct handler structures stay distinguishable to the
+    // layout-similarity matcher (identical layouts would be a genuine
+    // ambiguity). The salt counts prior alias-indirect plants in this
+    // program, guaranteeing distinct layouts.
+    let salt: i16 =
+        4 * spec.functions.iter().filter(|f| f.name.starts_with("install_")).count() as i16;
+    let fn_off = 8 + salt;
+    let url_off = 0x30 + salt;
+    let len_off = url_off + 4;
+
+    let handler = format!("handle_{}", p.id);
+    let mut hf = FnSpec::new(&handler, 1);
+    let dst = hf.buf(64);
+    let url = hf.local();
+    hf.push(Stmt::Load { dst: url, base: Val::Param(0), off: url_off });
+    let sink_call = Stmt::Call {
+        callee: Callee::Import("strcpy".into()),
+        args: vec![Val::BufAddr(dst), Val::Local(url)],
+        ret: None,
+    };
+    if p.sanitized {
+        let b = hf.local();
+        hf.push(Stmt::LoadByte { dst: b, base: Val::Local(url), off: 0 });
+        hf.push(Stmt::If {
+            lhs: Val::Local(b),
+            op: Cmp::Lt,
+            rhs: Val::Const(64),
+            then: vec![sink_call],
+            els: vec![],
+        });
+    } else {
+        hf.push(sink_call);
+    }
+    hf.push(Stmt::Return(None));
+    spec.func(hf);
+
+    let install = format!("install_{}", p.id);
+    let mut inf = FnSpec::new(&install, 1);
+    inf.push(Stmt::Store { base: Val::Param(0), off: fn_off, src: Val::FnAddr(handler.clone()) });
+    // Touch the shared fields so the two layouts align (ctx->url, ctx->len).
+    inf.push(Stmt::Store { base: Val::Param(0), off: url_off, src: Val::Const(0) });
+    inf.push(Stmt::Store { base: Val::Param(0), off: len_off, src: Val::Const(0) });
+    inf.push(Stmt::Return(None));
+    spec.func(inf);
+
+    let parse = format!("parse_{}", p.id);
+    let mut pf = FnSpec::new(&parse, 2);
+    // The alias: the request pointer parameter is stored into the field.
+    pf.push(Stmt::Store { base: Val::Param(0), off: url_off, src: Val::Param(1) });
+    let n = pf.local();
+    pf.push(Stmt::Call {
+        callee: Callee::Import("read".into()),
+        args: vec![Val::Const(0), Val::Param(1), Val::Const(2048)],
+        ret: Some(n),
+    });
+    pf.push(Stmt::Store { base: Val::Param(0), off: len_off, src: Val::Local(n) });
+    pf.push(Stmt::Return(None));
+    spec.func(pf);
+
+    let dispatch = format!("dispatch_{}", p.id);
+    let mut df = FnSpec::new(&dispatch, 1);
+    let t = df.local();
+    df.push(Stmt::Load { dst: t, base: Val::Param(0), off: url_off });
+    df.push(Stmt::Load { dst: t, base: Val::Param(0), off: len_off });
+    df.push(Stmt::CallIndirect {
+        fn_base: Val::Param(0),
+        off: fn_off,
+        args: vec![Val::Param(0)],
+        ret: None,
+    });
+    df.push(Stmt::Return(None));
+    spec.func(df);
+
+    let mut e = FnSpec::new(entry, 0);
+    e.push(Stmt::Call {
+        callee: Callee::Func(install),
+        args: vec![Val::GlobalAddr(ctx.clone())],
+        ret: None,
+    });
+    e.push(Stmt::Call {
+        callee: Callee::Func(parse),
+        args: vec![Val::GlobalAddr(ctx.clone()), Val::GlobalAddr(reqbuf)],
+        ret: None,
+    });
+    e.push(Stmt::Call { callee: Callee::Func(dispatch), args: vec![Val::GlobalAddr(ctx)], ret: None });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+    use dtaint_core::Dtaint;
+    use dtaint_fwbin::Arch;
+
+    /// Every template, vulnerable form: compiled on both architectures
+    /// and detected by the pipeline. The sanitised twin of the same
+    /// template must produce zero vulnerabilities.
+    fn all_kinds() -> Vec<PlantKind> {
+        vec![
+            PlantKind::CmdiGetenvSystem,
+            PlantKind::CmdiWebsgetvarSystem,
+            PlantKind::CmdiFindvarPopen,
+            PlantKind::BofReadStrncpy,
+            PlantKind::BofGetenvSprintf,
+            PlantKind::BofGetenvStrcpy,
+            PlantKind::BofRecvMemcpy,
+            PlantKind::BofSscanfRtsp,
+            PlantKind::BofReadMemcpySmall,
+            PlantKind::BofReadLoopcopy,
+            PlantKind::BofUrlParamAliasIndirect,
+        ]
+    }
+
+    fn run_single(kind: PlantKind, sanitized: bool, depth: u8, arch: Arch) -> usize {
+        let mut spec = ProgramSpec::new("t");
+        let gt = plant(&mut spec, &PlantSpec::new(kind, "x1", sanitized, depth));
+        // Entry shim calling the planted entry, so it is reachable.
+        let mut main = FnSpec::new("main", 0);
+        main.push(Stmt::Call { callee: Callee::Func(gt.entry_fn.clone()), args: vec![], ret: None });
+        main.push(Stmt::Return(None));
+        spec.func(main);
+        let bin = compile(&spec, arch).unwrap();
+        let r = Dtaint::new().analyze(&bin, "t").unwrap();
+        r.vulnerabilities()
+    }
+
+    #[test]
+    fn every_vulnerable_template_is_detected_on_arm() {
+        for kind in all_kinds() {
+            let v = run_single(kind, false, 0, Arch::Arm32e);
+            assert!(v >= 1, "{kind:?} must be detected (got {v})");
+        }
+    }
+
+    #[test]
+    fn every_vulnerable_template_is_detected_on_mips() {
+        for kind in all_kinds() {
+            let v = run_single(kind, false, 0, Arch::Mips32e);
+            assert!(v >= 1, "{kind:?} must be detected on mips (got {v})");
+        }
+    }
+
+    #[test]
+    fn every_sanitized_twin_is_clean_on_arm() {
+        for kind in all_kinds() {
+            let v = run_single(kind, true, 0, Arch::Arm32e);
+            assert_eq!(v, 0, "{kind:?} sanitized twin must not be reported");
+        }
+    }
+
+    #[test]
+    fn every_sanitized_twin_is_clean_on_mips() {
+        for kind in all_kinds() {
+            let v = run_single(kind, true, 0, Arch::Mips32e);
+            assert_eq!(v, 0, "{kind:?} sanitized twin must not be reported on mips");
+        }
+    }
+
+    #[test]
+    fn interprocedural_depth_preserves_detection() {
+        for depth in [1, 2, 4] {
+            let v = run_single(PlantKind::CmdiGetenvSystem, false, depth, Arch::Arm32e);
+            assert!(v >= 1, "depth {depth} cmdi must survive the chain");
+            let v = run_single(PlantKind::BofRecvMemcpy, false, depth, Arch::Mips32e);
+            assert!(v >= 1, "depth {depth} bof must survive the chain");
+        }
+    }
+
+    #[test]
+    fn ground_truth_records_the_right_names() {
+        let mut spec = ProgramSpec::new("t");
+        let gt = plant(&mut spec, &PlantSpec::new(PlantKind::CmdiFindvarPopen, "a", false, 1));
+        assert_eq!(gt.source, "find_var");
+        assert_eq!(gt.sink, "popen");
+        assert_eq!(gt.entry_fn, "vuln_a");
+        assert!(!gt.sanitized);
+        let gt = plant(&mut spec, &PlantSpec::new(PlantKind::BofReadLoopcopy, "b", true, 0));
+        assert_eq!(gt.entry_fn, "safe_b");
+        assert_eq!(gt.sink, "loop-copy");
+    }
+}

@@ -1,0 +1,337 @@
+//! The FWI firmware-image container.
+//!
+//! Plays the role of the vendor firmware blobs the paper crawled: a
+//! header with device metadata (vendor, product, architecture, release
+//! year, hardware inventory) followed by a packed file table — the root
+//! filesystem. Images can be *encrypted* (body scrambled), which makes
+//! extraction fail exactly like the >65% of real images Binwalk cannot
+//! unpack (§VI).
+
+use crate::{Error, Result};
+use bytes::{Buf, BufMut};
+use dtaint_fwbin::Arch;
+use serde::{Deserialize, Serialize};
+
+/// Magic bytes opening every FWI image.
+pub const FWI_MAGIC: [u8; 4] = *b"FWI1";
+
+/// A hardware component the firmware expects at boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Peripheral {
+    /// Standard wired network interface (emulators provide one).
+    Ethernet,
+    /// Standard wireless chip with mainline driver.
+    Wifi,
+    /// Camera sensor; proprietary ISPs block emulation.
+    Camera {
+        /// Needs a vendor-specific image pipeline.
+        proprietary: bool,
+    },
+    /// A vendor-specific ASIC (crypto offload, DSL PHY, …).
+    CustomAsic,
+    /// A watchdog that reboots unless hardware responds in time.
+    StrictWatchdog,
+    /// DSL modem frontend.
+    DslModem,
+}
+
+impl Peripheral {
+    /// True when full-system emulators cannot provide the component —
+    /// the dominant cause of FIRMADYNE boot failures (§II-A).
+    pub fn blocks_emulation(self) -> bool {
+        matches!(
+            self,
+            Peripheral::Camera { proprietary: true }
+                | Peripheral::CustomAsic
+                | Peripheral::StrictWatchdog
+        )
+    }
+}
+
+/// How the image boots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BootstrapKind {
+    /// Stock U-Boot-like loader; emulators handle it.
+    Standard,
+    /// Vendor-patched loader poking undocumented registers.
+    CustomLoader,
+    /// Loader that decrypts the kernel with a fused key.
+    EncryptedLoader,
+}
+
+/// Image metadata — what a crawler records from the vendor site plus
+/// what the device expects from its hardware.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FwMetadata {
+    /// Device manufacturer.
+    pub vendor: String,
+    /// Product/model string.
+    pub product: String,
+    /// Firmware version string.
+    pub version: String,
+    /// CPU architecture of the contained binaries.
+    pub arch: Arch2,
+    /// Release year (for the Figure 1 histogram).
+    pub release_year: u16,
+    /// Hardware the firmware probes at boot.
+    pub peripherals: Vec<Peripheral>,
+    /// True when boot requires populated NVRAM.
+    pub nvram_required: bool,
+    /// True when the image ships an NVRAM defaults file.
+    pub nvram_defaults_present: bool,
+    /// Boot chain kind.
+    pub bootstrap: BootstrapKind,
+}
+
+/// Serializable architecture tag (mirror of [`Arch`], kept separate so
+/// the metadata can derive serde without touching `dtaint-fwbin`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch2 {
+    /// See [`Arch::Arm32e`].
+    Arm,
+    /// See [`Arch::Mips32e`].
+    Mips,
+}
+
+impl From<Arch> for Arch2 {
+    fn from(a: Arch) -> Self {
+        match a {
+            Arch::Arm32e => Arch2::Arm,
+            Arch::Mips32e => Arch2::Mips,
+        }
+    }
+}
+
+impl From<Arch2> for Arch {
+    fn from(a: Arch2) -> Self {
+        match a {
+            Arch2::Arm => Arch::Arm32e,
+            Arch2::Mips => Arch::Mips32e,
+        }
+    }
+}
+
+/// One file of the packed root filesystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FwFile {
+    /// Path within the filesystem (e.g. `bin/httpd`).
+    pub path: String,
+    /// Raw contents.
+    pub data: Vec<u8>,
+}
+
+/// A firmware image: metadata plus root filesystem.
+///
+/// # Examples
+///
+/// ```
+/// use dtaint_fwimage::{FwImage, FwMetadata, FwFile, Arch2, BootstrapKind};
+///
+/// let img = FwImage {
+///     metadata: FwMetadata {
+///         vendor: "Acme".into(),
+///         product: "AC1200".into(),
+///         version: "1.0".into(),
+///         arch: Arch2::Mips,
+///         release_year: 2015,
+///         peripherals: vec![],
+///         nvram_required: false,
+///         nvram_defaults_present: true,
+///         bootstrap: BootstrapKind::Standard,
+///     },
+///     files: vec![FwFile { path: "bin/httpd".into(), data: vec![1, 2, 3] }],
+/// };
+/// let packed = img.pack(false);
+/// let back = FwImage::unpack(&packed)?;
+/// assert_eq!(back, img);
+/// # Ok::<(), dtaint_fwimage::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FwImage {
+    /// Device and boot metadata.
+    pub metadata: FwMetadata,
+    /// Root filesystem contents.
+    pub files: Vec<FwFile>,
+}
+
+/// Key used to scramble encrypted image bodies.
+const SCRAMBLE_KEY: u8 = 0x5a;
+
+impl FwImage {
+    /// Packs the image. With `encrypted`, the body (everything after the
+    /// magic and flag byte) is scrambled so [`FwImage::unpack`] fails —
+    /// modelling vendor-encrypted images.
+    pub fn pack(&self, encrypted: bool) -> Vec<u8> {
+        let meta = serde_json::to_vec(&self.metadata).expect("metadata serialises");
+        let mut body = Vec::new();
+        body.put_u32_le(meta.len() as u32);
+        body.put_slice(&meta);
+        body.put_u32_le(self.files.len() as u32);
+        for f in &self.files {
+            body.put_u16_le(f.path.len() as u16);
+            body.put_slice(f.path.as_bytes());
+            body.put_u32_le(f.data.len() as u32);
+            body.put_slice(&f.data);
+        }
+        if encrypted {
+            for b in &mut body {
+                *b ^= SCRAMBLE_KEY;
+            }
+        }
+        let mut out = Vec::with_capacity(body.len() + 5);
+        out.put_slice(&FWI_MAGIC);
+        out.put_u8(encrypted as u8);
+        out.put_slice(&body);
+        out
+    }
+
+    /// Unpacks an image.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::BadMagic`] — not an FWI image.
+    /// * [`Error::Encrypted`] — the body is vendor-encrypted.
+    /// * [`Error::Corrupted`] — truncated or malformed contents.
+    pub fn unpack(mut buf: &[u8]) -> Result<FwImage> {
+        if buf.len() < 5 || buf[..4] != FWI_MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let encrypted = buf[4] != 0;
+        if encrypted {
+            return Err(Error::Encrypted);
+        }
+        buf = &buf[5..];
+        let meta_len = get_u32(&mut buf)? as usize;
+        if buf.remaining() < meta_len {
+            return Err(Error::Corrupted("metadata truncated".into()));
+        }
+        let (meta_bytes, rest) = buf.split_at(meta_len);
+        buf = rest;
+        let metadata: FwMetadata = serde_json::from_slice(meta_bytes)
+            .map_err(|e| Error::Corrupted(format!("metadata: {e}")))?;
+        let n_files = get_u32(&mut buf)? as usize;
+        let mut files = Vec::with_capacity(n_files.min(4096));
+        for _ in 0..n_files {
+            let plen = get_u16(&mut buf)? as usize;
+            if buf.remaining() < plen {
+                return Err(Error::Corrupted("path truncated".into()));
+            }
+            let (pbytes, rest) = buf.split_at(plen);
+            buf = rest;
+            let path = String::from_utf8(pbytes.to_vec())
+                .map_err(|_| Error::Corrupted("non-utf8 path".into()))?;
+            let dlen = get_u32(&mut buf)? as usize;
+            if buf.remaining() < dlen {
+                return Err(Error::Corrupted("file truncated".into()));
+            }
+            let (dbytes, rest) = buf.split_at(dlen);
+            buf = rest;
+            files.push(FwFile { path, data: dbytes.to_vec() });
+        }
+        Ok(FwImage { metadata, files })
+    }
+
+    /// The file at `path`, if present.
+    pub fn file(&self, path: &str) -> Option<&FwFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    /// Total packed payload size in bytes.
+    pub fn total_file_bytes(&self) -> usize {
+        self.files.iter().map(|f| f.data.len()).sum()
+    }
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(Error::Corrupted("unexpected end".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16> {
+    if buf.remaining() < 2 {
+        return Err(Error::Corrupted("unexpected end".into()));
+    }
+    Ok(buf.get_u16_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> FwImage {
+        FwImage {
+            metadata: FwMetadata {
+                vendor: "D-Link".into(),
+                product: "DIR-645".into(),
+                version: "1.03".into(),
+                arch: Arch2::Mips,
+                release_year: 2013,
+                peripherals: vec![Peripheral::Ethernet, Peripheral::Wifi],
+                nvram_required: true,
+                nvram_defaults_present: true,
+                bootstrap: BootstrapKind::Standard,
+            },
+            files: vec![
+                FwFile { path: "bin/cgibin".into(), data: vec![0xde, 0xad] },
+                FwFile { path: "etc/passwd".into(), data: b"root::0:0::/:/bin/sh\n".to_vec() },
+            ],
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let img = sample();
+        assert_eq!(FwImage::unpack(&img.pack(false)).unwrap(), img);
+    }
+
+    #[test]
+    fn encrypted_images_refuse_to_unpack() {
+        let img = sample();
+        assert_eq!(FwImage::unpack(&img.pack(true)).unwrap_err(), Error::Encrypted);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_rejected() {
+        assert_eq!(FwImage::unpack(b"NOPE").unwrap_err(), Error::BadMagic);
+        let packed = sample().pack(false);
+        for len in 5..packed.len() {
+            assert!(FwImage::unpack(&packed[..len]).is_err(), "prefix {len}");
+        }
+    }
+
+    #[test]
+    fn file_lookup_and_sizes() {
+        let img = sample();
+        assert!(img.file("bin/cgibin").is_some());
+        assert!(img.file("bin/missing").is_none());
+        assert_eq!(img.total_file_bytes(), 2 + 21);
+    }
+
+    #[test]
+    fn metadata_roundtrips_with_unusual_strings() {
+        let mut img = sample();
+        img.metadata.vendor = "Vendor \"quoted\" & <odd>".into();
+        img.metadata.product = "产品-β".into();
+        img.metadata.version = String::new();
+        assert_eq!(FwImage::unpack(&img.pack(false)).unwrap(), img);
+    }
+
+    #[test]
+    fn empty_filesystem_roundtrips() {
+        let mut img = sample();
+        img.files.clear();
+        let back = FwImage::unpack(&img.pack(false)).unwrap();
+        assert!(back.files.is_empty());
+        assert_eq!(back.total_file_bytes(), 0);
+    }
+
+    #[test]
+    fn proprietary_components_block_emulation() {
+        assert!(Peripheral::CustomAsic.blocks_emulation());
+        assert!(Peripheral::Camera { proprietary: true }.blocks_emulation());
+        assert!(!Peripheral::Camera { proprietary: false }.blocks_emulation());
+        assert!(!Peripheral::Ethernet.blocks_emulation());
+    }
+}

@@ -1,0 +1,146 @@
+//! The emulation-feasibility model — the FIRMADYNE substitute behind
+//! Figure 1.
+//!
+//! The paper's empirical study runs every collected image through a
+//! full-system emulator; ~90% fail "mainly because the firmware failed
+//! to access custom and proprietary hardware components or failed to
+//! initialize the network configuration in the boot process" (§II-A).
+//! This module reproduces those failure modes as a deterministic
+//! decision over image metadata, so the corpus generator can shape the
+//! success rate and the Figure 1 harness can measure it.
+
+use crate::container::{BootstrapKind, FwImage};
+use std::fmt;
+
+/// Why the emulator failed to boot an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmulationFailure {
+    /// The image could not be unpacked at all (encrypted/corrupted).
+    Unpackable,
+    /// Boot probes a hardware component the emulator cannot provide.
+    ProprietaryPeripheral(String),
+    /// Boot requires NVRAM contents that are not in the image.
+    NvramMissing,
+    /// A vendor-specific or encrypted boot chain.
+    CustomBootstrap,
+    /// Userland came up but network configuration failed, so no
+    /// analysable services are reachable.
+    NetworkInitFailed,
+}
+
+impl fmt::Display for EmulationFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmulationFailure::Unpackable => f.write_str("image could not be unpacked"),
+            EmulationFailure::ProprietaryPeripheral(p) => {
+                write!(f, "boot blocked on proprietary hardware: {p}")
+            }
+            EmulationFailure::NvramMissing => f.write_str("required nvram contents missing"),
+            EmulationFailure::CustomBootstrap => f.write_str("vendor-specific boot chain"),
+            EmulationFailure::NetworkInitFailed => f.write_str("network initialisation failed"),
+        }
+    }
+}
+
+/// Attempts to boot an image in the simulated full-system emulator.
+///
+/// # Errors
+///
+/// Returns the first blocking [`EmulationFailure`], checked in boot
+/// order: bootstrap → peripherals → NVRAM → network.
+pub fn try_emulate(img: &FwImage) -> Result<(), EmulationFailure> {
+    match img.metadata.bootstrap {
+        BootstrapKind::Standard => {}
+        BootstrapKind::CustomLoader | BootstrapKind::EncryptedLoader => {
+            return Err(EmulationFailure::CustomBootstrap);
+        }
+    }
+    for p in &img.metadata.peripherals {
+        if p.blocks_emulation() {
+            return Err(EmulationFailure::ProprietaryPeripheral(format!("{p:?}")));
+        }
+    }
+    if img.metadata.nvram_required && !img.metadata.nvram_defaults_present {
+        return Err(EmulationFailure::NvramMissing);
+    }
+    // Network init needs an interface configuration script in the image.
+    let has_net_config = img
+        .files
+        .iter()
+        .any(|f| f.path.contains("network") || f.path.contains("rc.d") || f.path == "etc/init");
+    if !has_net_config {
+        return Err(EmulationFailure::NetworkInitFailed);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{Arch2, FwFile, FwMetadata, Peripheral};
+
+    fn bootable() -> FwImage {
+        FwImage {
+            metadata: FwMetadata {
+                vendor: "v".into(),
+                product: "p".into(),
+                version: "1".into(),
+                arch: Arch2::Arm,
+                release_year: 2014,
+                peripherals: vec![Peripheral::Ethernet],
+                nvram_required: false,
+                nvram_defaults_present: false,
+                bootstrap: BootstrapKind::Standard,
+            },
+            files: vec![FwFile { path: "etc/network/interfaces".into(), data: vec![] }],
+        }
+    }
+
+    #[test]
+    fn standard_image_boots() {
+        assert_eq!(try_emulate(&bootable()), Ok(()));
+    }
+
+    #[test]
+    fn custom_bootstrap_blocks() {
+        let mut img = bootable();
+        img.metadata.bootstrap = BootstrapKind::CustomLoader;
+        assert_eq!(try_emulate(&img), Err(EmulationFailure::CustomBootstrap));
+    }
+
+    #[test]
+    fn proprietary_hardware_blocks() {
+        let mut img = bootable();
+        img.metadata.peripherals.push(Peripheral::CustomAsic);
+        assert!(matches!(
+            try_emulate(&img),
+            Err(EmulationFailure::ProprietaryPeripheral(_))
+        ));
+    }
+
+    #[test]
+    fn nvram_requirement_respects_defaults_file() {
+        let mut img = bootable();
+        img.metadata.nvram_required = true;
+        assert_eq!(try_emulate(&img), Err(EmulationFailure::NvramMissing));
+        img.metadata.nvram_defaults_present = true;
+        assert_eq!(try_emulate(&img), Ok(()));
+    }
+
+    #[test]
+    fn missing_network_config_blocks() {
+        let mut img = bootable();
+        img.files.clear();
+        assert_eq!(try_emulate(&img), Err(EmulationFailure::NetworkInitFailed));
+    }
+
+    #[test]
+    fn failures_check_in_boot_order() {
+        // With several problems, the bootstrap one surfaces first.
+        let mut img = bootable();
+        img.metadata.bootstrap = BootstrapKind::EncryptedLoader;
+        img.metadata.peripherals.push(Peripheral::CustomAsic);
+        img.files.clear();
+        assert_eq!(try_emulate(&img), Err(EmulationFailure::CustomBootstrap));
+    }
+}

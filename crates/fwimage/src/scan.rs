@@ -1,0 +1,168 @@
+//! Signature scanning and binary extraction — the Binwalk substitute.
+//!
+//! Real firmware triage starts by scanning a blob for known signatures
+//! (filesystem superblocks, compression headers, executables) and carving
+//! out the pieces. This module does the same for the formats of this
+//! workspace: FWI containers, FBF executables, and a couple of foreign
+//! magics that are recognised but not extractable — mirroring how Binwalk
+//! identifies more than it can unpack.
+
+use crate::container::{FwImage, FWI_MAGIC};
+use crate::{Error, Result};
+use dtaint_fwbin::fbf::FBF_MAGIC;
+use dtaint_fwbin::Binary;
+
+/// A recognised signature kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignatureKind {
+    /// An FWI firmware container.
+    FwImage,
+    /// An FBF executable.
+    FbfBinary,
+    /// A SquashFS-like superblock (recognised, not extractable).
+    SquashFs,
+    /// A gzip stream (recognised, not extractable).
+    Gzip,
+}
+
+/// One signature hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// Byte offset of the magic.
+    pub offset: usize,
+    /// What the magic identifies.
+    pub kind: SignatureKind,
+}
+
+/// Scans a blob for known signatures, in offset order.
+pub fn scan(data: &[u8]) -> Vec<Signature> {
+    const MAGICS: &[(&[u8], SignatureKind)] = &[
+        (&FWI_MAGIC, SignatureKind::FwImage),
+        (&FBF_MAGIC, SignatureKind::FbfBinary),
+        (b"hsqs", SignatureKind::SquashFs),
+        (&[0x1f, 0x8b, 0x08], SignatureKind::Gzip),
+    ];
+    let mut out = Vec::new();
+    for i in 0..data.len() {
+        for (magic, kind) in MAGICS {
+            if data[i..].starts_with(magic) {
+                out.push(Signature { offset: i, kind: *kind });
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the firmware image from a blob (the image may be embedded at
+/// a non-zero offset, e.g. after a bootloader stub).
+///
+/// # Errors
+///
+/// * [`Error::NoImageFound`] — no FWI signature in the blob.
+/// * [`Error::Encrypted`] / [`Error::Corrupted`] — the container is
+///   present but cannot be unpacked.
+pub fn extract_image(data: &[u8]) -> Result<FwImage> {
+    let sig = scan(data)
+        .into_iter()
+        .find(|s| s.kind == SignatureKind::FwImage)
+        .ok_or(Error::NoImageFound)?;
+    FwImage::unpack(&data[sig.offset..])
+}
+
+/// Parses every FBF executable in an unpacked image's filesystem,
+/// returning `(path, binary)` pairs. Non-executable files are skipped;
+/// malformed executables surface as errors.
+///
+/// # Errors
+///
+/// Returns [`Error::BadBinary`] naming the offending path when a file
+/// that starts with the FBF magic fails to parse.
+pub fn extract_binaries(img: &FwImage) -> Result<Vec<(String, Binary)>> {
+    let mut out = Vec::new();
+    for f in &img.files {
+        if f.data.starts_with(&FBF_MAGIC) {
+            let bin = Binary::from_bytes(&f.data)
+                .map_err(|e| Error::BadBinary { path: f.path.clone(), source: e })?;
+            out.push((f.path.clone(), bin));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{Arch2, BootstrapKind, FwFile, FwMetadata};
+    use dtaint_fwbin::asm::Assembler;
+    use dtaint_fwbin::link::BinaryBuilder;
+    use dtaint_fwbin::Arch;
+
+    fn image_with_binary() -> FwImage {
+        let mut a = Assembler::new(Arch::Mips32e);
+        a.ret();
+        let mut b = BinaryBuilder::new(Arch::Mips32e);
+        b.add_function("main", a);
+        let bin = b.link().unwrap();
+        FwImage {
+            metadata: FwMetadata {
+                vendor: "Netgear".into(),
+                product: "DGN1000".into(),
+                version: "1.1.00.46".into(),
+                arch: Arch2::Mips,
+                release_year: 2014,
+                peripherals: vec![],
+                nvram_required: false,
+                nvram_defaults_present: false,
+                bootstrap: BootstrapKind::Standard,
+            },
+            files: vec![
+                FwFile { path: "www/setup.cgi".into(), data: bin.to_bytes() },
+                FwFile { path: "etc/version".into(), data: b"1.1.00.46".to_vec() },
+            ],
+        }
+    }
+
+    #[test]
+    fn scan_finds_embedded_image_after_padding() {
+        let img = image_with_binary();
+        let mut blob = vec![0u8; 512]; // bootloader stub padding
+        blob.extend(img.pack(false));
+        let sigs = scan(&blob);
+        assert!(sigs.iter().any(|s| s.kind == SignatureKind::FwImage && s.offset == 512));
+        // The FBF binary inside the container is also visible to the scan.
+        assert!(sigs.iter().any(|s| s.kind == SignatureKind::FbfBinary));
+        let back = extract_image(&blob).unwrap();
+        assert_eq!(back.metadata.product, "DGN1000");
+    }
+
+    #[test]
+    fn scan_recognises_foreign_magics() {
+        let blob = [b"junk".as_ref(), b"hsqs", &[0u8, 0x1f, 0x8b, 0x08], b"end"].concat();
+        let kinds: Vec<SignatureKind> = scan(&blob).iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SignatureKind::SquashFs));
+        assert!(kinds.contains(&SignatureKind::Gzip));
+    }
+
+    #[test]
+    fn extract_binaries_parses_fbf_files_only() {
+        let img = image_with_binary();
+        let bins = extract_binaries(&img).unwrap();
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].0, "www/setup.cgi");
+        assert!(bins[0].1.function("main").is_some());
+    }
+
+    #[test]
+    fn corrupt_embedded_binary_is_reported_with_path() {
+        let mut img = image_with_binary();
+        // Truncate the executable: magic survives, body does not.
+        img.files[0].data.truncate(6);
+        let err = extract_binaries(&img).unwrap_err();
+        assert!(matches!(err, Error::BadBinary { ref path, .. } if path == "www/setup.cgi"));
+    }
+
+    #[test]
+    fn no_image_found_in_garbage() {
+        assert_eq!(extract_image(b"not firmware at all").unwrap_err(), Error::NoImageFound);
+    }
+}

@@ -1,0 +1,267 @@
+use dtaint_fwbin::Reg;
+use std::fmt;
+
+/// Access width of a memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// One byte, zero-extended on load.
+    W8,
+    /// One halfword (16 bits), zero-extended on load.
+    W16,
+    /// One 32-bit word.
+    W32,
+}
+
+impl Width {
+    /// Size of the access in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::W8 => 1,
+            Width::W16 => 2,
+            Width::W32 => 4,
+        }
+    }
+}
+
+/// A binary operator in the IR.
+///
+/// The `Cmp*` family yields a boolean (0/1) and appears only in
+/// [`IrStmt::Exit`](crate::IrStmt::Exit) conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping 32-bit addition.
+    Add,
+    /// Wrapping 32-bit subtraction.
+    Sub,
+    /// Wrapping 32-bit multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical left shift.
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Equality test.
+    CmpEq,
+    /// Inequality test.
+    CmpNe,
+    /// Signed less-than.
+    CmpLt,
+    /// Signed greater-or-equal.
+    CmpGe,
+    /// Signed less-or-equal.
+    CmpLe,
+    /// Signed greater-than.
+    CmpGt,
+}
+
+impl BinOp {
+    /// True for the comparison operators.
+    pub fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::CmpEq | BinOp::CmpNe | BinOp::CmpLt | BinOp::CmpGe | BinOp::CmpLe | BinOp::CmpGt
+        )
+    }
+
+    /// The comparison testing the opposite outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-comparison operator.
+    pub fn negate_cmp(self) -> BinOp {
+        match self {
+            BinOp::CmpEq => BinOp::CmpNe,
+            BinOp::CmpNe => BinOp::CmpEq,
+            BinOp::CmpLt => BinOp::CmpGe,
+            BinOp::CmpGe => BinOp::CmpLt,
+            BinOp::CmpLe => BinOp::CmpGt,
+            BinOp::CmpGt => BinOp::CmpLe,
+            other => panic!("negate_cmp on non-comparison operator {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::CmpEq => "==",
+            BinOp::CmpNe => "!=",
+            BinOp::CmpLt => "<",
+            BinOp::CmpGe => ">=",
+            BinOp::CmpLe => "<=",
+            BinOp::CmpGt => ">",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A side-effect-free IR expression tree.
+///
+/// Like VEX's `IRExpr`, but tree-structured rather than flattened through
+/// temporaries: the lifters emit nested expressions directly, which keeps
+/// the symbolic evaluator a single recursive walk.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IrExpr {
+    /// A 32-bit constant.
+    Const(u32),
+    /// The current value of a guest register (or pseudo-register).
+    Get(Reg),
+    /// A memory load.
+    Load {
+        /// Address expression.
+        addr: Box<IrExpr>,
+        /// Access width.
+        width: Width,
+    },
+    /// A binary operation.
+    Binop {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<IrExpr>,
+        /// Right operand.
+        rhs: Box<IrExpr>,
+    },
+}
+
+impl IrExpr {
+    /// Convenience constructor for [`IrExpr::Binop`].
+    pub fn binop(op: BinOp, lhs: IrExpr, rhs: IrExpr) -> IrExpr {
+        IrExpr::Binop { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience constructor: `base + offset` with constant folding for
+    /// a zero offset.
+    pub fn add_const(base: IrExpr, offset: i32) -> IrExpr {
+        if offset == 0 {
+            base
+        } else {
+            IrExpr::binop(BinOp::Add, base, IrExpr::Const(offset as u32))
+        }
+    }
+
+    /// Convenience constructor for [`IrExpr::Load`].
+    pub fn load(addr: IrExpr, width: Width) -> IrExpr {
+        IrExpr::Load { addr: Box::new(addr), width }
+    }
+
+    /// The constant value, when the expression is a constant.
+    pub fn as_const(&self) -> Option<u32> {
+        match self {
+            IrExpr::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Registers read anywhere in the tree, in first-use order.
+    pub fn regs_read(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let IrExpr::Get(r) = e {
+                if !out.contains(r) {
+                    out.push(*r);
+                }
+            }
+        });
+        out
+    }
+
+    /// Depth-first pre-order visit of every node in the tree.
+    pub fn visit(&self, f: &mut impl FnMut(&IrExpr)) {
+        f(self);
+        match self {
+            IrExpr::Const(_) | IrExpr::Get(_) => {}
+            IrExpr::Load { addr, .. } => addr.visit(f),
+            IrExpr::Binop { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+        }
+    }
+}
+
+impl fmt::Display for IrExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrExpr::Const(v) => write!(f, "{v:#x}"),
+            IrExpr::Get(r) => write!(f, "{r}"),
+            IrExpr::Load { addr, width } => {
+                let w = match width {
+                    Width::W8 => "8",
+                    Width::W16 => "16",
+                    Width::W32 => "32",
+                };
+                write!(f, "mem{w}[{addr}]")
+            }
+            IrExpr::Binop { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_const_folds_zero() {
+        let e = IrExpr::add_const(IrExpr::Get(Reg(1)), 0);
+        assert_eq!(e, IrExpr::Get(Reg(1)));
+        let e = IrExpr::add_const(IrExpr::Get(Reg(1)), -4);
+        assert_eq!(
+            e,
+            IrExpr::binop(BinOp::Add, IrExpr::Get(Reg(1)), IrExpr::Const(0xffff_fffc))
+        );
+    }
+
+    #[test]
+    fn regs_read_deduplicates_in_order() {
+        let e = IrExpr::binop(
+            BinOp::Add,
+            IrExpr::Get(Reg(2)),
+            IrExpr::binop(BinOp::Mul, IrExpr::Get(Reg(1)), IrExpr::Get(Reg(2))),
+        );
+        assert_eq!(e.regs_read(), vec![Reg(2), Reg(1)]);
+    }
+
+    #[test]
+    fn cmp_negation() {
+        assert_eq!(BinOp::CmpLt.negate_cmp(), BinOp::CmpGe);
+        assert_eq!(BinOp::CmpEq.negate_cmp(), BinOp::CmpNe);
+        assert!(BinOp::CmpGt.is_cmp());
+        assert!(!BinOp::Add.is_cmp());
+    }
+
+    #[test]
+    #[should_panic(expected = "negate_cmp")]
+    fn negate_non_cmp_panics() {
+        BinOp::Add.negate_cmp();
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = IrExpr::load(
+            IrExpr::binop(BinOp::Add, IrExpr::Get(Reg(5)), IrExpr::Const(0x4c)),
+            Width::W32,
+        );
+        assert_eq!(e.to_string(), "mem32[(x5 + 0x4c)]");
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::W8.bytes(), 1);
+        assert_eq!(Width::W32.bytes(), 4);
+    }
+}

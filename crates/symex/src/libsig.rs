@@ -1,0 +1,312 @@
+//! Signatures and side-effect models for standard library functions.
+//!
+//! This is the paper's type-inference rule (1) — "in the most standard
+//! library calls, the parameters are specified data types" (§III-B) —
+//! plus the memory side effects the executor applies at import call
+//! sites, which is how taint enters and propagates through memory:
+//!
+//! * a *fills* effect writes fresh external data through a pointer
+//!   argument (`recv` filling its buffer),
+//! * a *copies* effect writes data derived from another argument's
+//!   pointee (`strcpy` copying `src` into `dst`),
+//! * a *returns-external* effect makes the returned pointer's pointee
+//!   fresh external data (`getenv`).
+
+use crate::types::VType;
+
+/// Memory side effect of a library call on one pointer argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteEffect {
+    /// The pointee of argument `dst` receives fresh external data.
+    Fills {
+        /// Destination pointer argument index.
+        dst: usize,
+    },
+    /// The pointee of argument `dst` receives data derived from the
+    /// pointee of argument `src`.
+    Copies {
+        /// Destination pointer argument index.
+        dst: usize,
+        /// Source pointer argument index.
+        src: usize,
+    },
+}
+
+/// Signature and effects of one library function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LibSig {
+    /// Function name as it appears in the import table.
+    pub name: &'static str,
+    /// Argument types (fixed part; varargs omitted).
+    pub arg_types: &'static [VType],
+    /// Return type.
+    pub ret_type: VType,
+    /// Memory side effects.
+    pub effects: &'static [WriteEffect],
+    /// True when the returned pointer's pointee is fresh external data.
+    pub ret_points_to_external: bool,
+}
+
+use VType::{CharPtr, Int, Ptr};
+
+/// The built-in signature table, covering every source and sink of the
+/// paper's Table I plus the helpers the generated firmware uses.
+pub const LIB_SIGS: &[LibSig] = &[
+    // ---- sinks (Table I) ----
+    LibSig {
+        name: "strcpy",
+        arg_types: &[CharPtr, CharPtr],
+        ret_type: CharPtr,
+        effects: &[WriteEffect::Copies { dst: 0, src: 1 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "strncpy",
+        arg_types: &[CharPtr, CharPtr, Int],
+        ret_type: CharPtr,
+        effects: &[WriteEffect::Copies { dst: 0, src: 1 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "sprintf",
+        arg_types: &[CharPtr, CharPtr],
+        ret_type: Int,
+        effects: &[WriteEffect::Copies { dst: 0, src: 2 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "memcpy",
+        arg_types: &[Ptr, Ptr, Int],
+        ret_type: Ptr,
+        effects: &[WriteEffect::Copies { dst: 0, src: 1 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "strcat",
+        arg_types: &[CharPtr, CharPtr],
+        ret_type: CharPtr,
+        effects: &[WriteEffect::Copies { dst: 0, src: 1 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "sscanf",
+        arg_types: &[CharPtr, CharPtr, Ptr],
+        ret_type: Int,
+        effects: &[WriteEffect::Copies { dst: 2, src: 0 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "system",
+        arg_types: &[CharPtr],
+        ret_type: Int,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "popen",
+        arg_types: &[CharPtr, CharPtr],
+        ret_type: Ptr,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    // ---- sources (Table I) ----
+    LibSig {
+        name: "read",
+        arg_types: &[Int, Ptr, Int],
+        ret_type: Int,
+        effects: &[WriteEffect::Fills { dst: 1 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "recv",
+        arg_types: &[Int, Ptr, Int, Int],
+        ret_type: Int,
+        effects: &[WriteEffect::Fills { dst: 1 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "recvfrom",
+        arg_types: &[Int, Ptr, Int, Int],
+        ret_type: Int,
+        effects: &[WriteEffect::Fills { dst: 1 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "recvmsg",
+        arg_types: &[Int, Ptr, Int],
+        ret_type: Int,
+        effects: &[WriteEffect::Fills { dst: 1 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "getenv",
+        arg_types: &[CharPtr],
+        ret_type: CharPtr,
+        effects: &[],
+        ret_points_to_external: true,
+    },
+    LibSig {
+        name: "fgets",
+        arg_types: &[CharPtr, Int, Ptr],
+        ret_type: CharPtr,
+        effects: &[WriteEffect::Fills { dst: 0 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "websGetVar",
+        arg_types: &[Ptr, CharPtr, CharPtr],
+        ret_type: CharPtr,
+        effects: &[],
+        ret_points_to_external: true,
+    },
+    LibSig {
+        name: "find_var",
+        arg_types: &[Ptr, CharPtr],
+        ret_type: CharPtr,
+        effects: &[],
+        ret_points_to_external: true,
+    },
+    // ---- common helpers ----
+    LibSig {
+        name: "malloc",
+        arg_types: &[Int],
+        ret_type: Ptr,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "free",
+        arg_types: &[Ptr],
+        ret_type: VType::Unknown,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "strlen",
+        arg_types: &[CharPtr],
+        ret_type: Int,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "strchr",
+        arg_types: &[CharPtr, Int],
+        ret_type: CharPtr,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "strcmp",
+        arg_types: &[CharPtr, CharPtr],
+        ret_type: Int,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "atoi",
+        arg_types: &[CharPtr],
+        ret_type: Int,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "printf",
+        arg_types: &[CharPtr],
+        ret_type: Int,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "memset",
+        arg_types: &[Ptr, Int, Int],
+        ret_type: Ptr,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "socket",
+        arg_types: &[Int, Int, Int],
+        ret_type: Int,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "close",
+        arg_types: &[Int],
+        ret_type: Int,
+        effects: &[],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "snprintf",
+        arg_types: &[CharPtr, Int, CharPtr],
+        ret_type: Int,
+        effects: &[WriteEffect::Copies { dst: 0, src: 3 }],
+        ret_points_to_external: false,
+    },
+    LibSig {
+        name: "BIO_read",
+        arg_types: &[Ptr, Ptr, Int],
+        ret_type: Int,
+        effects: &[WriteEffect::Fills { dst: 1 }],
+        ret_points_to_external: false,
+    },
+];
+
+/// Looks up the signature of a library function by import name.
+pub fn lib_sig(name: &str) -> Option<&'static LibSig> {
+    LIB_SIGS.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sinks_and_sources_are_present() {
+        for name in [
+            "strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system", "popen",
+            "read", "recv", "recvfrom", "recvmsg", "getenv", "fgets", "websGetVar", "find_var",
+        ] {
+            assert!(lib_sig(name).is_some(), "missing Table I entry {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_function_returns_none() {
+        assert!(lib_sig("frobnicate").is_none());
+    }
+
+    #[test]
+    fn copy_sinks_copy_and_sources_fill() {
+        let strcpy = lib_sig("strcpy").unwrap();
+        assert_eq!(strcpy.effects, &[WriteEffect::Copies { dst: 0, src: 1 }]);
+        let recv = lib_sig("recv").unwrap();
+        assert_eq!(recv.effects, &[WriteEffect::Fills { dst: 1 }]);
+        let getenv = lib_sig("getenv").unwrap();
+        assert!(getenv.ret_points_to_external);
+        assert!(getenv.effects.is_empty());
+    }
+
+    #[test]
+    fn effect_indices_are_within_reasonable_bounds() {
+        for sig in LIB_SIGS {
+            for e in sig.effects {
+                let (WriteEffect::Fills { dst } | WriteEffect::Copies { dst, .. }) = e;
+                assert!(*dst < 10, "{}: dst index {dst} out of range", sig.name);
+                if let WriteEffect::Copies { src, .. } = e {
+                    assert!(*src < 10, "{}: src index {src} out of range", sig.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = LIB_SIGS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,109 @@
+//! Primitive data types and the paper's two inference rules.
+//!
+//! DTaint infers types "through two ways: (1) standard C/C++ library
+//! function calls, and (2) a machine instruction defining the data type"
+//! (§III-B). Rule (1) lives in [`crate::libsig`]; rule (2) is applied by
+//! the executor: a register used as a load/store base must hold a
+//! pointer, and a register compared against an immediate holds an
+//! integer.
+
+use std::fmt;
+
+/// A primitive value type, following the paper's `int`/`char`/`int*`/
+/// `char*` vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VType {
+    /// Nothing known yet.
+    #[default]
+    Unknown,
+    /// A 32-bit integer.
+    Int,
+    /// A single byte / character.
+    Char,
+    /// A pointer of unknown pointee.
+    Ptr,
+    /// A pointer to characters (C string).
+    CharPtr,
+    /// A pointer to integers.
+    IntPtr,
+}
+
+impl VType {
+    /// True for any pointer type.
+    pub fn is_pointer(self) -> bool {
+        matches!(self, VType::Ptr | VType::CharPtr | VType::IntPtr)
+    }
+
+    /// Merges two observations of the same value's type.
+    ///
+    /// More specific information wins; conflicting pointer flavours decay
+    /// to the generic [`VType::Ptr`]; pointer-vs-integer conflicts keep
+    /// the pointer (loads are stronger evidence than compares, which also
+    /// legitimately apply to pointers).
+    pub fn join(self, other: VType) -> VType {
+        use VType::*;
+        match (self, other) {
+            (Unknown, x) | (x, Unknown) => x,
+            (a, b) if a == b => a,
+            (CharPtr, IntPtr) | (IntPtr, CharPtr) => Ptr,
+            (Ptr, p) | (p, Ptr) if p.is_pointer() => p,
+            (p, _) | (_, p) if p.is_pointer() => p,
+            (Char, Int) | (Int, Char) => Int,
+            (a, _) => a,
+        }
+    }
+}
+
+impl fmt::Display for VType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VType::Unknown => "?",
+            VType::Int => "int",
+            VType::Char => "char",
+            VType::Ptr => "void*",
+            VType::CharPtr => "char*",
+            VType::IntPtr => "int*",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_prefers_specific_information() {
+        assert_eq!(VType::Unknown.join(VType::CharPtr), VType::CharPtr);
+        assert_eq!(VType::Ptr.join(VType::CharPtr), VType::CharPtr);
+        assert_eq!(VType::CharPtr.join(VType::IntPtr), VType::Ptr);
+        assert_eq!(VType::Int.join(VType::Ptr), VType::Ptr);
+        assert_eq!(VType::Char.join(VType::Int), VType::Int);
+        assert_eq!(VType::Int.join(VType::Int), VType::Int);
+    }
+
+    #[test]
+    fn join_is_commutative_on_samples() {
+        let all = [
+            VType::Unknown,
+            VType::Int,
+            VType::Char,
+            VType::Ptr,
+            VType::CharPtr,
+            VType::IntPtr,
+        ];
+        for a in all {
+            for b in all {
+                assert_eq!(a.join(b), b.join(a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_classification() {
+        assert!(VType::CharPtr.is_pointer());
+        assert!(VType::Ptr.is_pointer());
+        assert!(!VType::Int.is_pointer());
+        assert!(!VType::Unknown.is_pointer());
+    }
+}

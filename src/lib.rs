@@ -1,0 +1,2 @@
+//! Root crate: re-exports for examples/tests.
+pub use dtaint_core as core;

@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: image → extraction → pipeline →
+//! findings, scored against planted ground truth.
+
+use dtaint_core::{Dtaint, DtaintConfig};
+use dtaint_fwgen::spec::{Callee, FnSpec, ProgramSpec, Stmt};
+use dtaint_fwgen::templates::{plant, PlantKind, PlantSpec};
+use dtaint_fwgen::{build_firmware, compile, table2_profiles};
+use dtaint_fwimage::{extract_binaries, extract_image};
+use dtaint_fwbin::Arch;
+
+/// A profile shrunk for test speed (fewer filler functions, same plants).
+fn small(profile_idx: usize, functions: usize) -> dtaint_fwgen::FirmwareProfile {
+    let mut p = table2_profiles().remove(profile_idx);
+    p.total_functions = functions;
+    p
+}
+
+fn analyze(fw: &dtaint_fwgen::GeneratedFirmware) -> dtaint_core::AnalysisReport {
+    let config = DtaintConfig {
+        function_filter: fw
+            .profile
+            .analyzed_prefixes
+            .clone()
+            .map(|v| v.into_iter().map(str::to_owned).collect()),
+        ..Default::default()
+    };
+    Dtaint::with_config(config).analyze(&fw.binary, fw.profile.binary_name).unwrap()
+}
+
+/// Precision/recall against ground truth for one profile.
+fn score(idx: usize, functions: usize) {
+    let fw = build_firmware(&small(idx, functions));
+    let report = analyze(&fw);
+    let expected: Vec<_> = fw.ground_truth.iter().filter(|g| !g.sanitized).collect();
+    // Recall: every planted vulnerability appears with the right
+    // source/sink pair.
+    for g in &expected {
+        assert!(
+            report
+                .vulnerable_paths()
+                .iter()
+                .any(|f| f.sink == g.sink && f.sources.iter().any(|s| s.name == g.source)),
+            "profile {idx}: plant {} ({} → {}) missed",
+            g.id,
+            g.source,
+            g.sink
+        );
+    }
+    // Precision: the count of distinct vulnerable sinks equals the plant
+    // count (no false positives from fillers or guarded twins).
+    assert_eq!(
+        report.vulnerabilities(),
+        expected.len(),
+        "profile {idx}: false positives or duplicates"
+    );
+    // Paths dominate vulnerabilities, as in Table III.
+    assert!(report.vulnerable_paths().len() >= report.vulnerabilities());
+}
+
+#[test]
+fn dir645_mix_detected_exactly() {
+    score(0, 120);
+}
+
+#[test]
+fn dir890l_mix_detected_exactly() {
+    score(1, 120);
+}
+
+#[test]
+fn dgn1000_mix_detected_exactly() {
+    score(2, 150);
+}
+
+#[test]
+fn dgn2200_mix_detected_exactly() {
+    score(3, 150);
+}
+
+#[test]
+fn uniview_mix_detected_exactly() {
+    score(4, 300);
+}
+
+#[test]
+fn hikvision_mix_detected_exactly() {
+    score(5, 400);
+}
+
+#[test]
+fn image_roundtrip_preserves_analysis_results() {
+    let fw = build_firmware(&small(0, 60));
+    let direct = Dtaint::new().analyze(&fw.binary, "direct").unwrap();
+
+    // Pack → scan → extract → analyze again.
+    let blob = fw.image.pack(false);
+    let img = extract_image(&blob).unwrap();
+    let bins = extract_binaries(&img).unwrap();
+    let reloaded = Dtaint::new().analyze(&bins[0].1, "reloaded").unwrap();
+
+    assert_eq!(direct.vulnerabilities(), reloaded.vulnerabilities());
+    assert_eq!(direct.functions, reloaded.functions);
+    assert_eq!(direct.findings.len(), reloaded.findings.len());
+}
+
+#[test]
+fn generation_and_detection_are_deterministic() {
+    let a = build_firmware(&small(1, 80));
+    let b = build_firmware(&small(1, 80));
+    assert_eq!(a.binary, b.binary, "same seed, same binary");
+    let ra = Dtaint::new().analyze(&a.binary, "a").unwrap();
+    let rb = Dtaint::new().analyze(&b.binary, "b").unwrap();
+    assert_eq!(ra.vulnerabilities(), rb.vulnerabilities());
+    let sinks_a: Vec<u32> = ra.vulnerable_paths().iter().map(|f| f.sink_ins).collect();
+    let sinks_b: Vec<u32> = rb.vulnerable_paths().iter().map(|f| f.sink_ins).collect();
+    assert_eq!(sinks_a, sinks_b);
+}
+
+#[test]
+fn same_program_detected_on_both_architectures() {
+    for arch in [Arch::Arm32e, Arch::Mips32e] {
+        let mut spec = ProgramSpec::new("xarch");
+        let gt = plant(&mut spec, &PlantSpec::new(PlantKind::BofRecvMemcpy, "p", false, 2));
+        let mut main = FnSpec::new("main", 0);
+        main.push(Stmt::Call { callee: Callee::Func(gt.entry_fn), args: vec![], ret: None });
+        main.push(Stmt::Return(None));
+        spec.func(main);
+        let bin = compile(&spec, arch).unwrap();
+        let r = Dtaint::new().analyze(&bin, "xarch").unwrap();
+        assert_eq!(r.vulnerabilities(), 1, "{arch}");
+        assert_eq!(r.arch, arch.to_string());
+    }
+}
+
+#[test]
+fn report_json_roundtrips_through_serde() {
+    let fw = build_firmware(&small(0, 60));
+    let report = Dtaint::new().analyze(&fw.binary, "cgibin").unwrap();
+    let json = report.to_json().unwrap();
+    let back = dtaint_core::AnalysisReport::from_json(&json).unwrap();
+    assert_eq!(back.findings.len(), report.findings.len());
+    assert_eq!(back.vulnerabilities(), report.vulnerabilities());
+}
+
+#[test]
+fn encrypted_image_fails_extraction_but_not_the_suite() {
+    let fw = build_firmware(&small(1, 60));
+    let blob = fw.image.pack(true);
+    assert!(extract_image(&blob).is_err(), "encrypted image must not unpack");
+}
+
+#[test]
+fn disabled_indirect_resolution_loses_the_hikvision_flows() {
+    // Ablation guard: the alias+indirect plants require the layout
+    // similarity stage.
+    let mut p = small(5, 200);
+    p.plants.retain(|pl| matches!(pl.kind, PlantKind::BofUrlParamAliasIndirect));
+    let fw = build_firmware(&p);
+
+    let full = Dtaint::new().analyze(&fw.binary, "full").unwrap();
+    let planted = fw.ground_truth.iter().filter(|g| !g.sanitized).count();
+    assert_eq!(full.vulnerabilities(), planted);
+
+    let mut config = DtaintConfig::default();
+    config.dataflow.enable_indirect = false;
+    let ablated = Dtaint::with_config(config).analyze(&fw.binary, "ablated").unwrap();
+    assert!(
+        ablated.vulnerabilities() < planted,
+        "without layout similarity the indirect flows must be missed"
+    );
+}

@@ -1,0 +1,143 @@
+//! Property-based tests over the whole stack: arbitrary generated
+//! programs must compile, link, lift, and analyze without panics, and
+//! planted flows must be found regardless of the surrounding noise.
+
+use dtaint_core::Dtaint;
+use dtaint_fwgen::filler::add_filler;
+use dtaint_fwgen::spec::{Callee, FnSpec, ProgramSpec, Stmt, Val};
+use dtaint_fwgen::templates::{plant, PlantKind, PlantSpec};
+use dtaint_fwgen::compile;
+use dtaint_fwbin::{Arch, Binary};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arch_strategy() -> impl Strategy<Value = Arch> {
+    prop_oneof![Just(Arch::Arm32e), Just(Arch::Mips32e)]
+}
+
+fn kind_strategy() -> impl Strategy<Value = PlantKind> {
+    prop_oneof![
+        Just(PlantKind::CmdiGetenvSystem),
+        Just(PlantKind::CmdiWebsgetvarSystem),
+        Just(PlantKind::CmdiFindvarPopen),
+        Just(PlantKind::BofReadStrncpy),
+        Just(PlantKind::BofGetenvSprintf),
+        Just(PlantKind::BofGetenvStrcpy),
+        Just(PlantKind::BofRecvMemcpy),
+        Just(PlantKind::BofSscanfRtsp),
+        Just(PlantKind::BofReadMemcpySmall),
+        Just(PlantKind::BofReadLoopcopy),
+        Just(PlantKind::BofUrlParamAliasIndirect),
+    ]
+}
+
+/// Builds a program with one plant surrounded by seeded filler noise.
+fn noisy_program(kind: PlantKind, sanitized: bool, depth: u8, filler: usize, seed: u64, arch: Arch) -> Binary {
+    let mut spec = ProgramSpec::new("prop");
+    let gt = plant(&mut spec, &PlantSpec::new(kind, "p", sanitized, depth));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names = add_filler(&mut spec, "noise_", filler, &mut rng);
+    let mut main = FnSpec::new("main", 0);
+    main.push(Stmt::Call { callee: Callee::Func(gt.entry_fn), args: vec![], ret: None });
+    for n in names.iter().rev().take(3) {
+        main.push(Stmt::Call { callee: Callee::Func(n.clone()), args: vec![Val::Const(2)], ret: None });
+    }
+    main.push(Stmt::Return(None));
+    spec.func(main);
+    compile(&spec, arch).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The detector's verdict is exactly the ground truth, for every
+    /// template kind, on both architectures, under arbitrary noise.
+    #[test]
+    fn verdict_matches_ground_truth(
+        kind in kind_strategy(),
+        sanitized in any::<bool>(),
+        depth in 0u8..3,
+        filler in 0usize..25,
+        seed in any::<u64>(),
+        arch in arch_strategy(),
+    ) {
+        let bin = noisy_program(kind, sanitized, depth, filler, seed, arch);
+        let r = Dtaint::new().analyze(&bin, "prop").unwrap();
+        if sanitized {
+            prop_assert_eq!(r.vulnerabilities(), 0, "guarded twin misreported");
+        } else {
+            prop_assert_eq!(r.vulnerabilities(), 1, "plant missed or duplicated");
+        }
+    }
+
+    /// Every byte sequence either decodes or errors — flipping bits in a
+    /// linked binary's text never panics the lifter/CFG layers.
+    #[test]
+    fn bitflips_never_panic_the_pipeline(
+        seed in any::<u64>(),
+        flip_at in 0usize..256,
+        flip_bit in 0u8..32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut spec = ProgramSpec::new("flip");
+        let names = add_filler(&mut spec, "f_", 3, &mut rng);
+        let mut main = FnSpec::new("main", 0);
+        for n in &names {
+            main.push(Stmt::Call { callee: Callee::Func(n.clone()), args: vec![Val::Const(1)], ret: None });
+        }
+        main.push(Stmt::Return(None));
+        spec.func(main);
+        let bin = compile(&spec, Arch::Mips32e).unwrap();
+        let mut bytes = bin.to_bytes();
+        // Flip one bit somewhere in the serialized form.
+        let pos = flip_at % bytes.len();
+        bytes[pos] ^= 1u8.rotate_left(flip_bit as u32 % 8);
+        if let Ok(parsed) = Binary::from_bytes(&bytes) {
+            // Either analyzes or errors cleanly; never panics.
+            let _ = Dtaint::new().analyze(&parsed, "flip");
+        }
+    }
+
+    /// Filler-only programs are never flagged (no false positives from
+    /// benign code), regardless of seed and size.
+    #[test]
+    fn benign_programs_are_never_flagged(
+        seed in any::<u64>(),
+        n in 1usize..30,
+        arch in arch_strategy(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut spec = ProgramSpec::new("benign");
+        let names = add_filler(&mut spec, "b_", n, &mut rng);
+        let mut main = FnSpec::new("main", 0);
+        for nm in names.iter().rev().take(4) {
+            main.push(Stmt::Call { callee: Callee::Func(nm.clone()), args: vec![Val::Const(3)], ret: None });
+        }
+        main.push(Stmt::Return(None));
+        spec.func(main);
+        let bin = compile(&spec, arch).unwrap();
+        let r = Dtaint::new().analyze(&bin, "benign").unwrap();
+        prop_assert_eq!(r.vulnerabilities(), 0);
+    }
+}
+
+#[test]
+fn corpus_statistics_are_stable_across_seeds() {
+    // The Figure 1 shape holds for any seed: unpack failures dominate,
+    // emulation success is a small minority.
+    for seed in [1u64, 99, 12345] {
+        let corpus = dtaint_fwimage::generate_corpus(&dtaint_fwimage::CorpusConfig {
+            n_images: 800,
+            seed,
+            ..Default::default()
+        });
+        let stats = dtaint_fwimage::triage(&corpus);
+        let total: usize = stats.values().map(|s| s.total).sum();
+        let unpacked: usize = stats.values().map(|s| s.unpacked).sum();
+        let emulated: usize = stats.values().map(|s| s.emulated).sum();
+        assert!(unpacked * 2 < total, "seed {seed}: unpack failures must dominate");
+        assert!(emulated * 5 < total, "seed {seed}: emulation is a small minority");
+        assert!(emulated > 0, "seed {seed}: some images do boot");
+    }
+}
