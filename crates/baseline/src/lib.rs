@@ -46,11 +46,12 @@ impl Default for BaselineConfig {
         BaselineConfig {
             max_depth: 8,
             symex: SymexConfig { max_paths: 128, ..SymexConfig::default() },
-            sink_names: ["strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system",
-                "popen"]
-                .into_iter()
-                .map(str::to_owned)
-                .collect(),
+            sink_names: [
+                "strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system", "popen",
+            ]
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
             max_contexts: 200_000,
         }
     }
@@ -107,15 +108,10 @@ pub fn analyze_topdown(
     let mut reached: HashSet<u32> = HashSet::new();
 
     // Roots: functions nobody calls (fall back to all functions).
-    let callees: HashSet<u32> =
-        callgraph.edges.values().flat_map(|v| v.iter().copied()).collect();
+    let callees: HashSet<u32> = callgraph.edges.values().flat_map(|v| v.iter().copied()).collect();
     let roots: Vec<u32> = {
-        let r: Vec<u32> = callgraph
-            .functions
-            .iter()
-            .copied()
-            .filter(|f| !callees.contains(f))
-            .collect();
+        let r: Vec<u32> =
+            callgraph.functions.iter().copied().filter(|f| !callees.contains(f)).collect();
         if r.is_empty() {
             callgraph.functions.clone()
         } else {
@@ -151,8 +147,7 @@ pub fn analyze_topdown(
                 match &cs.callee {
                     CalleeRef::Import(name) => {
                         if config.sink_names.contains(name) {
-                            let args =
-                                cs.args.iter().map(|&a| subst(&mut pool, a)).collect();
+                            let args = cs.args.iter().map(|&a| subst(&mut pool, a)).collect();
                             result.sinks.push(ContextSink {
                                 name: name.clone(),
                                 ins_addr: cs.ins_addr,
@@ -162,8 +157,7 @@ pub fn analyze_topdown(
                         }
                     }
                     CalleeRef::Direct(callee) => {
-                        if depth < config.max_depth && *callee != faddr && !chain.contains(callee)
-                        {
+                        if depth < config.max_depth && *callee != faddr && !chain.contains(callee) {
                             let args: Vec<ExprId> =
                                 cs.args.iter().map(|&a| subst(&mut pool, a)).collect();
                             let mut new_chain = chain.clone();
@@ -244,11 +238,8 @@ mod tests {
         let r = analyze_topdown(&bin, &cfgs, &cg, &BaselineConfig::default());
         // Each context passes a distinct constant as arg0 → strcpy's
         // second arg (copied from arg0 in util).
-        let consts: HashSet<i64> = r
-            .sinks
-            .iter()
-            .filter_map(|s| r.pool.as_const(s.args[1]))
-            .collect();
+        let consts: HashSet<i64> =
+            r.sinks.iter().filter_map(|s| r.pool.as_const(s.args[1])).collect();
         assert_eq!(consts, HashSet::from([0, 1, 2]));
     }
 

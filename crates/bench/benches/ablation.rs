@@ -46,7 +46,9 @@ fn ablation_traversal(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("top_down", functions), &functions, |b, _| {
             let cg = CallGraph::build(&bin, &cfgs);
-            b.iter(|| analyze_topdown(&bin, &cfgs, &cg, &BaselineConfig::default()).contexts_analyzed)
+            b.iter(|| {
+                analyze_topdown(&bin, &cfgs, &cg, &BaselineConfig::default()).contexts_analyzed
+            })
         });
     }
     g.finish();

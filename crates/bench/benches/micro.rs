@@ -20,10 +20,8 @@ fn subject() -> Binary {
 fn summaries_of(bin: &Binary) -> (Vec<FuncSummary>, ExprPool, Vec<dtaint_cfg::FunctionCfg>) {
     let cfgs = build_all_cfgs(bin).unwrap();
     let mut pool = ExprPool::new();
-    let sums = cfgs
-        .iter()
-        .map(|c| analyze_function(bin, c, &mut pool, &SymexConfig::default()))
-        .collect();
+    let sums =
+        cfgs.iter().map(|c| analyze_function(bin, c, &mut pool, &SymexConfig::default())).collect();
     (sums, pool, cfgs)
 }
 
@@ -90,9 +88,7 @@ fn bench_layout(c: &mut Criterion) {
     let bin = subject();
     let (sums, pool, _) = summaries_of(&bin);
     c.bench_function("layout/infer_all", |b| {
-        b.iter(|| {
-            sums.iter().map(|s| infer_layouts(s, &pool).len()).sum::<usize>()
-        })
+        b.iter(|| sums.iter().map(|s| infer_layouts(s, &pool).len()).sum::<usize>())
     });
 }
 
@@ -106,9 +102,7 @@ fn bench_interproc(c: &mut Criterion) {
                 (sums, pool, cg)
             },
             |(sums, pool, mut cg)| {
-                build_dataflow(&bin, &mut cg, sums, pool, &DataflowConfig::default())
-                    .finals
-                    .len()
+                build_dataflow(&bin, &mut cg, sums, pool, &DataflowConfig::default()).finals.len()
             },
             BatchSize::LargeInput,
         )

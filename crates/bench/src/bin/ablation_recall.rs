@@ -52,14 +52,20 @@ fn main() {
             c.dataflow.loop_copy_sinks = false;
             c
         }),
-        ("path cap 4", DtaintConfig {
-            symex: SymexConfig { max_paths: 4, ..Default::default() },
-            ..Default::default()
-        }),
-        ("path cap 1", DtaintConfig {
-            symex: SymexConfig { max_paths: 1, ..Default::default() },
-            ..Default::default()
-        }),
+        (
+            "path cap 4",
+            DtaintConfig {
+                symex: SymexConfig { max_paths: 4, ..Default::default() },
+                ..Default::default()
+            },
+        ),
+        (
+            "path cap 1",
+            DtaintConfig {
+                symex: SymexConfig { max_paths: 1, ..Default::default() },
+                ..Default::default()
+            },
+        ),
     ];
     for (label, config) in configs {
         let (hit, total) = recall(&fw, config);

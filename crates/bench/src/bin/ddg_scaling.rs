@@ -1,0 +1,136 @@
+//! DDG thread-scaling sweep — wall time of the bottom-up propagation
+//! stage (Algorithm 2) at 1/2/4/8 worker threads on the DIR-890L-sized
+//! Table II profile, with a determinism check at every point: every
+//! thread count must reproduce the single-threaded result bit for bit.
+//!
+//! Prints the scaling table and records the measurements in
+//! `results/BENCH_ddg_scaling.json` (relative to the working directory,
+//! normally the workspace root).
+//!
+//! ```sh
+//! cargo run --release -p dtaint-bench --bin ddg_scaling
+//! ```
+//!
+//! `DTAINT_REPS` (default 5) sets the repetitions per point; the best
+//! (minimum) propagation time of each point is reported.
+
+use dtaint_bench::{render_table, scaled};
+use dtaint_cfg::{build_all_cfgs, CallGraph};
+use dtaint_dataflow::{build_dataflow, DataflowConfig, ProgramDataflow};
+use dtaint_fwgen::{build_firmware, table2_profiles};
+use dtaint_symex::{analyze_function, ExprPool, SymexConfig};
+use serde_json::Value;
+use std::time::Duration;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Renders everything downstream consumers read out of a dataflow
+/// result: final summaries, sink observations (arguments displayed
+/// through the pool, so expression identity matters, not just shape)
+/// and resolved indirect calls.
+fn fingerprint(df: &ProgramDataflow) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (addr, fin) in &df.finals {
+        let _ = writeln!(
+            out,
+            "{addr:#x} local={} defs={}",
+            fin.local_constraints,
+            fin.summary.def_pairs.len()
+        );
+        for s in &fin.sinks {
+            let args: Vec<String> =
+                s.args.iter().map(|&a| df.pool.display(a).to_string()).collect();
+            let _ = writeln!(
+                out,
+                "  {:?}@{:#x} in {:#x} chain={:?} args=[{}] ({} constraints)",
+                s.kind,
+                s.sink_ins,
+                s.sink_fn,
+                s.call_chain,
+                args.join(", "),
+                s.constraints.len()
+            );
+        }
+    }
+    let _ = writeln!(out, "resolved={:?}", df.resolved_indirect);
+    out
+}
+
+fn main() {
+    let reps: usize = std::env::var("DTAINT_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Profile 2 of Table II: the DIR-890L cgibin.
+    let profile = scaled(table2_profiles().remove(1));
+    println!(
+        "DDG thread scaling on {} {} `{}` ({} functions), best of {reps} reps, {cores} core(s)",
+        profile.manufacturer,
+        profile.firmware_version,
+        profile.binary_name,
+        profile.total_functions
+    );
+    if cores == 1 {
+        println!("note: single-core host — thread counts above 1 can only add overhead here");
+    }
+    println!();
+
+    let fw = build_firmware(&profile);
+    let cfgs = build_all_cfgs(&fw.binary).expect("lifts");
+    let cg = CallGraph::build(&fw.binary, &cfgs);
+    let mut pool = ExprPool::new();
+    let summaries: Vec<_> = cfgs
+        .iter()
+        .map(|c| analyze_function(&fw.binary, c, &mut pool, &SymexConfig::default()))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut base = Duration::ZERO;
+    let mut base_fp = String::new();
+    for &threads in &THREADS {
+        let mut best = Duration::MAX;
+        let mut fp = String::new();
+        for _ in 0..reps {
+            let mut cg = cg.clone();
+            let config = DataflowConfig { threads, ..Default::default() };
+            let df = build_dataflow(&fw.binary, &mut cg, summaries.clone(), pool.clone(), &config);
+            best = best.min(df.timings.propagate);
+            fp = fingerprint(&df);
+        }
+        if threads == 1 {
+            base = best;
+            base_fp = fp.clone();
+        }
+        assert_eq!(fp, base_fp, "threads={threads} diverged from the sequential result");
+        let speedup = base.as_secs_f64() / best.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.2}", best.as_secs_f64() * 1e3),
+            format!("{speedup:.2}x"),
+        ]);
+        points.push(Value::Obj(vec![
+            ("threads".into(), Value::Int(threads as i64)),
+            ("propagate_ms".into(), Value::Float(best.as_secs_f64() * 1e3)),
+            ("speedup".into(), Value::Float(speedup)),
+        ]));
+    }
+    print!("{}", render_table(&["Threads", "DDG propagate (ms)", "Speedup"], &rows));
+    println!();
+    println!("all thread counts reproduced the sequential findings exactly");
+
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::Str("ddg_scaling".into())),
+        ("profile".into(), Value::Str(profile.binary_name.into())),
+        ("device".into(), Value::Str(profile.manufacturer.into())),
+        ("functions".into(), Value::Int(profile.total_functions as i64)),
+        ("reps".into(), Value::Int(reps as i64)),
+        ("host_cores".into(), Value::Int(cores as i64)),
+        ("identical_findings".into(), Value::Bool(true)),
+        ("points".into(), Value::Arr(points)),
+    ]);
+    std::fs::create_dir_all("results").ok();
+    let path = "results/BENCH_ddg_scaling.json";
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(path, json + "\n").expect("write results file");
+    println!("wrote {path}");
+}

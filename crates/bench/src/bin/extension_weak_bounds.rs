@@ -13,10 +13,10 @@
 use dtaint_bench::render_table;
 use dtaint_core::{Dtaint, DtaintConfig};
 use dtaint_emu::{validate, AttackConfig, Verdict};
+use dtaint_fwbin::Arch;
 use dtaint_fwgen::compile;
 use dtaint_fwgen::spec::{Callee, FnSpec, ProgramSpec, Stmt};
 use dtaint_fwgen::templates::{plant, PlantKind, PlantSpec};
-use dtaint_fwbin::Arch;
 
 fn build(sanitized: bool) -> dtaint_fwbin::Binary {
     let mut spec = ProgramSpec::new("wb");
@@ -56,7 +56,10 @@ fn main() {
     }
     print!(
         "{}",
-        render_table(&["Guard", "Paper-faithful mode", "Strict-bounds mode", "Concrete (1000-byte probe)"], &rows)
+        render_table(
+            &["Guard", "Paper-faithful mode", "Strict-bounds mode", "Concrete (1000-byte probe)"],
+            &rows
+        )
     );
     println!();
     println!("the weak guard fools the syntactic check but not the capacity check,");

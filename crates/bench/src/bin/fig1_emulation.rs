@@ -13,10 +13,7 @@ use dtaint_fwimage::{generate_corpus, triage, CorpusConfig};
 
 fn main() {
     let config = CorpusConfig::default();
-    println!(
-        "generating corpus: {} images, seed {:#x}",
-        config.n_images, config.seed
-    );
+    println!("generating corpus: {} images, seed {:#x}", config.n_images, config.seed);
     let corpus = generate_corpus(&config);
     let stats = triage(&corpus);
 

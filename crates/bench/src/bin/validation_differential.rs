@@ -73,10 +73,7 @@ fn main() {
     }
     print!(
         "{}",
-        render_table(
-            &["Plant", "Flow", "Ground truth", "Static", "Dynamic", "Verdicts"],
-            &rows
-        )
+        render_table(&["Plant", "Flow", "Ground truth", "Static", "Dynamic", "Verdicts"], &rows)
     );
     println!();
     println!("agreement: {agree}/{total} plants");

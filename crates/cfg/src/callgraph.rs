@@ -76,7 +76,13 @@ impl CallGraph {
                         out.push(t);
                     }
                 }
-                callsites.push(Callsite { caller: cfg.addr, block: baddr, ins_addr, return_to, target });
+                callsites.push(Callsite {
+                    caller: cfg.addr,
+                    block: baddr,
+                    ins_addr,
+                    return_to,
+                    target,
+                });
             }
         }
         CallGraph { functions, callsites, edges, resolved_indirect: Vec::new() }
@@ -117,11 +123,123 @@ impl CallGraph {
     /// Total number of call-graph edges (the paper's Table II column),
     /// counting one per call site with a known or resolved target.
     pub fn edge_count(&self) -> usize {
-        self.callsites
-            .iter()
-            .filter(|c| !matches!(c.target, CallTarget::Indirect))
-            .count()
+        self.callsites.iter().filter(|c| !matches!(c.target, CallTarget::Indirect)).count()
             + self.resolved_indirect.len()
+    }
+
+    /// Strongly connected components over direct (and resolved-indirect)
+    /// call edges, via iterative Tarjan.
+    ///
+    /// Deterministic: roots are tried in address order and successors in
+    /// edge order, and each component's members are sorted by address.
+    /// Components come out in reverse-topological order over the
+    /// condensation — every component is emitted after all components it
+    /// calls into.
+    pub fn sccs(&self) -> Vec<Vec<u32>> {
+        let mut index: HashMap<u32, u32> = HashMap::new();
+        let mut lowlink: HashMap<u32, u32> = HashMap::new();
+        let mut on_stack: HashSet<u32> = HashSet::new();
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+
+        for &root in &self.functions {
+            if index.contains_key(&root) {
+                continue;
+            }
+            let mut call: Vec<(u32, usize)> = vec![(root, 0)];
+            index.insert(root, next_index);
+            lowlink.insert(root, next_index);
+            next_index += 1;
+            stack.push(root);
+            on_stack.insert(root);
+            while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+                let outs = self.edges.get(&v).map(|e| e.as_slice()).unwrap_or(&[]);
+                if *ci < outs.len() {
+                    let w = outs[*ci];
+                    *ci += 1;
+                    match index.get(&w) {
+                        None => {
+                            index.insert(w, next_index);
+                            lowlink.insert(w, next_index);
+                            next_index += 1;
+                            stack.push(w);
+                            on_stack.insert(w);
+                            call.push((w, 0));
+                        }
+                        Some(&iw) if on_stack.contains(&w) => {
+                            let lv = lowlink.get_mut(&v).unwrap();
+                            *lv = (*lv).min(iw);
+                        }
+                        Some(_) => {}
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        let lv = lowlink[&v];
+                        let lp = lowlink.get_mut(&parent).unwrap();
+                        *lp = (*lp).min(lv);
+                    }
+                    if lowlink[&v] == index[&v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack.remove(&w);
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        comps.push(comp);
+                    }
+                }
+            }
+        }
+        comps
+    }
+
+    /// Groups functions into dependency levels over the SCC condensation.
+    ///
+    /// Stratum 0 holds functions with no callees outside their own
+    /// component; every function's out-of-component callees sit in
+    /// strictly lower strata. Flattened, this is a valid bottom-up
+    /// analysis order. Within one stratum, distinct components never call
+    /// each other, so they can be analyzed concurrently; members of one
+    /// recursive component share a stratum and must treat each other as
+    /// opaque. Each stratum is sorted by address.
+    pub fn strata(&self) -> Vec<Vec<u32>> {
+        let comps = self.sccs();
+        let mut comp_of: HashMap<u32, usize> = HashMap::new();
+        for (i, c) in comps.iter().enumerate() {
+            for &f in c {
+                comp_of.insert(f, i);
+            }
+        }
+        // Tarjan pops callees before callers, so one forward pass over
+        // `comps` sees every callee component's level before it is needed.
+        let mut level = vec![0usize; comps.len()];
+        for (i, c) in comps.iter().enumerate() {
+            let mut lv = 0;
+            for f in c {
+                for w in self.edges.get(f).into_iter().flatten() {
+                    let j = comp_of[w];
+                    if j != i {
+                        debug_assert!(j < i, "condensation must be topological");
+                        lv = lv.max(level[j] + 1);
+                    }
+                }
+            }
+            level[i] = lv;
+        }
+        let depth = level.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); depth];
+        for (i, c) in comps.iter().enumerate() {
+            out[level[i]].extend(c.iter().copied());
+        }
+        for s in &mut out {
+            s.sort_unstable();
+        }
+        out
     }
 
     /// Functions in post-order over direct call edges: callees before
@@ -272,6 +390,128 @@ mod tests {
         cg.add_resolved_indirect(site, a_addr);
         assert_eq!(cg.edge_count(), before + 1);
         assert!(cg.edges[&b_addr].contains(&a_addr));
+    }
+
+    /// `strata()` invariant: a valid topological order — every callee in a
+    /// different component sits in a strictly lower stratum, and the
+    /// flattened strata cover each function exactly once.
+    fn assert_valid_stratification(cg: &CallGraph) {
+        let strata = cg.strata();
+        let mut stratum_of: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        for (lvl, s) in strata.iter().enumerate() {
+            for &f in s {
+                assert!(stratum_of.insert(f, lvl).is_none(), "{f:#x} in two strata");
+            }
+        }
+        assert_eq!(stratum_of.len(), cg.functions.len(), "every function exactly once");
+        let comps = cg.sccs();
+        let comp_of: std::collections::HashMap<u32, usize> =
+            comps.iter().enumerate().flat_map(|(i, c)| c.iter().map(move |&f| (f, i))).collect();
+        for (&caller, callees) in &cg.edges {
+            for &callee in callees {
+                if comp_of[&caller] == comp_of[&callee] {
+                    assert_eq!(
+                        stratum_of[&caller], stratum_of[&callee],
+                        "cycle members share a stratum"
+                    );
+                } else {
+                    assert!(
+                        stratum_of[&callee] < stratum_of[&caller],
+                        "callee {callee:#x} must sit strictly below caller {caller:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strata_are_topological_on_acyclic_graph() {
+        let (bin, _, cg) = sample();
+        assert_valid_stratification(&cg);
+        // The concrete shape: b (leaf), then a, then main.
+        let strata = cg.strata();
+        let addr = |name: &str| bin.function(name).unwrap().addr;
+        assert_eq!(strata.len(), 3);
+        assert_eq!(strata[0], vec![addr("b")]);
+        assert_eq!(strata[1], vec![addr("a")]);
+        assert_eq!(strata[2], vec![addr("main")]);
+    }
+
+    #[test]
+    fn strata_handle_mutual_recursion() {
+        // main -> f; f <-> g (mutual recursion); f -> h (a leaf).
+        let arch = Arch::Mips32e;
+        let mut main = Assembler::new(arch);
+        main.call("f");
+        main.ret();
+        let mut f = Assembler::new(arch);
+        f.call("g");
+        f.call("h");
+        f.ret();
+        let mut g = Assembler::new(arch);
+        g.call("f");
+        g.ret();
+        let mut h = Assembler::new(arch);
+        h.ret();
+        let mut bb = BinaryBuilder::new(arch);
+        bb.add_function("main", main);
+        bb.add_function("f", f);
+        bb.add_function("g", g);
+        bb.add_function("h", h);
+        let bin = bb.link().unwrap();
+        let cfgs = build_all_cfgs(&bin).unwrap();
+        let cg = CallGraph::build(&bin, &cfgs);
+        assert_valid_stratification(&cg);
+
+        let addr = |name: &str| bin.function(name).unwrap().addr;
+        let comps = cg.sccs();
+        let cycle: Vec<u32> = {
+            let mut v = vec![addr("f"), addr("g")];
+            v.sort_unstable();
+            v
+        };
+        assert!(comps.contains(&cycle), "f and g form one component");
+        assert_eq!(comps.len(), 3, "main and h are singletons");
+
+        let strata = cg.strata();
+        assert_eq!(strata.len(), 3);
+        assert_eq!(strata[0], vec![addr("h")]);
+        assert_eq!(strata[1], cycle, "the cycle shares one stratum");
+        assert_eq!(strata[2], vec![addr("main")]);
+    }
+
+    #[test]
+    fn strata_respect_resolved_indirect_edges() {
+        let (bin, _, mut cg) = sample();
+        assert_valid_stratification(&cg);
+        // Resolving b's indirect site to a creates the cycle a <-> b
+        // (a already calls b); stratification must still be valid.
+        let a_addr = bin.function("a").unwrap().addr;
+        let b_addr = bin.function("b").unwrap().addr;
+        let site = cg
+            .callsites_of(b_addr)
+            .into_iter()
+            .find(|c| c.target == CallTarget::Indirect)
+            .unwrap()
+            .ins_addr;
+        cg.add_resolved_indirect(site, a_addr);
+        assert_valid_stratification(&cg);
+        let comps = cg.sccs();
+        assert!(comps.iter().any(|c| c.len() == 2), "a and b now form a cycle");
+    }
+
+    #[test]
+    fn flattened_strata_are_a_bottom_up_order() {
+        let (bin, _, cg) = sample();
+        let flat: Vec<u32> = cg.strata().into_iter().flatten().collect();
+        let pos = |name: &str| {
+            let addr = bin.function(name).unwrap().addr;
+            flat.iter().position(|&x| x == addr).unwrap()
+        };
+        assert!(pos("b") < pos("a"));
+        assert!(pos("a") < pos("main"));
+        assert_eq!(flat.len(), cg.functions.len());
     }
 
     #[test]

@@ -24,8 +24,7 @@ impl Dominators {
     /// Computes dominators for a CFG.
     pub fn compute(cfg: &FunctionCfg) -> Dominators {
         let rpo = cfg.rpo();
-        let order: HashMap<u32, usize> =
-            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let order: HashMap<u32, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
         let mut idom: HashMap<u32, u32> = HashMap::new();
         idom.insert(cfg.addr, cfg.addr);
         let mut changed = true;
@@ -90,12 +89,7 @@ impl Dominators {
     }
 }
 
-fn intersect(
-    idom: &HashMap<u32, u32>,
-    order: &HashMap<u32, usize>,
-    mut a: u32,
-    mut b: u32,
-) -> u32 {
+fn intersect(idom: &HashMap<u32, u32>, order: &HashMap<u32, usize>, mut a: u32, mut b: u32) -> u32 {
     while a != b {
         while order.get(&a) > order.get(&b) {
             a = idom[&a];

@@ -23,7 +23,9 @@
 use dtaint_core::{Dtaint, DtaintConfig};
 use dtaint_emu::{poison_all_rodata_names, validate as emu_validate, AttackConfig, Verdict};
 use dtaint_fwbin::{disasm, Binary};
-use dtaint_fwimage::{extract_binaries, extract_image, generate_corpus, scan, triage, CorpusConfig, FwImage};
+use dtaint_fwimage::{
+    extract_binaries, extract_image, generate_corpus, scan, triage, CorpusConfig, FwImage,
+};
 use std::io::Write;
 
 /// Usage text printed on bad invocations.
@@ -31,7 +33,7 @@ pub const USAGE: &str = "\
 usage: dtaint <command> [args]
 
 commands:
-  scan <image|binary> [--json|--md] [--filter p1,p2] [--validate]
+  scan <image|binary> [--json|--md] [--filter p1,p2] [--threads N] [--validate]
   unpack <image> [--out DIR]
   info <image|binary>
   disasm <binary> [FUNCTION]
@@ -92,7 +94,7 @@ fn positional(rest: &[String]) -> Vec<&String> {
         }
         if a.starts_with("--") {
             // Flags with values.
-            if matches!(a.as_str(), "--out" | "--filter" | "--n" | "--seed") {
+            if matches!(a.as_str(), "--out" | "--filter" | "--n" | "--seed" | "--threads") {
                 skip = true;
             }
             let _ = i;
@@ -122,9 +124,13 @@ fn load_binaries(path: &str) -> Result<Vec<(String, Binary)>, String> {
 fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let pos = positional(rest);
     let path = pos.first().ok_or("scan: missing input path")?;
-    let filter = flag_value(rest, "--filter")
-        .map(|f| f.split(',').map(str::to_owned).collect::<Vec<_>>());
-    let config = DtaintConfig { function_filter: filter, ..Default::default() };
+    let filter =
+        flag_value(rest, "--filter").map(|f| f.split(',').map(str::to_owned).collect::<Vec<_>>());
+    let threads = match flag_value(rest, "--threads") {
+        Some(v) => v.parse().map_err(|_| "scan: --threads expects a number".to_owned())?,
+        None => 0,
+    };
+    let config = DtaintConfig { function_filter: filter, threads, ..Default::default() };
     let analyzer = Dtaint::with_config(config);
 
     let mut exit = 0;
@@ -146,6 +152,14 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                     report.vulnerable_paths().len(),
                     report.vulnerabilities(),
                     report.timings.total(),
+                ),
+            )?;
+            let t = &report.timings;
+            write_out(
+                out,
+                &format!(
+                    "   stages: lift+cfg {:.2?}, ssa {:.2?}, ddg {:.2?} (alias {:.2?}, indirect {:.2?}, propagate {:.2?}), detect {:.2?}\n",
+                    t.lift_cfg, t.ssa, t.ddg, t.ddg_alias, t.ddg_indirect, t.ddg_propagate, t.detect,
                 ),
             )?;
             for f in &report.findings {
@@ -289,16 +303,16 @@ fn cmd_corpus(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let stats = triage(&corpus);
     write_out(out, "year  total  unpacked  emulated\n")?;
     for (year, s) in &stats {
-        write_out(
-            out,
-            &format!("{year}  {:>5}  {:>8}  {:>8}\n", s.total, s.unpacked, s.emulated),
-        )?;
+        write_out(out, &format!("{year}  {:>5}  {:>8}  {:>8}\n", s.total, s.unpacked, s.emulated))?;
     }
     let total: usize = stats.values().map(|s| s.total).sum();
     let emulated: usize = stats.values().map(|s| s.emulated).sum();
     write_out(
         out,
-        &format!("emulation success: {emulated}/{total} ({:.1}%)\n", 100.0 * emulated as f64 / total as f64),
+        &format!(
+            "emulation success: {emulated}/{total} ({:.1}%)\n",
+            100.0 * emulated as f64 / total as f64
+        ),
     )?;
     Ok(0)
 }
@@ -393,6 +407,23 @@ mod tests {
     }
 
     #[test]
+    fn scan_prints_stage_breakdown_and_honors_threads() {
+        let p = small_image_path();
+        let (code, seq) = run_captured(&["scan", &p, "--threads", "1"]);
+        assert_eq!(code, Ok(2));
+        assert!(seq.contains("stages:"), "{seq}");
+        assert!(seq.contains("propagate"), "{seq}");
+        let (code, par) = run_captured(&["scan", &p, "--threads", "4"]);
+        assert_eq!(code, Ok(2));
+        // Findings (every line after the summary/stage header) must be
+        // identical regardless of thread count.
+        let body = |s: &str| s.lines().skip(2).map(str::to_owned).collect::<Vec<_>>();
+        assert_eq!(body(&seq), body(&par));
+        let (code, _) = run_captured(&["scan", &p, "--threads", "zero"]);
+        assert!(code.is_err());
+    }
+
+    #[test]
     fn scan_markdown_renders() {
         let p = small_image_path();
         let (code, out) = run_captured(&["scan", &p, "--md"]);
@@ -414,8 +445,7 @@ mod tests {
     fn unpack_lists_and_writes_files() {
         let p = small_image_path();
         let dir = tmpdir().join("rootfs");
-        let (code, out) =
-            run_captured(&["unpack", &p, "--out", dir.to_str().unwrap()]);
+        let (code, out) = run_captured(&["unpack", &p, "--out", dir.to_str().unwrap()]);
         assert_eq!(code, Ok(0));
         assert!(out.contains("bin/cgibin"));
         assert!(dir.join("bin/cgibin").exists());

@@ -193,8 +193,7 @@ mod tests {
         let r = analyze(&bin);
         assert_eq!(r.vulnerabilities(), 0);
         assert!(
-            r.findings.iter().any(|f| f.sanitized
-                && f.kind == VulnKindRepr::CommandInjection),
+            r.findings.iter().any(|f| f.sanitized && f.kind == VulnKindRepr::CommandInjection),
             "the guarded injection path must be found and judged sanitized"
         );
     }
@@ -316,18 +315,14 @@ mod tests {
         b.add_cstring("name", "X");
         let bin = b.link().unwrap();
 
-        let config = DtaintConfig {
-            function_filter: Some(vec!["boring".into()]),
-            ..Default::default()
-        };
+        let config =
+            DtaintConfig { function_filter: Some(vec!["boring".into()]), ..Default::default() };
         let r = Dtaint::with_config(config).analyze(&bin, "t").unwrap();
         assert_eq!(r.functions, 1);
         assert_eq!(r.vulnerabilities(), 0);
 
-        let config = DtaintConfig {
-            function_filter: Some(vec!["http".into()]),
-            ..Default::default()
-        };
+        let config =
+            DtaintConfig { function_filter: Some(vec!["http".into()]), ..Default::default() };
         let r = Dtaint::with_config(config).analyze(&bin, "t").unwrap();
         assert_eq!(r.vulnerabilities(), 1);
     }

@@ -89,10 +89,8 @@ impl Dtaint {
         if let Some(filter) = &self.config.function_filter {
             syms.retain(|s| filter.iter().any(|f| s.name.contains(f.as_str())));
         }
-        let cfgs: Vec<FunctionCfg> = syms
-            .iter()
-            .map(|s| build_function_cfg(bin, s))
-            .collect::<dtaint_fwbin::Result<_>>()?;
+        let cfgs: Vec<FunctionCfg> =
+            syms.iter().map(|s| build_function_cfg(bin, s)).collect::<dtaint_fwbin::Result<_>>()?;
         let mut callgraph = CallGraph::build(bin, &cfgs);
         let lift_cfg = t.elapsed();
 
@@ -103,8 +101,12 @@ impl Dtaint {
         let ssa = t.elapsed();
 
         // Stage 3: alias + layout similarity + bottom-up propagation.
+        // The propagation walk shares the session thread count with the
+        // symbolic stage; results are identical for every value.
         let t = Instant::now();
-        let df = build_dataflow(bin, &mut callgraph, summaries, pool, &self.config.dataflow);
+        let mut df_config = self.config.dataflow.clone();
+        df_config.threads = self.effective_threads(cfgs.len());
+        let df = build_dataflow(bin, &mut callgraph, summaries, pool, &df_config);
         let ddg = t.elapsed();
 
         // Stage 4: taint judgement.
@@ -138,20 +140,34 @@ impl Dtaint {
             sinks_count,
             resolved_indirect: df.resolved_indirect.len(),
             findings,
-            timings: StageTimings { lift_cfg, ssa, ddg, detect },
+            timings: StageTimings {
+                lift_cfg,
+                ssa,
+                ddg,
+                detect,
+                ddg_alias: df.timings.alias,
+                ddg_indirect: df.timings.indirect,
+                ddg_propagate: df.timings.propagate,
+            },
         })
+    }
+
+    /// Resolves the session thread count (0 = all cores) against the
+    /// number of work items.
+    fn effective_threads(&self, work_items: usize) -> usize {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        threads.clamp(1, work_items.max(1))
     }
 
     /// Runs the per-function symbolic analysis, parallelised with
     /// crossbeam scoped threads; each worker interns into a private pool
     /// that is translated into the global pool at the end.
     fn run_symex(&self, bin: &Binary, cfgs: &[FunctionCfg]) -> (Vec<FuncSummary>, ExprPool) {
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.config.threads
-        };
-        let threads = threads.clamp(1, cfgs.len().max(1));
+        let threads = self.effective_threads(cfgs.len());
         let mut global = ExprPool::new();
         let mut merged: Vec<FuncSummary> = Vec::with_capacity(cfgs.len());
         if threads <= 1 || cfgs.len() < 8 {
@@ -168,10 +184,8 @@ impl Dtaint {
                 let symex = self.config.symex;
                 handles.push(scope.spawn(move |_| {
                     let mut pool = ExprPool::new();
-                    let out: Vec<FuncSummary> = slice
-                        .iter()
-                        .map(|c| analyze_function(bin, c, &mut pool, &symex))
-                        .collect();
+                    let out: Vec<FuncSummary> =
+                        slice.iter().map(|c| analyze_function(bin, c, &mut pool, &symex)).collect();
                     (out, pool)
                 }));
             }

@@ -103,6 +103,18 @@ pub struct StageTimings {
     pub ddg: Duration,
     /// Sink/source matching and sanitisation checks.
     pub detect: Duration,
+    /// DDG sub-stage: pointer-alias resolution.
+    #[serde(default)]
+    pub ddg_alias: Duration,
+    /// DDG sub-stage: indirect-call resolution by layout similarity.
+    #[serde(default)]
+    pub ddg_indirect: Duration,
+    /// DDG sub-stage: bottom-up summary propagation (Algorithm 2) —
+    /// the part parallelised by [`DtaintConfig::threads`].
+    ///
+    /// [`DtaintConfig::threads`]: crate::DtaintConfig
+    #[serde(default)]
+    pub ddg_propagate: Duration,
 }
 
 impl StageTimings {
@@ -144,11 +156,7 @@ impl AnalysisReport {
 
     /// Distinct vulnerable sink sites (Table III "Vulnerability").
     pub fn vulnerabilities(&self) -> usize {
-        self.vulnerable_paths()
-            .iter()
-            .map(|f| f.sink_ins)
-            .collect::<BTreeSet<_>>()
-            .len()
+        self.vulnerable_paths().iter().map(|f| f.sink_ins).collect::<BTreeSet<_>>().len()
     }
 
     /// Vulnerable findings of one kind.
@@ -201,11 +209,8 @@ impl AnalysisReport {
                     "### {} via `{}` at `{:#x}` (in `{}`)\n",
                     f.kind, f.sink, f.sink_ins, f.sink_fn
                 );
-                let srcs: Vec<String> = f
-                    .sources
-                    .iter()
-                    .map(|s| format!("`{}@{:#x}`", s.name, s.ins_addr))
-                    .collect();
+                let srcs: Vec<String> =
+                    f.sources.iter().map(|s| format!("`{}@{:#x}`", s.name, s.ins_addr)).collect();
                 let _ = writeln!(md, "- sources: {}", srcs.join(", "));
                 let _ = writeln!(md, "- tainted variable: `{}`", f.tainted_expr);
                 let _ = writeln!(md, "- observed from: `{}`", f.observed_in);

@@ -72,8 +72,7 @@ impl Score {
 /// of its sources; each *distinct vulnerable sink site* that matches no
 /// vulnerable plant pair counts as one false positive.
 pub fn score(report: &AnalysisReport, truth: &[GroundTruthFlow]) -> Score {
-    let vulnerable_plants: Vec<&GroundTruthFlow> =
-        truth.iter().filter(|g| !g.sanitized).collect();
+    let vulnerable_plants: Vec<&GroundTruthFlow> = truth.iter().filter(|g| !g.sanitized).collect();
     let findings = report.vulnerable_paths();
 
     let mut true_positives = 0;
@@ -101,12 +100,7 @@ pub fn score(report: &AnalysisReport, truth: &[GroundTruthFlow]) -> Score {
         }
     }
 
-    Score {
-        true_positives,
-        false_negatives: missed.len(),
-        false_positives: fp_sites.len(),
-        missed,
-    }
+    Score { true_positives, false_negatives: missed.len(), false_positives: fp_sites.len(), missed }
 }
 
 #[cfg(test)]

@@ -39,11 +39,7 @@ struct TaintIndex<'a> {
 }
 
 impl<'a> TaintIndex<'a> {
-    fn build(
-        df: &'a ProgramDataflow,
-        holder: &FinalSummary,
-        sources: &'a HashSet<String>,
-    ) -> Self {
+    fn build(df: &'a ProgramDataflow, holder: &FinalSummary, sources: &'a HashSet<String>) -> Self {
         let mut tainted_bases: HashMap<ExprId, BTreeSet<SourceRef>> = HashMap::new();
         for dp in &holder.summary.def_pairs {
             let mut atoms = BTreeSet::new();
@@ -178,101 +174,101 @@ pub fn detect_with(
         // of its sink observations.
         let index = TaintIndex::build(df, holder, sources);
         for obs in &holder.sinks {
-        let (kind, sink_name) = match &obs.kind {
-            SinkKind::Import(name) => {
-                let Some(spec) = sink_spec(name) else { continue };
-                (spec.kind, name.clone())
-            }
-            SinkKind::LoopCopy => (VulnKind::BufferOverflow, "loop-copy".to_owned()),
-        };
+            let (kind, sink_name) = match &obs.kind {
+                SinkKind::Import(name) => {
+                    let Some(spec) = sink_spec(name) else { continue };
+                    (spec.kind, name.clone())
+                }
+                SinkKind::LoopCopy => (VulnKind::BufferOverflow, "loop-copy".to_owned()),
+            };
 
-        // 1. Taint on the sink's sensitive variable.
-        let mut source_refs: BTreeSet<SourceRef> = BTreeSet::new();
-        let mut tainted_rendered: Option<ExprId> = None;
-        let mut note_taint = |e: ExprId, atoms: BTreeSet<SourceRef>| {
-            if !atoms.is_empty() {
-                source_refs.extend(atoms);
-                tainted_rendered.get_or_insert(e);
-            }
-        };
-        match &obs.kind {
-            SinkKind::LoopCopy => {
-                if let Some(&value) = obs.args.get(1) {
-                    note_taint(value, index.atoms_in(value));
+            // 1. Taint on the sink's sensitive variable.
+            let mut source_refs: BTreeSet<SourceRef> = BTreeSet::new();
+            let mut tainted_rendered: Option<ExprId> = None;
+            let mut note_taint = |e: ExprId, atoms: BTreeSet<SourceRef>| {
+                if !atoms.is_empty() {
+                    source_refs.extend(atoms);
+                    tainted_rendered.get_or_insert(e);
                 }
-                if let Some(&dst) = obs.args.first() {
-                    let _ = dst;
-                }
-            }
-            SinkKind::Import(name) => {
-                let spec = sink_spec(name).expect("checked above");
-                match spec.tainted {
-                    TaintedVar::Arg(i) => {
-                        if let Some(&a) = obs.args.get(i) {
-                            note_taint(a, index.atoms_in(a));
-                        }
+            };
+            match &obs.kind {
+                SinkKind::LoopCopy => {
+                    if let Some(&value) = obs.args.get(1) {
+                        note_taint(value, index.atoms_in(value));
                     }
-                    TaintedVar::Pointee(i) => {
-                        if let Some(&p) = obs.args.get(i) {
-                            note_taint(p, index.pointee_atoms(holder.summary.addr, p));
-                        }
-                    }
-                    TaintedVar::PointeesFrom(i) => {
-                        for &p in obs.args.iter().skip(i) {
-                            note_taint(p, index.pointee_atoms(holder.summary.addr, p));
-                        }
+                    if let Some(&dst) = obs.args.first() {
+                        let _ = dst;
                     }
                 }
-            }
-        }
-        if source_refs.is_empty() {
-            continue;
-        }
-
-        // 2. Sanitisation.
-        let capacity = if strict_bounds { stack_capacity(df, obs) } else { None };
-        let sanitized = match kind {
-            VulnKind::BufferOverflow => {
-                if obs.kind == SinkKind::LoopCopy {
-                    // A counted loop carries a bounding constraint; a
-                    // "copy until NUL" loop does not.
-                    obs.constraints.iter().any(|(op, _, _)| op.is_bounding())
-                } else {
-                    has_upper_bound(&index, obs, capacity)
+                SinkKind::Import(name) => {
+                    let spec = sink_spec(name).expect("checked above");
+                    match spec.tainted {
+                        TaintedVar::Arg(i) => {
+                            if let Some(&a) = obs.args.get(i) {
+                                note_taint(a, index.atoms_in(a));
+                            }
+                        }
+                        TaintedVar::Pointee(i) => {
+                            if let Some(&p) = obs.args.get(i) {
+                                note_taint(p, index.pointee_atoms(holder.summary.addr, p));
+                            }
+                        }
+                        TaintedVar::PointeesFrom(i) => {
+                            for &p in obs.args.iter().skip(i) {
+                                note_taint(p, index.pointee_atoms(holder.summary.addr, p));
+                            }
+                        }
+                    }
                 }
             }
-            VulnKind::CommandInjection => has_separator_check(df, &index, obs),
-        };
+            if source_refs.is_empty() {
+                continue;
+            }
 
-        let srcs: Vec<SourceRef> = source_refs.into_iter().collect();
-        let key = (obs.sink_ins, obs.call_chain.clone(), srcs.clone(), sink_name.clone());
-        if !seen.insert(key) {
-            continue;
-        }
-        // Backward DFS over the dependency graph for a printable trace.
-        let trace: Vec<String> = tainted_rendered
-            .map(|e| {
-                dtaint_dataflow::backward_trace(df, holder.summary.addr, e, sources, 12)
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect()
-            })
-            .unwrap_or_default();
-        let unknown = "<unknown>".to_owned();
-        findings.push(Finding {
-            kind: kind.into(),
-            sink: sink_name,
-            sink_ins: obs.sink_ins,
-            sink_fn: fn_names.get(&obs.sink_fn).unwrap_or(&unknown).clone(),
-            observed_in: fn_names.get(&holder.summary.addr).unwrap_or(&unknown).clone(),
-            sources: srcs,
-            call_chain: obs.call_chain.clone(),
-            tainted_expr: tainted_rendered
-                .map(|e| df.pool.display(e).to_string())
-                .unwrap_or_default(),
-            sanitized,
-            trace,
-        });
+            // 2. Sanitisation.
+            let capacity = if strict_bounds { stack_capacity(df, obs) } else { None };
+            let sanitized = match kind {
+                VulnKind::BufferOverflow => {
+                    if obs.kind == SinkKind::LoopCopy {
+                        // A counted loop carries a bounding constraint; a
+                        // "copy until NUL" loop does not.
+                        obs.constraints.iter().any(|(op, _, _)| op.is_bounding())
+                    } else {
+                        has_upper_bound(&index, obs, capacity)
+                    }
+                }
+                VulnKind::CommandInjection => has_separator_check(df, &index, obs),
+            };
+
+            let srcs: Vec<SourceRef> = source_refs.into_iter().collect();
+            let key = (obs.sink_ins, obs.call_chain.clone(), srcs.clone(), sink_name.clone());
+            if !seen.insert(key) {
+                continue;
+            }
+            // Backward DFS over the dependency graph for a printable trace.
+            let trace: Vec<String> = tainted_rendered
+                .map(|e| {
+                    dtaint_dataflow::backward_trace(df, holder.summary.addr, e, sources, 12)
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect()
+                })
+                .unwrap_or_default();
+            let unknown = "<unknown>".to_owned();
+            findings.push(Finding {
+                kind: kind.into(),
+                sink: sink_name,
+                sink_ins: obs.sink_ins,
+                sink_fn: fn_names.get(&obs.sink_fn).unwrap_or(&unknown).clone(),
+                observed_in: fn_names.get(&holder.summary.addr).unwrap_or(&unknown).clone(),
+                sources: srcs,
+                call_chain: obs.call_chain.clone(),
+                tainted_expr: tainted_rendered
+                    .map(|e| df.pool.display(e).to_string())
+                    .unwrap_or_default(),
+                sanitized,
+                trace,
+            });
         }
     }
     findings.sort_by(|a, b| {
@@ -285,11 +281,7 @@ pub fn detect_with(
 /// `T < c` / `T <= y` (taken), or `c > T` style checks. When `capacity`
 /// is known (strict mode, stack destination), a constant bound must
 /// actually fit it.
-fn has_upper_bound(
-    index: &TaintIndex<'_>,
-    obs: &SinkObservation,
-    capacity: Option<i64>,
-) -> bool {
+fn has_upper_bound(index: &TaintIndex<'_>, obs: &SinkObservation, capacity: Option<i64>) -> bool {
     obs.constraints.iter().any(|(op, l, r)| {
         let (tainted_side, bound_side) = match op {
             CmpOp::Lt | CmpOp::Le => (*l, *r),

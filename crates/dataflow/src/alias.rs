@@ -71,7 +71,12 @@ pub fn alias_replace(summary: &mut FuncSummary, pool: &mut ExprPool) -> Vec<Alia
                 let replacement = pool.add_const(alias.name, -alias.offset);
                 let new_d = pool.replace(dp.d, ptr, replacement);
                 if new_d != dp.d {
-                    new_pairs.push(DefPair { d: new_d, u: dp.u, ins_addr: dp.ins_addr, path: dp.path });
+                    new_pairs.push(DefPair {
+                        d: new_d,
+                        u: dp.u,
+                        ins_addr: dp.ins_addr,
+                        path: dp.path,
+                    });
                 }
             }
         }

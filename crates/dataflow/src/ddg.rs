@@ -339,20 +339,14 @@ mod tests {
     fn graph_has_source_and_def_nodes_with_edges() {
         let (_, df) = dataflow_sample();
         let ddg = Ddg::build(&df, &sources());
-        let n_sources = ddg
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.kind, DdgNodeKind::Source { .. }))
-            .count();
+        let n_sources =
+            ddg.nodes.iter().filter(|n| matches!(n.kind, DdgNodeKind::Source { .. })).count();
         assert_eq!(n_sources, 1, "one recv source");
         assert!(ddg.nodes.len() > 1, "def nodes exist");
         assert!(ddg.edge_count() >= 1, "the recv source feeds defs");
         // Some def is reachable from the source.
-        let src = ddg
-            .nodes
-            .iter()
-            .position(|n| matches!(n.kind, DdgNodeKind::Source { .. }))
-            .unwrap();
+        let src =
+            ddg.nodes.iter().position(|n| matches!(n.kind, DdgNodeKind::Source { .. })).unwrap();
         assert!(!ddg.edges[src].is_empty());
         let target = ddg.edges[src][0];
         assert_eq!(ddg.sources_reaching(target), vec![src]);
@@ -423,9 +417,7 @@ mod tests {
                 .summary
                 .callsites
                 .iter()
-                .find_map(|cs| {
-                    cs.args.iter().copied().find(|&a| df.pool.as_const(a).is_some())
-                })
+                .find_map(|cs| cs.args.iter().copied().find(|&a| df.pool.as_const(a).is_some()))
                 .expect("some constant arg")
         };
         assert!(backward_trace(&df, f_addr, c, &sources(), 8).is_empty());
@@ -444,8 +436,10 @@ mod tests {
             .map(|c| analyze_function(&fw.binary, c, &mut pool, &SymexConfig::default()))
             .collect();
         let df = build_dataflow(&fw.binary, &mut cg, sums, pool, &DataflowConfig::default());
-        let all_sources: HashSet<String> =
-            ["read", "recv", "getenv", "websGetVar", "find_var"].iter().map(|s| s.to_string()).collect();
+        let all_sources: HashSet<String> = ["read", "recv", "getenv", "websGetVar", "find_var"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let ddg = Ddg::build(&df, &all_sources);
         assert!(ddg.nodes.len() > 50);
         // Every source with an outgoing edge reaches at least one def.

@@ -88,12 +88,9 @@ pub fn resolve_indirect_calls(
             let SymNode::Deref { addr, .. } = pool.node(*e) else { continue };
             let (base, offset) = pool.base_offset(addr);
             let Some((root, path)) = root_and_path(base, pool) else { continue };
-            let caller_layout =
-                layouts_cache[&s.addr].get(&root).cloned().unwrap_or_default();
-            let positional: Vec<&Installer> = installers
-                .iter()
-                .filter(|i| i.path == path && i.offset == offset)
-                .collect();
+            let caller_layout = layouts_cache[&s.addr].get(&root).cloned().unwrap_or_default();
+            let positional: Vec<&Installer> =
+                installers.iter().filter(|i| i.path == path && i.offset == offset).collect();
             if positional.is_empty() {
                 continue;
             }
@@ -155,8 +152,18 @@ mod tests {
                 data: vec![0; 0x2000],
             }],
             symbols: vec![
-                Symbol { name: "handler_a".into(), addr: 0x1000, size: 16, kind: SymbolKind::Function },
-                Symbol { name: "handler_b".into(), addr: 0x2000, size: 16, kind: SymbolKind::Function },
+                Symbol {
+                    name: "handler_a".into(),
+                    addr: 0x1000,
+                    size: 16,
+                    kind: SymbolKind::Function,
+                },
+                Symbol {
+                    name: "handler_b".into(),
+                    addr: 0x2000,
+                    size: 16,
+                    kind: SymbolKind::Function,
+                },
             ],
             imports: vec![],
         }

@@ -20,6 +20,21 @@
 //!
 //! The output, [`ProgramDataflow`], is the data-dependency substrate the
 //! detector traverses backwards from sinks to sources.
+//!
+//! # Parallel construction
+//!
+//! The bottom-up pass is stratified over the call graph's SCC
+//! condensation: stratum 0 holds functions whose every out-of-component
+//! callee is already done (leaves), stratum *k* those whose callees all
+//! sit in strata < *k*. Functions within one stratum never read each
+//! other's summaries — distinct components at one level share no edge,
+//! and members of one recursive component treat each other as opaque —
+//! so a stratum can be summarised concurrently. Each worker forks the
+//! master [`ExprPool`] and works on a private copy; the merge re-interns
+//! every finished summary into the master in function-address order and
+//! renumbers worker-created unknowns onto the master's counter in
+//! creation order, which makes the result bit-identical to a
+//! single-threaded run regardless of thread count or scheduling.
 
 use crate::alias::alias_replace;
 use crate::indirect::{resolve_indirect_calls, ResolvedCall};
@@ -27,7 +42,13 @@ use dtaint_cfg::CallGraph;
 use dtaint_fwbin::Binary;
 use dtaint_symex::pool::{CmpOp, ExprPool, SymNode};
 use dtaint_symex::{CalleeRef, Constraint, DefPair, ExprId, FuncSummary};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Below this many functions, a stratum is summarised directly on the
+/// master pool: forking the pool and merging back costs more than the
+/// work it would spread out.
+const PAR_STRATUM_MIN: usize = 8;
 
 /// Switches for the pipeline stages (used by the ablation benches).
 #[derive(Debug, Clone)]
@@ -43,6 +64,9 @@ pub struct DataflowConfig {
     pub loop_copy_sinks: bool,
     /// Cap on sink observations carried per function (safety valve).
     pub max_sinks_per_fn: usize,
+    /// Worker threads for the bottom-up pass (1 = fully sequential).
+    /// Results are identical for every value.
+    pub threads: usize,
 }
 
 impl Default for DataflowConfig {
@@ -50,15 +74,29 @@ impl Default for DataflowConfig {
         DataflowConfig {
             enable_alias: true,
             enable_indirect: true,
-            sink_names: ["strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system",
-                "popen"]
-                .into_iter()
-                .map(str::to_owned)
-                .collect(),
+            sink_names: [
+                "strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system", "popen",
+            ]
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
             loop_copy_sinks: true,
             max_sinks_per_fn: 4096,
+            threads: 1,
         }
     }
+}
+
+/// Wall-clock breakdown of [`build_dataflow`]'s stages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DdgTimings {
+    /// Pointer-aliasing recognition (Algorithm 1).
+    pub alias: Duration,
+    /// Indirect-call resolution by layout similarity (§III-D).
+    pub indirect: Duration,
+    /// The bottom-up propagation itself (Algorithm 2) — the stage the
+    /// `threads` knob parallelises.
+    pub propagate: Duration,
 }
 
 /// What kind of sink an observation describes.
@@ -114,14 +152,17 @@ pub struct FinalSummary {
 pub struct ProgramDataflow {
     /// The shared expression pool.
     pub pool: ExprPool,
-    /// Final summaries keyed by function entry address.
-    pub finals: HashMap<u32, FinalSummary>,
-    /// The bottom-up analysis order used.
+    /// Final summaries keyed by function entry address. Ordered, so every
+    /// whole-program iteration downstream is deterministic.
+    pub finals: BTreeMap<u32, FinalSummary>,
+    /// The bottom-up analysis order used (the flattened strata).
     pub order: Vec<u32>,
     /// Indirect calls resolved by layout similarity.
     pub resolved_indirect: Vec<ResolvedCall>,
     /// Import call sites across the program: `ins_addr → import name`.
     pub import_sites: HashMap<u32, String>,
+    /// Wall-clock breakdown of the build.
+    pub timings: DdgTimings,
 }
 
 impl ProgramDataflow {
@@ -205,26 +246,30 @@ pub fn build_dataflow(
     mut pool: ExprPool,
     config: &DataflowConfig,
 ) -> ProgramDataflow {
-    let mut by_addr: HashMap<u32, FuncSummary> =
-        locals.into_iter().map(|s| (s.addr, s)).collect();
+    let mut timings = DdgTimings::default();
+    // Ordered, so per-function passes intern into the pool in a fixed
+    // order regardless of how `locals` arrived.
+    let mut by_addr: BTreeMap<u32, FuncSummary> = locals.into_iter().map(|s| (s.addr, s)).collect();
 
     // Stage 1: pointer aliasing per function (Algorithm 1).
+    let t = Instant::now();
     if config.enable_alias {
         for s in by_addr.values_mut() {
             alias_replace(s, &mut pool);
         }
     }
+    timings.alias = t.elapsed();
 
     // Stage 2: indirect-call resolution (§III-D).
+    let t = Instant::now();
     let resolved: Vec<ResolvedCall> = if config.enable_indirect {
-        let list: Vec<&FuncSummary> = by_addr.values().collect();
-        let owned: Vec<FuncSummary> = list.into_iter().cloned().collect();
+        let owned: Vec<FuncSummary> = by_addr.values().cloned().collect();
         resolve_indirect_calls(bin, &owned, &pool)
     } else {
         Vec::new()
     };
-    let resolution: HashMap<u32, u32> =
-        resolved.iter().map(|r| (r.ins_addr, r.callee)).collect();
+    timings.indirect = t.elapsed();
+    let resolution: HashMap<u32, u32> = resolved.iter().map(|r| (r.ins_addr, r.callee)).collect();
     for r in &resolved {
         callgraph.add_resolved_indirect(r.ins_addr, r.callee);
     }
@@ -239,86 +284,235 @@ pub fn build_dataflow(
         }
     }
 
-    // Stage 3: bottom-up propagation (Algorithm 2).
-    let order = callgraph.post_order();
-    let mut finals: HashMap<u32, FinalSummary> = HashMap::new();
-    for &faddr in &order {
-        let Some(mut summary) = by_addr.remove(&faddr) else { continue };
-        let local_constraints = summary.constraints.len();
-        let mut sinks: Vec<SinkObservation> = Vec::new();
+    // Stage 3: bottom-up propagation (Algorithm 2), stratified over the
+    // SCC condensation. Strata must be computed *after* indirect
+    // resolution, whose edges can deepen (or entangle) the order.
+    let t = Instant::now();
+    let strata = callgraph.strata();
+    let order: Vec<u32> = strata.iter().flatten().copied().collect();
+    let comp_of: HashMap<u32, usize> = callgraph
+        .sccs()
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, c)| c.into_iter().map(move |f| (f, i)))
+        .collect();
+    let threads = config.threads.max(1);
+    let mut finals: BTreeMap<u32, FinalSummary> = BTreeMap::new();
 
-        // Own loop-copy sinks.
-        if config.loop_copy_sinks {
-            for lc in &summary.loop_copies {
-                let cons = constraints_on_path(&summary, lc.path);
-                sinks.push(SinkObservation {
-                    kind: SinkKind::LoopCopy,
-                    sink_ins: lc.ins_addr,
-                    sink_fn: faddr,
-                    args: vec![lc.dst_addr, lc.value],
-                    call_chain: vec![],
-                    constraints: cons,
-                });
+    for stratum in &strata {
+        // Pull this stratum's work out in address order.
+        let work: Vec<(u32, FuncSummary)> =
+            stratum.iter().filter_map(|&f| by_addr.remove(&f).map(|s| (f, s))).collect();
+        if work.is_empty() {
+            continue;
+        }
+
+        if threads <= 1 || work.len() < PAR_STRATUM_MIN {
+            for (faddr, summary) in work {
+                let fs = process_function(
+                    bin,
+                    faddr,
+                    summary,
+                    &finals,
+                    &comp_of,
+                    &resolution,
+                    &mut pool,
+                    config,
+                );
+                finals.insert(faddr, fs);
+            }
+            continue;
+        }
+
+        // Fork: contiguous address-ordered chunks, one worker each. Every
+        // worker reads only completed lower-strata summaries and writes
+        // to a private pool forked from the master.
+        let nchunks = threads.min(work.len());
+        let chunk_len = work.len().div_ceil(nchunks);
+        let mut work = work;
+        let chunks: Vec<Vec<(u32, FuncSummary)>> = {
+            let mut out = Vec::with_capacity(nchunks);
+            while !work.is_empty() {
+                let rest = work.split_off(chunk_len.min(work.len()));
+                out.push(std::mem::replace(&mut work, rest));
+            }
+            out
+        };
+        type WorkerOut = (ExprPool, Vec<(u32, FinalSummary, std::ops::Range<u32>)>);
+        let fork_base = pool.len();
+        let results: Vec<WorkerOut> = {
+            let pool_ref = &pool;
+            let finals_ref = &finals;
+            let comp_ref = &comp_of;
+            let res_ref = &resolution;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            let mut fork = pool_ref.clone();
+                            let mut out = Vec::with_capacity(chunk.len());
+                            for (faddr, summary) in chunk {
+                                let before = fork.next_unknown_index();
+                                let fs = process_function(
+                                    bin, faddr, summary, finals_ref, comp_ref, res_ref, &mut fork,
+                                    config,
+                                );
+                                let created = before..fork.next_unknown_index();
+                                out.push((faddr, fs, created));
+                            }
+                            (fork, out)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("ddg worker panicked")).collect()
+            })
+            .expect("ddg worker scope")
+        };
+
+        // Merge: chunks are contiguous and address-ordered, so draining
+        // workers in spawn order visits the stratum in address order, and
+        // remapping each function's created unknowns in creation order
+        // reproduces the single-threaded numbering exactly. Translation
+        // is fork-aware: ids below `fork_base` denote the same node in
+        // the fork and the master, so only fork-created nodes cost work.
+        for (mut fork, items) in results {
+            for (faddr, fs, created) in items {
+                let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
+                for k in created {
+                    let src_id = fork.intern(SymNode::Unknown(k));
+                    let dst_id = pool.fresh_unknown();
+                    memo.insert(src_id, dst_id);
+                }
+                let summary =
+                    fs.summary.translate_into_fork(&fork, fork_base, &mut pool, &mut memo);
+                let sinks = fs
+                    .sinks
+                    .iter()
+                    .map(|sk| SinkObservation {
+                        kind: sk.kind.clone(),
+                        sink_ins: sk.sink_ins,
+                        sink_fn: sk.sink_fn,
+                        args: sk
+                            .args
+                            .iter()
+                            .map(|&a| pool.translate_fork(&fork, fork_base, a, &mut memo))
+                            .collect(),
+                        call_chain: sk.call_chain.clone(),
+                        constraints: sk
+                            .constraints
+                            .iter()
+                            .map(|&(op, l, r)| {
+                                (
+                                    op,
+                                    pool.translate_fork(&fork, fork_base, l, &mut memo),
+                                    pool.translate_fork(&fork, fork_base, r, &mut memo),
+                                )
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                finals.insert(
+                    faddr,
+                    FinalSummary { summary, sinks, local_constraints: fs.local_constraints },
+                );
             }
         }
+    }
+    timings.propagate = t.elapsed();
 
-        // Iterate by index: earlier call sites substitute expressions
-        // (ret symbols, callee stores) that later call sites' arguments
-        // must observe, so each site is re-read after prior rewrites.
-        for idx in 0..summary.callsites.len() {
-            let cs = summary.callsites[idx].clone();
-            let cs = &cs;
-            let callee_addr = match &cs.callee {
-                CalleeRef::Direct(a) => Some(*a),
-                CalleeRef::Indirect(_) => resolution.get(&cs.ins_addr).copied(),
-                CalleeRef::Import(name) => {
-                    if config.sink_names.contains(name) {
-                        let cons = constraints_on_path(&summary, cs.path);
-                        sinks.push(SinkObservation {
-                            kind: SinkKind::Import(name.clone()),
-                            sink_ins: cs.ins_addr,
-                            sink_fn: faddr,
-                            args: cs.args.clone(),
-                            call_chain: vec![],
-                            constraints: cons,
-                        });
-                    }
-                    None
-                }
-            };
-            let Some(callee_addr) = callee_addr else { continue };
-            let Some(callee) = finals.get(&callee_addr) else {
-                // Recursive cycle: callee not yet summarised; treated as
-                // opaque, exactly once, as the paper prescribes.
-                continue;
-            };
-            apply_callee(
-                bin,
-                &mut summary,
-                &mut sinks,
-                callee,
-                cs.ins_addr,
-                cs.path,
-                &cs.args,
-                &mut pool,
-                config,
-            );
+    ProgramDataflow { pool, finals, order, resolved_indirect: resolved, import_sites, timings }
+}
+
+/// Summarises one function (Algorithm 2 outer-loop body): collects its
+/// own sinks, then applies every already-summarised callee at each call
+/// site.
+///
+/// `finals` must already contain every callee outside the function's own
+/// component — the stratified order guarantees it. Callees *inside* the
+/// component (recursion) are treated as opaque, so members of a cycle
+/// can be summarised in any order, or concurrently, with one result.
+#[allow(clippy::too_many_arguments)]
+fn process_function(
+    bin: &Binary,
+    faddr: u32,
+    mut summary: FuncSummary,
+    finals: &BTreeMap<u32, FinalSummary>,
+    comp_of: &HashMap<u32, usize>,
+    resolution: &HashMap<u32, u32>,
+    pool: &mut ExprPool,
+    config: &DataflowConfig,
+) -> FinalSummary {
+    let local_constraints = summary.constraints.len();
+    let mut sinks: Vec<SinkObservation> = Vec::new();
+
+    // Own loop-copy sinks.
+    if config.loop_copy_sinks {
+        for lc in &summary.loop_copies {
+            let cons = constraints_on_path(&summary, lc.path);
+            sinks.push(SinkObservation {
+                kind: SinkKind::LoopCopy,
+                sink_ins: lc.ins_addr,
+                sink_fn: faddr,
+                args: vec![lc.dst_addr, lc.value],
+                call_chain: vec![],
+                constraints: cons,
+            });
         }
-
-        sinks.truncate(config.max_sinks_per_fn);
-        finals.insert(faddr, FinalSummary { summary, sinks, local_constraints });
     }
 
-    ProgramDataflow { pool, finals, order, resolved_indirect: resolved, import_sites }
+    // Iterate by index: earlier call sites substitute expressions
+    // (ret symbols, callee stores) that later call sites' arguments
+    // must observe, so each site is re-read after prior rewrites.
+    for idx in 0..summary.callsites.len() {
+        let cs = summary.callsites[idx].clone();
+        let cs = &cs;
+        let callee_addr = match &cs.callee {
+            CalleeRef::Direct(a) => Some(*a),
+            CalleeRef::Indirect(_) => resolution.get(&cs.ins_addr).copied(),
+            CalleeRef::Import(name) => {
+                if config.sink_names.contains(name) {
+                    let cons = constraints_on_path(&summary, cs.path);
+                    sinks.push(SinkObservation {
+                        kind: SinkKind::Import(name.clone()),
+                        sink_ins: cs.ins_addr,
+                        sink_fn: faddr,
+                        args: cs.args.clone(),
+                        call_chain: vec![],
+                        constraints: cons,
+                    });
+                }
+                None
+            }
+        };
+        let Some(callee_addr) = callee_addr else { continue };
+        if comp_of.get(&callee_addr) == comp_of.get(&faddr) {
+            // Recursion (self or mutual): the callee is in this
+            // function's own component, treated as opaque so each
+            // function is analyzed exactly once, as the paper
+            // prescribes — independent of summarisation order.
+            continue;
+        }
+        let Some(callee) = finals.get(&callee_addr) else { continue };
+        apply_callee(
+            bin,
+            &mut summary,
+            &mut sinks,
+            callee,
+            cs.ins_addr,
+            cs.path,
+            &cs.args,
+            pool,
+            config,
+        );
+    }
+
+    sinks.truncate(config.max_sinks_per_fn);
+    FinalSummary { summary, sinks, local_constraints }
 }
 
 fn constraints_on_path(summary: &FuncSummary, path: u32) -> Vec<(CmpOp, ExprId, ExprId)> {
-    summary
-        .constraints
-        .iter()
-        .filter(|c| c.path == path)
-        .map(|c| (c.op, c.lhs, c.rhs))
-        .collect()
+    summary.constraints.iter().filter(|c| c.path == path).map(|c| (c.op, c.lhs, c.rhs)).collect()
 }
 
 /// Applies one summarised callee at one call site (Algorithm 2 body).
@@ -346,9 +540,7 @@ fn apply_callee(
                 None => p.fresh_unknown(),
             }),
             SymNode::StackBase => Some(*su.get_or_insert_with(|| p.fresh_unknown())),
-            SymNode::InitReg(r) => {
-                Some(*ru.entry(r).or_insert_with(|| p.fresh_unknown()))
-            }
+            SymNode::InitReg(r) => Some(*ru.entry(r).or_insert_with(|| p.fresh_unknown())),
             _ => None,
         });
         stack_unknown = su;

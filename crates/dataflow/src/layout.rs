@@ -228,14 +228,8 @@ mod tests {
         let layouts = infer_layouts(&s, &pool);
         let layout = &layouts[&arg0];
         assert_eq!(layout.groups.len(), 2, "root group + nested group");
-        assert_eq!(
-            layout.groups[&vec![]].keys().copied().collect::<Vec<_>>(),
-            vec![0x4c, 0x58]
-        );
-        assert_eq!(
-            layout.groups[&vec![0x58]].keys().copied().collect::<Vec<_>>(),
-            vec![0xec]
-        );
+        assert_eq!(layout.groups[&vec![]].keys().copied().collect::<Vec<_>>(), vec![0x4c, 0x58]);
+        assert_eq!(layout.groups[&vec![0x58]].keys().copied().collect::<Vec<_>>(), vec![0xec]);
         assert_eq!(layout.field_count(), 3);
     }
 

@@ -33,7 +33,8 @@ pub use alias::{alias_replace, AliasEntry};
 pub use ddg::{backward_trace, Ddg, DdgNode, DdgNodeKind, TraceStep};
 pub use indirect::{resolve_indirect_calls, Installer, ResolvedCall};
 pub use interproc::{
-    build_dataflow, DataflowConfig, FinalSummary, ProgramDataflow, SinkKind, SinkObservation,
+    build_dataflow, DataflowConfig, DdgTimings, FinalSummary, ProgramDataflow, SinkKind,
+    SinkObservation,
 };
 pub use layout::{infer_layouts, root_and_path, AccessPath, Layout};
 
@@ -147,11 +148,7 @@ mod tests {
             matches!(n, SymNode::RetSym(cs)
                 if df.import_sites.get(&cs).map(String::as_str) == Some("recv"))
         });
-        assert!(
-            has_recv_ret,
-            "memcpy length must be recv's return, got {}",
-            df.pool.display(len)
-        );
+        assert!(has_recv_ret, "memcpy length must be recv's return, got {}", df.pool.display(len));
         // No length check anywhere: no bounding constraint mentions `len`.
         assert!(memcpy_sink.constraints.is_empty());
     }
@@ -304,11 +301,9 @@ mod tests {
             .expect("memcpy sink");
         let len = sink.args[2];
         // The guarding constraint `len < 64` is attached to the sink.
-        let guarded = sink
-            .constraints
-            .iter()
-            .any(|(op, l, r)| *op == dtaint_symex::CmpOp::Lt && *l == len
-                && df.pool.as_const(*r) == Some(64));
+        let guarded = sink.constraints.iter().any(|(op, l, r)| {
+            *op == dtaint_symex::CmpOp::Lt && *l == len && df.pool.as_const(*r) == Some(64)
+        });
         assert!(guarded, "bounding constraint must accompany the sink");
     }
 
@@ -357,11 +352,8 @@ mod tests {
     fn disabling_stages_changes_results() {
         let bin = paper_figure5_binary();
         let (mut cg, summaries, pool) = analyze_all(&bin);
-        let config = DataflowConfig {
-            enable_alias: false,
-            enable_indirect: false,
-            ..Default::default()
-        };
+        let config =
+            DataflowConfig { enable_alias: false, enable_indirect: false, ..Default::default() };
         let df = build_dataflow(&bin, &mut cg, summaries, pool, &config);
         assert!(df.resolved_indirect.is_empty());
         // The memcpy sink is still observed (it is a direct-flow case).

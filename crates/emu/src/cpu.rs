@@ -199,9 +199,7 @@ impl Cpu {
             Slt { rd, rs, rt } => {
                 self.set(rd, ((self.get(rs) as i32) < (self.get(rt) as i32)) as u32)
             }
-            Slti { rt, rs, imm } => {
-                self.set(rt, ((self.get(rs) as i32) < imm as i32) as u32)
-            }
+            Slti { rt, rs, imm } => self.set(rt, ((self.get(rs) as i32) < imm as i32) as u32),
             Lui { rt, imm } => self.set(rt, (imm as u32) << 16),
             Lw { rt, base, off } => {
                 let a = self.get(base).wrapping_add(off as i32 as u32);

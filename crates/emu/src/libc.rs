@@ -309,7 +309,11 @@ mod tests {
 
     /// Builds `main` that calls one import with the given rodata-backed
     /// arguments and returns the import's return value.
-    fn call_import(import: &str, setup: impl FnOnce(&mut Assembler), extra: &[(&str, &str)]) -> Binary {
+    fn call_import(
+        import: &str,
+        setup: impl FnOnce(&mut Assembler),
+        extra: &[(&str, &str)],
+    ) -> Binary {
         let mut a = Assembler::new(Arch::Arm32e);
         a.arm(dtaint_fwbin::arm::ArmIns::Push { mask: 1 << 14 });
         setup(&mut a);

@@ -105,11 +105,7 @@ impl<'a> Machine<'a> {
     /// Panics when the function name is not in the symbol table — a
     /// harness bug, not an input condition.
     pub fn run(&mut self, entry: &str) -> Exit {
-        let addr = self
-            .bin
-            .function(entry)
-            .unwrap_or_else(|| panic!("no function `{entry}`"))
-            .addr;
+        let addr = self.bin.function(entry).unwrap_or_else(|| panic!("no function `{entry}`")).addr;
         self.run_at(addr)
     }
 
@@ -172,11 +168,7 @@ mod tests {
     use dtaint_fwbin::link::BinaryBuilder;
     use dtaint_fwbin::{Arch, Reg};
 
-    fn machine_for(
-        arch: Arch,
-        imports: &[&str],
-        f: impl FnOnce(&mut Assembler),
-    ) -> (Binary, ()) {
+    fn machine_for(arch: Arch, imports: &[&str], f: impl FnOnce(&mut Assembler)) -> (Binary, ()) {
         let mut a = Assembler::new(arch);
         f(&mut a);
         let mut b = BinaryBuilder::new(arch);

@@ -64,9 +64,9 @@ impl Mem {
     }
 
     fn region(&self, addr: u32) -> Option<usize> {
-        self.regions
-            .iter()
-            .position(|r| addr >= r.base && (addr - r.base) as usize <= r.data.len().saturating_sub(1))
+        self.regions.iter().position(|r| {
+            addr >= r.base && (addr - r.base) as usize <= r.data.len().saturating_sub(1)
+        })
     }
 
     /// Allocates `size` bytes on the heap (8-byte aligned). Returns the

@@ -62,7 +62,12 @@ impl Default for AttackConfig {
 
 /// Runs one probe: `payload` is served as every poisoned variable and
 /// every queued input frame.
-fn run_probe(bin: &Binary, entry: &str, config: &AttackConfig, payload: &[u8]) -> (Exit, Vec<Vec<u8>>) {
+fn run_probe(
+    bin: &Binary,
+    entry: &str,
+    config: &AttackConfig,
+    payload: &[u8],
+) -> (Exit, Vec<Vec<u8>>) {
     let mut m = Machine::new(bin);
     m.set_max_steps(config.max_steps);
     for name in &config.env_names {
@@ -134,9 +139,9 @@ pub fn poison_all_rodata_names(bin: &Binary, config: &mut AttackConfig) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dtaint_fwbin::Arch;
     use dtaint_fwgen::spec::{Callee, FnSpec, ProgramSpec, Stmt};
     use dtaint_fwgen::templates::{plant, PlantKind, PlantSpec};
-    use dtaint_fwbin::Arch;
 
     fn build(kind: PlantKind, sanitized: bool, arch: Arch) -> Binary {
         let mut spec = ProgramSpec::new("v");
@@ -167,10 +172,7 @@ mod tests {
             PlantKind::BofReadStrncpy,
         ] {
             let v = verdict(kind, false, Arch::Arm32e);
-            assert!(
-                matches!(v, Verdict::MemoryCorruption(_)),
-                "{kind:?} must crash, got {v:?}"
-            );
+            assert!(matches!(v, Verdict::MemoryCorruption(_)), "{kind:?} must crash, got {v:?}");
         }
     }
 
@@ -182,10 +184,7 @@ mod tests {
             PlantKind::CmdiFindvarPopen,
         ] {
             let v = verdict(kind, false, Arch::Mips32e);
-            assert!(
-                matches!(v, Verdict::CommandInjected(_)),
-                "{kind:?} must inject, got {v:?}"
-            );
+            assert!(matches!(v, Verdict::CommandInjected(_)), "{kind:?} must inject, got {v:?}");
         }
     }
 

@@ -244,9 +244,7 @@ impl ArmIns {
             Strh { rt, rn, off } => pack_imm16(0x1d, rt, rn, off as u16)?,
             Push { mask } => (0x16 << OP_SHIFT) | mask as u32,
             Pop { mask } => (0x17 << OP_SHIFT) | mask as u32,
-            B { cond, off } => {
-                (0x18 << OP_SHIFT) | (cond.bits() << A_SHIFT) | (off as u16 as u32)
-            }
+            B { cond, off } => (0x18 << OP_SHIFT) | (cond.bits() << A_SHIFT) | (off as u16 as u32),
             Bl { off } => {
                 if !(-(1 << 25)..(1 << 25)).contains(&off) {
                     return Err(Error::ImmOutOfRange { field: "bl offset", value: off as i64 });

@@ -193,9 +193,8 @@ impl Assembler {
                 // J uses a 26-bit field but local jumps resolve like Rel16
                 // targets; keep the 16-bit patch so both dialects share the
                 // resolver (functions never exceed ±32k words).
-                let word = MipsIns::Beq { rs: Reg(0), rt: Reg(0), off: 0 }
-                    .encode()
-                    .expect("beq encodes");
+                let word =
+                    MipsIns::Beq { rs: Reg(0), rt: Reg(0), off: 0 }.encode().expect("beq encodes");
                 self.push(word, Fixup::Rel16(label.to_owned()));
             }
         }

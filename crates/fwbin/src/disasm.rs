@@ -90,11 +90,15 @@ pub fn listing(bin: &Binary) -> String {
         for line in disassemble_range(bin, sym.addr, sym.addr + sym.size) {
             match &line.call_target {
                 Some(t) => {
-                    let _ =
-                        writeln!(out, "  {:#010x}: {:08x}  {:<28} ; → {t}", line.addr, line.word, line.text);
+                    let _ = writeln!(
+                        out,
+                        "  {:#010x}: {:08x}  {:<28} ; → {t}",
+                        line.addr, line.word, line.text
+                    );
                 }
                 None => {
-                    let _ = writeln!(out, "  {:#010x}: {:08x}  {}", line.addr, line.word, line.text);
+                    let _ =
+                        writeln!(out, "  {:#010x}: {:08x}  {}", line.addr, line.word, line.text);
                 }
             }
         }
@@ -118,7 +122,7 @@ mod tests {
 
     fn sample(arch: Arch) -> Binary {
         let mut f = Assembler::new(arch);
-        f.load_const(Reg(4) , 7);
+        f.load_const(Reg(4), 7);
         f.call("strcpy");
         f.ret();
         let mut g = Assembler::new(arch);

@@ -163,9 +163,7 @@ impl Binary {
 
     /// The function symbol with the given name.
     pub fn function(&self, name: &str) -> Option<&Symbol> {
-        self.symbols
-            .iter()
-            .find(|s| s.kind == SymbolKind::Function && s.name == name)
+        self.symbols.iter().find(|s| s.kind == SymbolKind::Function && s.name == name)
     }
 
     /// All function symbols in address order.
@@ -178,9 +176,9 @@ impl Binary {
 
     /// The function symbol covering `addr`, if any.
     pub fn function_at(&self, addr: u32) -> Option<&Symbol> {
-        self.symbols.iter().find(|s| {
-            s.kind == SymbolKind::Function && addr >= s.addr && addr < s.addr + s.size
-        })
+        self.symbols
+            .iter()
+            .find(|s| s.kind == SymbolKind::Function && addr >= s.addr && addr < s.addr + s.size)
     }
 
     /// The import whose stub is at `addr`, if any.
@@ -229,7 +227,8 @@ impl Binary {
 
     /// Serialises the binary to its on-disk FBF encoding.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.sections.iter().map(|s| s.data.len()).sum::<usize>());
+        let mut out =
+            Vec::with_capacity(64 + self.sections.iter().map(|s| s.data.len()).sum::<usize>());
         out.put_slice(&FBF_MAGIC);
         out.put_u8(match self.arch {
             Arch::Arm32e => 0,

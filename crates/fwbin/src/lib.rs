@@ -129,16 +129,9 @@ impl Arch {
     pub fn scratch_regs(self) -> &'static [Reg] {
         match self {
             Arch::Arm32e => &[Reg(4), Reg(5), Reg(6), Reg(7), Reg(8), Reg(9), Reg(10)],
-            Arch::Mips32e => &[
-                Reg(8),
-                Reg(9),
-                Reg(10),
-                Reg(11),
-                Reg(12),
-                Reg(13),
-                Reg(14),
-                Reg(15),
-            ],
+            Arch::Mips32e => {
+                &[Reg(8), Reg(9), Reg(10), Reg(11), Reg(12), Reg(13), Reg(14), Reg(15)]
+            }
         }
     }
 
@@ -155,9 +148,9 @@ impl Arch {
             },
             Arch::Mips32e => {
                 const NAMES: [&str; 32] = [
-                    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3",
-                    "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8",
-                    "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+                    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4",
+                    "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9",
+                    "k0", "k1", "gp", "sp", "fp", "ra",
                 ];
                 format!("${}", NAMES[r.0 as usize & 31])
             }

@@ -276,7 +276,9 @@ impl BinaryBuilder {
         let mut plt = Vec::with_capacity(plt_size as usize);
         let ret_word = match self.arch {
             Arch::Arm32e => crate::arm::ArmIns::Bx { rm: Reg::LR }.encode().expect("ret encodes"),
-            Arch::Mips32e => crate::mips::MipsIns::Jr { rs: Reg::RA }.encode().expect("ret encodes"),
+            Arch::Mips32e => {
+                crate::mips::MipsIns::Jr { rs: Reg::RA }.encode().expect("ret encodes")
+            }
         };
         for _ in &self.imports {
             plt.extend_from_slice(&ret_word.to_le_bytes());

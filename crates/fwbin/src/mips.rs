@@ -341,10 +341,7 @@ mod tests {
     #[test]
     fn unknown_opcode_rejected() {
         let word = 0x2fu32 << 26;
-        assert_eq!(
-            MipsIns::decode(word, 4).unwrap_err(),
-            Error::BadInstruction { word, addr: 4 }
-        );
+        assert_eq!(MipsIns::decode(word, 4).unwrap_err(), Error::BadInstruction { word, addr: 4 });
     }
 
     #[test]

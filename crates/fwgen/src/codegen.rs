@@ -399,9 +399,7 @@ impl<'a> FnCodegen<'a> {
                         let end = self.scratch(3);
                         self.eval(n, end);
                         match self.arch {
-                            Arch::Arm32e => {
-                                self.asm.arm(ArmIns::AddR { rd: end, rn: end, rm: s })
-                            }
+                            Arch::Arm32e => self.asm.arm(ArmIns::AddR { rd: end, rn: end, rm: s }),
                             Arch::Mips32e => {
                                 self.asm.mips(MipsIns::Addu { rd: end, rs: end, rt: s })
                             }

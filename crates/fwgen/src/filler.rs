@@ -16,12 +16,7 @@ const BENIGN_IMPORTS: &[&str] = &["strlen", "strcmp", "memset", "printf", "atoi"
 /// Appends `n` filler functions named `{prefix}fn{i}` to the program,
 /// returning their names. Functions only call *earlier* fillers (no
 /// recursion) and benign imports.
-pub fn add_filler(
-    spec: &mut ProgramSpec,
-    prefix: &str,
-    n: usize,
-    rng: &mut StdRng,
-) -> Vec<String> {
+pub fn add_filler(spec: &mut ProgramSpec, prefix: &str, n: usize, rng: &mut StdRng) -> Vec<String> {
     let fmt_label = format!("{prefix}fmt");
     if n > 0 && !spec.strings.iter().any(|(l, _)| *l == fmt_label) {
         spec.string(&fmt_label, "%d");
@@ -74,18 +69,10 @@ fn gen_function(name: &str, earlier: &[String], fmt_label: &str, rng: &mut StdRn
             3 => Arith::Xor,
             _ => Arith::And,
         };
-        let mut then = vec![Stmt::Bin {
-            dst: r,
-            op: arith,
-            lhs: Val::Local(a),
-            rhs: Val::Local(b),
-        }];
-        let mut els = vec![Stmt::Bin {
-            dst: r,
-            op: Arith::Add,
-            lhs: Val::Local(b),
-            rhs: Val::Const(k + 1),
-        }];
+        let mut then =
+            vec![Stmt::Bin { dst: r, op: arith, lhs: Val::Local(a), rhs: Val::Local(b) }];
+        let mut els =
+            vec![Stmt::Bin { dst: r, op: Arith::Add, lhs: Val::Local(b), rhs: Val::Const(k + 1) }];
         // Calls: to an earlier filler or a benign import.
         if !earlier.is_empty() && rng.gen_bool(0.7) {
             let callee = earlier[rng.gen_range(0..earlier.len())].clone();

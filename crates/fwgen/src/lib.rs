@@ -23,5 +23,7 @@ pub mod spec;
 pub mod templates;
 
 pub use codegen::compile;
-pub use profiles::{build_firmware, table2_profiles, table7_programs, FirmwareProfile, GeneratedFirmware};
+pub use profiles::{
+    build_firmware, table2_profiles, table7_programs, FirmwareProfile, GeneratedFirmware,
+};
 pub use templates::{PlantKind, PlantSpec, PlantedVuln};

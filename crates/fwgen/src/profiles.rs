@@ -176,8 +176,19 @@ pub fn table2_profiles() -> Vec<FirmwareProfile> {
             binary_name: "centaurus",
             total_functions: 14035,
             analyzed_prefixes: Some(vec![
-                "rtsp_", "http_", "onvif_", "isapi_", "vuln_", "safe_", "copy_", "hop", "run_",
-                "handle_", "install_", "parse_", "dispatch_",
+                "rtsp_",
+                "http_",
+                "onvif_",
+                "isapi_",
+                "vuln_",
+                "safe_",
+                "copy_",
+                "hop",
+                "run_",
+                "handle_",
+                "install_",
+                "parse_",
+                "dispatch_",
             ]),
             plants: vec![
                 // Zero-day 1: read → memcpy into a 48-byte buffer.
@@ -344,13 +355,21 @@ pub fn build_firmware(profile: &FirmwareProfile) -> GeneratedFirmware {
     // main wires everything together.
     let mut main = FnSpec::new("main", 0);
     for gt in &ground_truth {
-        main.push(Stmt::Call { callee: Callee::Func(gt.entry_fn.clone()), args: vec![], ret: None });
+        main.push(Stmt::Call {
+            callee: Callee::Func(gt.entry_fn.clone()),
+            args: vec![],
+            ret: None,
+        });
     }
     for w in &wrapper_names {
         main.push(Stmt::Call { callee: Callee::Func(w.clone()), args: vec![], ret: None });
     }
     for n in filler_names.iter().rev().take(8) {
-        main.push(Stmt::Call { callee: Callee::Func(n.clone()), args: vec![Val::Const(1)], ret: None });
+        main.push(Stmt::Call {
+            callee: Callee::Func(n.clone()),
+            args: vec![Val::Const(1)],
+            ret: None,
+        });
     }
     main.push(Stmt::Return(None));
     spec.func(main);
@@ -374,10 +393,7 @@ pub fn build_firmware(profile: &FirmwareProfile) -> GeneratedFirmware {
             bootstrap: BootstrapKind::Standard,
         },
         files: vec![
-            FwFile {
-                path: format!("bin/{}", profile.binary_name),
-                data: binary.to_bytes(),
-            },
+            FwFile { path: format!("bin/{}", profile.binary_name), data: binary.to_bytes() },
             FwFile { path: "etc/version".into(), data: profile.firmware_version.into() },
         ],
     };
@@ -394,11 +410,8 @@ mod tests {
     fn profiles_cover_the_paper_totals() {
         let profiles = table2_profiles();
         assert_eq!(profiles.len(), 6);
-        let vulnerable: usize = profiles
-            .iter()
-            .flat_map(|p| p.plants.iter())
-            .filter(|p| !p.sanitized)
-            .count();
+        let vulnerable: usize =
+            profiles.iter().flat_map(|p| p.plants.iter()).filter(|p| !p.sanitized).count();
         assert_eq!(vulnerable, 21, "Table III reports 21 vulnerabilities");
         let functions: Vec<usize> = profiles.iter().map(|p| p.total_functions).collect();
         assert_eq!(functions, vec![237, 358, 732, 796, 6714, 14035]);
@@ -408,10 +421,7 @@ mod tests {
     fn dir645_profile_builds_and_detects_all_plants() {
         let profile = &table2_profiles()[0];
         let fw = build_firmware(profile);
-        assert_eq!(
-            dtaint_cfg::build_all_cfgs(&fw.binary).unwrap().len(),
-            profile.total_functions
-        );
+        assert_eq!(dtaint_cfg::build_all_cfgs(&fw.binary).unwrap().len(), profile.total_functions);
         let r = Dtaint::new().analyze(&fw.binary, profile.binary_name).unwrap();
         let expected = fw.ground_truth.iter().filter(|g| !g.sanitized).count();
         assert_eq!(r.vulnerabilities(), expected, "all planted vulns found, nothing else");

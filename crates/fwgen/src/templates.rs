@@ -73,11 +73,10 @@ impl PlantKind {
             PlantKind::CmdiFindvarPopen => "popen",
             PlantKind::BofReadStrncpy => "strncpy",
             PlantKind::BofGetenvSprintf => "sprintf",
-            PlantKind::BofGetenvStrcpy
-            | PlantKind::BofUrlParamAliasIndirect => "strcpy",
-            PlantKind::BofRecvMemcpy
-            | PlantKind::BofReadMemcpySmall
-            | PlantKind::BofWeakBound => "memcpy",
+            PlantKind::BofGetenvStrcpy | PlantKind::BofUrlParamAliasIndirect => "strcpy",
+            PlantKind::BofRecvMemcpy | PlantKind::BofReadMemcpySmall | PlantKind::BofWeakBound => {
+                "memcpy"
+            }
             PlantKind::BofSscanfRtsp => "sscanf",
             PlantKind::BofReadLoopcopy => "loop-copy",
         }
@@ -142,15 +141,11 @@ pub fn plant(spec: &mut ProgramSpec, p: &PlantSpec) -> PlantedVuln {
     let entry_name = format!("{prefix}_{}", p.id);
     match p.kind {
         PlantKind::CmdiGetenvSystem => plant_cmdi(spec, p, &entry_name, "getenv", "system"),
-        PlantKind::CmdiWebsgetvarSystem => {
-            plant_cmdi(spec, p, &entry_name, "websGetVar", "system")
-        }
+        PlantKind::CmdiWebsgetvarSystem => plant_cmdi(spec, p, &entry_name, "websGetVar", "system"),
         PlantKind::CmdiFindvarPopen => plant_cmdi(spec, p, &entry_name, "find_var", "popen"),
         PlantKind::BofReadStrncpy => plant_length_copy(spec, p, &entry_name, "read", "strncpy"),
         PlantKind::BofRecvMemcpy => plant_length_copy(spec, p, &entry_name, "recv", "memcpy"),
-        PlantKind::BofReadMemcpySmall => {
-            plant_length_copy(spec, p, &entry_name, "read", "memcpy")
-        }
+        PlantKind::BofReadMemcpySmall => plant_length_copy(spec, p, &entry_name, "read", "memcpy"),
         PlantKind::BofGetenvSprintf => plant_string_copy(spec, p, &entry_name, "sprintf"),
         PlantKind::BofGetenvStrcpy => plant_string_copy(spec, p, &entry_name, "strcpy"),
         PlantKind::BofSscanfRtsp => plant_sscanf(spec, p, &entry_name),
@@ -253,13 +248,7 @@ fn plant_cmdi(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str, source: &str, 
 
 /// Length-controlled copy: `n = <source>(…, big, N); [if n < small]
 /// <sink>(small, big, n)`.
-fn plant_length_copy(
-    spec: &mut ProgramSpec,
-    p: &PlantSpec,
-    entry: &str,
-    source: &str,
-    sink: &str,
-) {
+fn plant_length_copy(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str, source: &str, sink: &str) {
     let (big_size, small_size) = match p.kind {
         PlantKind::BofReadMemcpySmall => (2048, 48),
         PlantKind::BofReadStrncpy => (512, 64),
@@ -564,7 +553,11 @@ fn plant_alias_indirect(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
         args: vec![Val::GlobalAddr(ctx.clone()), Val::GlobalAddr(reqbuf)],
         ret: None,
     });
-    e.push(Stmt::Call { callee: Callee::Func(dispatch), args: vec![Val::GlobalAddr(ctx)], ret: None });
+    e.push(Stmt::Call {
+        callee: Callee::Func(dispatch),
+        args: vec![Val::GlobalAddr(ctx)],
+        ret: None,
+    });
     e.push(Stmt::Return(None));
     spec.func(e);
 }
@@ -600,7 +593,11 @@ mod tests {
         let gt = plant(&mut spec, &PlantSpec::new(kind, "x1", sanitized, depth));
         // Entry shim calling the planted entry, so it is reachable.
         let mut main = FnSpec::new("main", 0);
-        main.push(Stmt::Call { callee: Callee::Func(gt.entry_fn.clone()), args: vec![], ret: None });
+        main.push(Stmt::Call {
+            callee: Callee::Func(gt.entry_fn.clone()),
+            args: vec![],
+            ret: None,
+        });
         main.push(Stmt::Return(None));
         spec.func(main);
         let bin = compile(&spec, arch).unwrap();

@@ -17,8 +17,18 @@ use std::collections::BTreeMap;
 
 /// The twelve manufacturers of the simulated corpus.
 pub const VENDORS: [&str; 12] = [
-    "D-Link", "Netgear", "Hikvision", "Uniview", "TP-Link", "Tenda", "Zyxel", "Belkin",
-    "Linksys", "Axis", "Foscam", "Trendnet",
+    "D-Link",
+    "Netgear",
+    "Hikvision",
+    "Uniview",
+    "TP-Link",
+    "Tenda",
+    "Zyxel",
+    "Belkin",
+    "Linksys",
+    "Axis",
+    "Foscam",
+    "Trendnet",
 ];
 
 /// Corpus generation parameters.

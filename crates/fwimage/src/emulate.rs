@@ -112,10 +112,7 @@ mod tests {
     fn proprietary_hardware_blocks() {
         let mut img = bootable();
         img.metadata.peripherals.push(Peripheral::CustomAsic);
-        assert!(matches!(
-            try_emulate(&img),
-            Err(EmulationFailure::ProprietaryPeripheral(_))
-        ));
+        assert!(matches!(try_emulate(&img), Err(EmulationFailure::ProprietaryPeripheral(_))));
     }
 
     #[test]

@@ -91,10 +91,8 @@ mod tests {
 
     #[test]
     fn error_display_and_source() {
-        let e = Error::BadBinary {
-            path: "bin/httpd".into(),
-            source: dtaint_fwbin::Error::Truncated,
-        };
+        let e =
+            Error::BadBinary { path: "bin/httpd".into(), source: dtaint_fwbin::Error::Truncated };
         assert!(e.to_string().contains("bin/httpd"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&Error::Encrypted).is_none());

@@ -220,10 +220,7 @@ mod tests {
         let e = IrExpr::add_const(IrExpr::Get(Reg(1)), 0);
         assert_eq!(e, IrExpr::Get(Reg(1)));
         let e = IrExpr::add_const(IrExpr::Get(Reg(1)), -4);
-        assert_eq!(
-            e,
-            IrExpr::binop(BinOp::Add, IrExpr::Get(Reg(1)), IrExpr::Const(0xffff_fffc))
-        );
+        assert_eq!(e, IrExpr::binop(BinOp::Add, IrExpr::Get(Reg(1)), IrExpr::Const(0xffff_fffc)));
     }
 
     #[test]

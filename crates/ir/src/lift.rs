@@ -163,14 +163,8 @@ mod tests {
         });
         let b = lift_fn(&bin);
         // CMP writes both pseudo-registers.
-        assert!(b
-            .stmts
-            .iter()
-            .any(|s| matches!(s, IrStmt::Put { reg, .. } if *reg == CMP_L)));
-        assert!(b
-            .stmts
-            .iter()
-            .any(|s| matches!(s, IrStmt::Put { reg, .. } if *reg == CMP_R)));
+        assert!(b.stmts.iter().any(|s| matches!(s, IrStmt::Put { reg, .. } if *reg == CMP_L)));
+        assert!(b.stmts.iter().any(|s| matches!(s, IrStmt::Put { reg, .. } if *reg == CMP_R)));
         // The branch becomes a side exit with a CmpLt condition.
         let exit = b
             .stmts
@@ -180,10 +174,7 @@ mod tests {
                 _ => None,
             })
             .expect("exit statement");
-        assert_eq!(
-            exit.0,
-            IrExpr::binop(BinOp::CmpLt, IrExpr::Get(CMP_L), IrExpr::Get(CMP_R))
-        );
+        assert_eq!(exit.0, IrExpr::binop(BinOp::CmpLt, IrExpr::Get(CMP_L), IrExpr::Get(CMP_R)));
         assert_eq!(exit.1, bin.function("f").unwrap().addr + 8);
         // Fallthrough next.
         assert_eq!(b.next_const(), Some(bin.function("f").unwrap().addr + 8));

@@ -52,9 +52,7 @@ pub(crate) fn lift_ins(word: u32, pc: u32) -> Result<Lifted> {
             ),
         )]),
         AddR { rd, rn, rm } => binop3(BinOp::Add, rd, rn, rm),
-        AddI { rd, rn, imm } => {
-            Lifted::flow(vec![put(rd, IrExpr::add_const(get(rn), imm as i32))])
-        }
+        AddI { rd, rn, imm } => Lifted::flow(vec![put(rd, IrExpr::add_const(get(rn), imm as i32))]),
         SubR { rd, rn, rm } => binop3(BinOp::Sub, rd, rn, rm),
         SubI { rd, rn, imm } => Lifted::flow(vec![put(
             rd,
@@ -75,10 +73,9 @@ pub(crate) fn lift_ins(word: u32, pc: u32) -> Result<Lifted> {
         LslR { rd, rn, rm } => binop3(BinOp::Shl, rd, rn, rm),
         LsrR { rd, rn, rm } => binop3(BinOp::Shr, rd, rn, rm),
         CmpR { rn, rm } => Lifted::flow(vec![put(CMP_L, get(rn)), put(CMP_R, get(rm))]),
-        CmpI { rn, imm } => Lifted::flow(vec![
-            put(CMP_L, get(rn)),
-            put(CMP_R, IrExpr::Const(imm as i32 as u32)),
-        ]),
+        CmpI { rn, imm } => {
+            Lifted::flow(vec![put(CMP_L, get(rn)), put(CMP_R, IrExpr::Const(imm as i32 as u32))])
+        }
         Ldr { rt, rn, off } => Lifted::flow(vec![put(
             rt,
             IrExpr::load(IrExpr::add_const(get(rn), off as i32), Width::W32),
@@ -132,16 +129,10 @@ pub(crate) fn lift_ins(word: u32, pc: u32) -> Result<Lifted> {
             for (rank, r) in regs.iter().enumerate() {
                 stmts.push(put(
                     *r,
-                    IrExpr::load(
-                        IrExpr::add_const(get(Reg::SP), 4 * rank as i32),
-                        Width::W32,
-                    ),
+                    IrExpr::load(IrExpr::add_const(get(Reg::SP), 4 * rank as i32), Width::W32),
                 ));
             }
-            stmts.push(put(
-                Reg::SP,
-                IrExpr::binop(BinOp::Add, get(Reg::SP), IrExpr::Const(4 * n)),
-            ));
+            stmts.push(put(Reg::SP, IrExpr::binop(BinOp::Add, get(Reg::SP), IrExpr::Const(4 * n))));
             Lifted::flow(stmts)
         }
         B { cond, off } => {
@@ -150,10 +141,7 @@ pub(crate) fn lift_ins(word: u32, pc: u32) -> Result<Lifted> {
                 Lifted::end(vec![], Terminator::Jump(IrExpr::Const(target)))
             } else {
                 let cond_expr = IrExpr::binop(cond_to_op(cond), get(CMP_L), get(CMP_R));
-                Lifted::end(
-                    vec![IrStmt::Exit { cond: cond_expr, target }],
-                    Terminator::CondBranch,
-                )
+                Lifted::end(vec![IrStmt::Exit { cond: cond_expr, target }], Terminator::CondBranch)
             }
         }
         Bl { off } => {

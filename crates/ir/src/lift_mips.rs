@@ -46,24 +46,20 @@ pub(crate) fn lift_ins(word: u32, pc: u32) -> Result<Lifted> {
         Addiu { rt, rs, imm } => Lifted::flow(put(rt, IrExpr::add_const(get(rs), imm as i32))),
         Subu { rd, rs, rt } => binop3(BinOp::Sub, rd, rs, rt),
         And { rd, rs, rt } => binop3(BinOp::And, rd, rs, rt),
-        Andi { rt, rs, imm } => Lifted::flow(put(
-            rt,
-            IrExpr::binop(BinOp::And, get(rs), IrExpr::Const(imm as u32)),
-        )),
+        Andi { rt, rs, imm } => {
+            Lifted::flow(put(rt, IrExpr::binop(BinOp::And, get(rs), IrExpr::Const(imm as u32))))
+        }
         Or { rd, rs, rt } => binop3(BinOp::Or, rd, rs, rt),
-        Ori { rt, rs, imm } => Lifted::flow(put(
-            rt,
-            IrExpr::binop(BinOp::Or, get(rs), IrExpr::Const(imm as u32)),
-        )),
+        Ori { rt, rs, imm } => {
+            Lifted::flow(put(rt, IrExpr::binop(BinOp::Or, get(rs), IrExpr::Const(imm as u32))))
+        }
         Xor { rd, rs, rt } => binop3(BinOp::Xor, rd, rs, rt),
-        Sll { rd, rt, sh } => Lifted::flow(put(
-            rd,
-            IrExpr::binop(BinOp::Shl, get(rt), IrExpr::Const(sh as u32)),
-        )),
-        Srl { rd, rt, sh } => Lifted::flow(put(
-            rd,
-            IrExpr::binop(BinOp::Shr, get(rt), IrExpr::Const(sh as u32)),
-        )),
+        Sll { rd, rt, sh } => {
+            Lifted::flow(put(rd, IrExpr::binop(BinOp::Shl, get(rt), IrExpr::Const(sh as u32))))
+        }
+        Srl { rd, rt, sh } => {
+            Lifted::flow(put(rd, IrExpr::binop(BinOp::Shr, get(rt), IrExpr::Const(sh as u32))))
+        }
         Mul { rd, rs, rt } => binop3(BinOp::Mul, rd, rs, rt),
         Slt { rd, rs, rt } => binop3(BinOp::CmpLt, rd, rs, rt),
         Slti { rt, rs, imm } => Lifted::flow(put(
@@ -80,10 +76,9 @@ pub(crate) fn lift_ins(word: u32, pc: u32) -> Result<Lifted> {
             value: get(rt),
             width: Width::W32,
         }]),
-        Lb { rt, base, off } => Lifted::flow(put(
-            rt,
-            IrExpr::load(IrExpr::add_const(get(base), off as i32), Width::W8),
-        )),
+        Lb { rt, base, off } => {
+            Lifted::flow(put(rt, IrExpr::load(IrExpr::add_const(get(base), off as i32), Width::W8)))
+        }
         Sb { rt, base, off } => Lifted::flow(vec![IrStmt::Store {
             addr: IrExpr::add_const(get(base), off as i32),
             value: get(rt),
@@ -177,10 +172,7 @@ mod tests {
     #[test]
     fn lui_materialises_high_half() {
         let l = lift(MipsIns::Lui { rt: Reg(4), imm: 0x1234 }, 0);
-        assert_eq!(
-            l.stmts,
-            vec![IrStmt::Put { reg: Reg(4), value: IrExpr::Const(0x1234_0000) }]
-        );
+        assert_eq!(l.stmts, vec![IrStmt::Put { reg: Reg(4), value: IrExpr::Const(0x1234_0000) }]);
     }
 
     #[test]

@@ -64,15 +64,8 @@ pub fn analyze_function(
     pool: &mut ExprPool,
     config: &SymexConfig,
 ) -> FuncSummary {
-    Executor {
-        bin,
-        cfg,
-        pool,
-        config,
-        loop_blocks: cfg.loop_blocks(),
-        escape_seen: HashSet::new(),
-    }
-    .run()
+    Executor { bin, cfg, pool, config, loop_blocks: cfg.loop_blocks(), escape_seen: HashSet::new() }
+        .run()
 }
 
 struct Executor<'a> {
@@ -395,9 +388,7 @@ impl Executor<'_> {
 
     /// True when a stored value is memory-derived (for loop-copy sinks).
     fn derived_from_memory(&self, v: ExprId) -> bool {
-        self.pool.any_node(v, &mut |n| {
-            matches!(n, SymNode::Deref { .. } | SymNode::CallOut { .. })
-        })
+        self.pool.any_node(v, &mut |n| matches!(n, SymNode::Deref { .. } | SymNode::CallOut { .. }))
     }
 
     fn handle_call(

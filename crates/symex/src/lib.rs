@@ -318,15 +318,10 @@ mod tests {
         let shown: Vec<(String, String)> = s
             .escape_defs
             .iter()
-            .map(|dp| {
-                (pool.display(dp.d).to_string(), pool.display(dp.u).to_string())
-            })
+            .map(|dp| (pool.display(dp.d).to_string(), pool.display(dp.u).to_string()))
             .collect();
         assert!(
-            shown.contains(&(
-                "deref(arg0 + 0x4c)".to_string(),
-                "deref(arg1 + 0x24)".to_string()
-            )),
+            shown.contains(&("deref(arg0 + 0x4c)".to_string(), "deref(arg1 + 0x24)".to_string())),
             "{shown:?}"
         );
     }
@@ -357,10 +352,7 @@ mod tests {
         // The indirect callsite's target expression is the concrete load
         // result (zero here, since the table is zero-filled) — what matters
         // is that an Indirect callee was recorded.
-        assert!(s
-            .callsites
-            .iter()
-            .any(|c| matches!(c.callee, CalleeRef::Indirect(_))));
+        assert!(s.callsites.iter().any(|c| matches!(c.callee, CalleeRef::Indirect(_))));
     }
 
     #[test]

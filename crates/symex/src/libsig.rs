@@ -265,8 +265,22 @@ mod tests {
     #[test]
     fn table1_sinks_and_sources_are_present() {
         for name in [
-            "strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system", "popen",
-            "read", "recv", "recvfrom", "recvmsg", "getenv", "fgets", "websGetVar", "find_var",
+            "strcpy",
+            "strncpy",
+            "sprintf",
+            "memcpy",
+            "strcat",
+            "sscanf",
+            "system",
+            "popen",
+            "read",
+            "recv",
+            "recvfrom",
+            "recvmsg",
+            "getenv",
+            "fgets",
+            "websGetVar",
+            "find_var",
         ] {
             assert!(lib_sig(name).is_some(), "missing Table I entry {name}");
         }

@@ -120,7 +120,46 @@ impl FuncSummary {
         dst: &mut crate::pool::ExprPool,
     ) -> FuncSummary {
         let mut memo = HashMap::new();
-        let mut tr = |e: ExprId, dst: &mut crate::pool::ExprPool| dst.translate(src, e, &mut memo);
+        self.translate_into_with(src, dst, &mut memo)
+    }
+
+    /// [`Self::translate_into`] with a caller-provided memo.
+    ///
+    /// Pre-seeding the memo lets the caller pin translations — the
+    /// parallel interprocedural stage maps a worker's fresh unknowns onto
+    /// the master pool's counter this way — and reusing it afterwards
+    /// keeps sibling data (sink observations) consistent with the
+    /// summary's translation.
+    pub fn translate_into_with(
+        &self,
+        src: &crate::pool::ExprPool,
+        dst: &mut crate::pool::ExprPool,
+        memo: &mut HashMap<ExprId, ExprId>,
+    ) -> FuncSummary {
+        self.translate_terms(dst, &mut |e, dst| dst.translate(src, e, memo))
+    }
+
+    /// [`Self::translate_into_with`] for a fork of `dst`: `src` was
+    /// cloned from `dst` at length `base`, so only fork-created nodes
+    /// are re-interned (see [`ExprPool::translate_fork`]).
+    ///
+    /// [`ExprPool::translate_fork`]: crate::pool::ExprPool::translate_fork
+    pub fn translate_into_fork(
+        &self,
+        src: &crate::pool::ExprPool,
+        base: usize,
+        dst: &mut crate::pool::ExprPool,
+        memo: &mut HashMap<ExprId, ExprId>,
+    ) -> FuncSummary {
+        self.translate_terms(dst, &mut |e, dst| dst.translate_fork(src, base, e, memo))
+    }
+
+    /// Rebuilds the summary with every expression mapped through `tr`.
+    fn translate_terms(
+        &self,
+        dst: &mut crate::pool::ExprPool,
+        tr: &mut dyn FnMut(ExprId, &mut crate::pool::ExprPool) -> ExprId,
+    ) -> FuncSummary {
         let mut out = FuncSummary {
             addr: self.addr,
             name: self.name.clone(),
@@ -199,8 +238,14 @@ impl FuncSummary {
     pub fn render(&self, pool: &crate::pool::ExprPool) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "<{}(…)> @ {:#x}  ({} paths{})", self.name, self.addr,
-            self.paths_explored, if self.path_cap_hit { ", capped" } else { "" });
+        let _ = writeln!(
+            out,
+            "<{}(…)> @ {:#x}  ({} paths{})",
+            self.name,
+            self.addr,
+            self.paths_explored,
+            if self.path_cap_hit { ", capped" } else { "" }
+        );
         if !self.callsites.is_empty() {
             let _ = writeln!(out, "  call sites:");
             for cs in &self.callsites {

@@ -84,14 +84,8 @@ mod tests {
 
     #[test]
     fn join_is_commutative_on_samples() {
-        let all = [
-            VType::Unknown,
-            VType::Int,
-            VType::Char,
-            VType::Ptr,
-            VType::CharPtr,
-            VType::IntPtr,
-        ];
+        let all =
+            [VType::Unknown, VType::Int, VType::Char, VType::Ptr, VType::CharPtr, VType::IntPtr];
         for a in all {
             for b in all {
                 assert_eq!(a.join(b), b.join(a), "{a} vs {b}");

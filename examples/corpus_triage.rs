@@ -10,9 +10,7 @@
 //! cargo run --release --example corpus_triage
 //! ```
 
-use dtaint_fwimage::{
-    extract_image, generate_corpus, try_emulate, CorpusConfig, EmulationFailure,
-};
+use dtaint_fwimage::{extract_image, generate_corpus, try_emulate, CorpusConfig, EmulationFailure};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -57,7 +55,10 @@ fn main() {
     let total: usize = by_year.values().map(|v| v.0).sum();
     let ok: usize = by_year.values().map(|v| v.1).sum();
     println!();
-    println!("emulation succeeded for {ok}/{total} images ({:.1}%)", 100.0 * ok as f64 / total as f64);
+    println!(
+        "emulation succeeded for {ok}/{total} images ({:.1}%)",
+        100.0 * ok as f64 / total as f64
+    );
     println!();
     println!("failure breakdown:");
     for (reason, n) in &failures {

@@ -16,10 +16,10 @@
 //! ```
 
 use dtaint_core::Dtaint;
+use dtaint_fwbin::Arch;
 use dtaint_fwgen::codegen::compile;
 use dtaint_fwgen::profiles::add_heartbleed;
 use dtaint_fwgen::spec::{Callee, FnSpec, ProgramSpec, Stmt, Val};
-use dtaint_fwbin::Arch;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = ProgramSpec::new("openssl");

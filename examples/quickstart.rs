@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     builder.add_cstring("soap_action", "SOAPAction");
     let binary = builder.link()?;
 
-    println!("assembled cgibin: {} bytes, {} functions", binary.total_size(), binary.functions().len());
+    println!(
+        "assembled cgibin: {} bytes, {} functions",
+        binary.total_size(),
+        binary.functions().len()
+    );
 
     let report = Dtaint::new().analyze(&binary, "cgibin")?;
     println!(

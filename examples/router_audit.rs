@@ -61,11 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let expected: Vec<_> = firmware.ground_truth.iter().filter(|g| !g.sanitized).collect();
     let guarded = firmware.ground_truth.len() - expected.len();
     println!();
-    println!(
-        "ground truth: {} planted vulnerabilities, {} guarded twins",
-        expected.len(),
-        guarded
-    );
+    println!("ground truth: {} planted vulnerabilities, {} guarded twins", expected.len(), guarded);
     println!(
         "detected: {} vulnerabilities over {} vulnerable paths",
         report.vulnerabilities(),

@@ -1,0 +1,129 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container can't reach a registry, so this workspace vendors the
+//! tiny slice of the `bytes` API its crates actually call: little-endian
+//! integer reads over `&[u8]` cursors and integer/slice writes into
+//! `Vec<u8>`. Semantics match the upstream crate for that surface.
+
+/// Read side of a byte cursor (implemented for `&[u8]`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cursor is empty.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 2 bytes remain.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32;
+    /// Copies exactly `dst.len()` bytes out of the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes([self[0], self[1]]);
+        self.advance(2);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes([self[0], self[1], self[2], self[3]]);
+        self.advance(4);
+        v
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let n = dst.len();
+        dst.copy_from_slice(&self[..n]);
+        self.advance(n);
+    }
+}
+
+/// Write side of a growable buffer (implemented for `Vec<u8>`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ints_and_slices() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xdeadbeef);
+        out.put_slice(b"xy");
+        let mut cur: &[u8] = &out;
+        assert_eq!(cur.remaining(), 9);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 0x1234);
+        assert_eq!(cur.get_u32_le(), 0xdeadbeef);
+        let mut two = [0u8; 2];
+        cur.copy_to_slice(&mut two);
+        assert_eq!(&two, b"xy");
+        assert_eq!(cur.remaining(), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so this
+//! shim maps the `crossbeam::thread::scope` API (the only part this
+//! workspace uses) straight onto `std::thread::scope`. One deliberate
+//! difference from upstream: the closure passed to [`thread::Scope::spawn`]
+//! receives `()` instead of a nested `&Scope`, which every call site
+//! here ignores with `|_|` anyway — nested spawning is not supported.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Join outcome, as `std::thread` reports it.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle for spawning borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to one spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (an `Err` carries
+        /// the panic payload, as upstream).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope. The
+        /// closure's argument is `()` (upstream passes a nested scope).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(())) }
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. Always `Ok` — unlike upstream, a panicking child
+    /// propagates its panic at join time instead of poisoning the scope
+    /// result (call sites here `.expect()` the result either way).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let total: u32 = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u32>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic, seedable generator with the small `Rng`
+//! surface this workspace uses (`gen`, `gen_range`, `gen_bool`). The
+//! stream is *not* the upstream StdRng stream — it is xoshiro256++
+//! seeded through SplitMix64 — but every consumer in this repo only
+//! relies on determinism for a fixed seed, which this provides.
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from a uniform bit stream (the `Standard`
+/// distribution of upstream rand).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample(rng: &mut impl RngCore) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as u16
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut impl RngCore) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Raw 64-bit output.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Integers with an i128 widening, so one blanket [`SampleRange`] impl
+/// covers all of them (a blanket impl is what lets integer-literal
+/// ranges unify with the context's expected type, as upstream).
+pub trait UniformInt: Copy {
+    /// Widens to i128.
+    fn to_i128(self) -> i128;
+    /// Narrows from i128 (caller guarantees range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        let (start, end) = (self.start.to_i128(), self.end.to_i128());
+        assert!(start < end, "gen_range on empty range");
+        let span = (end - start) as u128;
+        let v = ((rng.next_u64() as u128) % span) as i128;
+        T::from_i128(start + v)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        let (start, end) = (self.start().to_i128(), self.end().to_i128());
+        assert!(start <= end, "gen_range on empty range");
+        let span = (end - start + 1) as u128;
+        let v = ((rng.next_u64() as u128) % span) as i128;
+        T::from_i128(start + v)
+    }
+}
+
+/// The user-facing sampling surface.
+pub trait Rng: RngCore + Sized {
+    /// Draws one value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for the upstream
+    /// `StdRng`; same determinism guarantee, different stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn mix(state: &mut u64) -> u64 {
+            // SplitMix64: seeds the xoshiro state from one word.
+            *state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut st = state;
+            let s =
+                [Self::mix(&mut st), Self::mix(&mut st), Self::mix(&mut st), Self::mix(&mut st)];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: i64 = r.gen_range(-50i64..=50);
+            assert!((-50..=50).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_hits_both_sides() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..1000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((300..700).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

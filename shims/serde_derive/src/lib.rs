@@ -1,0 +1,383 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Upstream leans on `syn`/`quote`; neither is available offline, so
+//! this derive hand-walks the `proc_macro::TokenStream` and emits the
+//! impl source as a string. Supported shapes — the ones this workspace
+//! actually derives on — are structs with named fields and enums with
+//! unit, newtype, tuple, and struct variants (no generics). The only
+//! recognised field attribute is `#[serde(default)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (the shim's `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_input(input);
+    let src = match &shape {
+        Shape::Struct { name, fields } => serialize_struct(name, fields),
+        Shape::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    src.parse().expect("serde_derive shim emitted invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (the shim's `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_input(input);
+    let src = match &shape {
+        Shape::Struct { name, fields } => deserialize_struct(name, fields),
+        Shape::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    src.parse().expect("serde_derive shim emitted invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde shim derive: expected braced body for {name}, got {other:?}"),
+    };
+    match kw.as_str() {
+        "struct" => Shape::Struct { name, fields: parse_fields(body) },
+        "enum" => Shape::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skips `#[...]` attributes; returns true if any was `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                has_default |= attr_is_serde_default(&g.stream());
+                *i += 2;
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+fn attr_is_serde_default(stream: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Advances past one type, stopping before a top-level `,` (or the end).
+/// Group tokens are atomic, so only `<`/`>` puncts contribute nesting;
+/// `->` only appears inside groups (fn-pointer types) and is untracked.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if angle == 0 => return,
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&toks, &mut i);
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        skip_type(&toks, &mut i);
+        n += 1;
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut pairs = String::new();
+    for f in fields {
+        let fname = &f.name;
+        pairs.push_str(&format!(
+            "(::std::string::String::from(\"{fname}\"), \
+             ::serde::Serialize::to_value(&self.{fname})),\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Value::Obj(vec![\n{pairs}])\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let getter = if f.default { "field_or_default" } else { "field" };
+        inits.push_str(&format!("{fname}: ::serde::{getter}(v, \"{fname}\")?,\n"));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             if !matches!(v, ::serde::Value::Obj(_)) {{\n\
+               return ::std::result::Result::Err(::serde::Error(\
+                 format!(\"expected object for {name}, got {{}}\", v.kind())));\n\
+             }}\n\
+             ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{vname} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+            )),
+            VariantKind::Newtype => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => ::serde::Value::Obj(vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Serialize::to_value(__f0))]),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let elems: Vec<String> =
+                    binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => ::serde::Value::Obj(vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Arr(vec![{}]))]),\n",
+                    binds.join(", "),
+                    elems.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{0}\"), \
+                             ::serde::Serialize::to_value({0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => ::serde::Value::Obj(vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Obj(vec![{}]))]),\n",
+                    binds.join(", "),
+                    pairs.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             match self {{\n{arms}}}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    let mut obj_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => str_arms
+                .push_str(&format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n")),
+            VariantKind::Newtype => obj_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::from_value(__inner)?)),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                obj_arms.push_str(&format!(
+                    "\"{vname}\" => match __inner {{\n\
+                       ::serde::Value::Arr(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}::{vname}({})),\n\
+                       _ => ::std::result::Result::Err(::serde::Error(\
+                         ::std::string::String::from(\
+                           \"expected {n}-element array for {name}::{vname}\"))),\n\
+                     }},\n",
+                    elems.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let getter = if f.default { "field_or_default" } else { "field" };
+                        format!("{0}: ::serde::{getter}(__inner, \"{0}\")?", f.name)
+                    })
+                    .collect();
+                obj_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             match v {{\n\
+               ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {str_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error(\
+                   format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+               }},\n\
+               ::serde::Value::Obj(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__key, __inner) = &__pairs[0];\n\
+                 match __key.as_str() {{\n\
+                   {obj_arms}\
+                   __other => ::std::result::Result::Err(::serde::Error(\
+                     format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                 }}\n\
+               }}\n\
+               __other => ::std::result::Result::Err(::serde::Error(\
+                 format!(\"bad value for enum {name}: {{}}\", __other.kind()))),\n\
+             }}\n\
+           }}\n\
+         }}\n"
+    )
+}

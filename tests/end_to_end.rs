@@ -2,11 +2,11 @@
 //! findings, scored against planted ground truth.
 
 use dtaint_core::{Dtaint, DtaintConfig};
+use dtaint_fwbin::Arch;
 use dtaint_fwgen::spec::{Callee, FnSpec, ProgramSpec, Stmt};
 use dtaint_fwgen::templates::{plant, PlantKind, PlantSpec};
 use dtaint_fwgen::{build_firmware, compile, table2_profiles};
 use dtaint_fwimage::{extract_binaries, extract_image};
-use dtaint_fwbin::Arch;
 
 /// A profile shrunk for test speed (fewer filler functions, same plants).
 fn small(profile_idx: usize, functions: usize) -> dtaint_fwgen::FirmwareProfile {

@@ -5,9 +5,9 @@
 
 use dtaint_core::Dtaint;
 use dtaint_emu::{Exit, Machine};
+use dtaint_fwbin::Arch;
 use dtaint_fwgen::compile;
 use dtaint_fwgen::spec::{Callee, FnSpec, ProgramSpec, Stmt, Val};
-use dtaint_fwbin::Arch;
 
 /// Heartbeat variant where the attacker length is read as one halfword
 /// (`payload = *(u16*)(p + 1)`), not two byte loads.

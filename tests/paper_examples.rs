@@ -153,7 +153,8 @@ fn table1_sources_and_sinks_match_the_paper() {
         sinks,
         ["strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system", "popen"]
     );
-    for source in ["read", "recv", "recvfrom", "recvmsg", "getenv", "fgets", "websGetVar", "find_var"]
+    for source in
+        ["read", "recv", "recvfrom", "recvmsg", "getenv", "fgets", "websGetVar", "find_var"]
     {
         assert!(dtaint_core::SOURCE_NAMES.contains(&source), "{source}");
     }

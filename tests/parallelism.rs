@@ -1,44 +1,136 @@
-//! The parallel per-function analysis (private pools merged by
-//! translation) must be observationally identical to the sequential
-//! path: same findings, same counts, same rendered expressions.
+//! The parallel stages (per-function analysis and the bottom-up DDG
+//! propagation, both merged by pool translation) must be
+//! observationally identical to the sequential path: same findings,
+//! same counts, same rendered expressions — for every thread count, on
+//! every Table II profile.
 
-use dtaint_core::{Dtaint, DtaintConfig};
-use dtaint_fwgen::{build_firmware, table2_profiles};
+use dtaint_core::{AnalysisReport, Dtaint, DtaintConfig, Finding};
+use dtaint_fwgen::{build_firmware, table2_profiles, GeneratedFirmware};
+use proptest::prelude::*;
 
-fn reports_for_threads(threads: usize) -> dtaint_core::AnalysisReport {
-    let mut p = table2_profiles().remove(2); // DGN1000: richest plant mix
-    p.total_functions = 160;
-    let fw = build_firmware(&p);
+/// Builds one Table II profile with the function count capped, so the
+/// debug-mode suite stays fast (the Uniview/Hikvision rows are 6.7k and
+/// 14k functions at full size).
+fn capped_firmware(index: usize, cap: usize) -> GeneratedFirmware {
+    let mut p = table2_profiles().remove(index);
+    p.total_functions = p.total_functions.min(cap);
+    build_firmware(&p)
+}
+
+fn report(fw: &GeneratedFirmware, threads: usize) -> AnalysisReport {
     let config = DtaintConfig { threads, ..Default::default() };
     Dtaint::with_config(config).analyze(&fw.binary, "par").unwrap()
+}
+
+/// Order-insensitive finding keys, including the rendered tainted
+/// expression (pool translation must be structure-preserving) and the
+/// full sink-to-source trace.
+fn finding_keys(r: &AnalysisReport) -> Vec<(u32, String, bool, String, Vec<u32>, String)> {
+    let mut keys: Vec<_> = r
+        .findings
+        .iter()
+        .map(|f: &Finding| {
+            (
+                f.sink_ins,
+                f.sink.clone(),
+                f.sanitized,
+                f.tainted_expr.clone(),
+                f.call_chain.clone(),
+                format!("{:?}{:?}", f.sources, f.trace),
+            )
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn assert_reports_agree(seq: &AnalysisReport, par: &AnalysisReport, label: &str) {
+    assert_eq!(seq.functions, par.functions, "{label}");
+    assert_eq!(seq.sinks_count, par.sinks_count, "{label}");
+    assert_eq!(seq.resolved_indirect, par.resolved_indirect, "{label}");
+    assert_eq!(seq.vulnerabilities(), par.vulnerabilities(), "{label}");
+    assert_eq!(finding_keys(seq), finding_keys(par), "{label}: findings must be identical");
+}
+
+fn reports_for_threads(threads: usize) -> AnalysisReport {
+    let fw = capped_firmware(2, 160); // DGN1000: richest plant mix
+    report(&fw, threads)
 }
 
 #[test]
 fn parallel_and_sequential_analyses_agree() {
     let seq = reports_for_threads(1);
     let par = reports_for_threads(4);
-    assert_eq!(seq.vulnerabilities(), par.vulnerabilities());
-    assert_eq!(seq.functions, par.functions);
-    assert_eq!(seq.sinks_count, par.sinks_count);
-    assert_eq!(seq.resolved_indirect, par.resolved_indirect);
+    assert_reports_agree(&seq, &par, "DGN1000 @4t");
+}
 
-    // Same finding set (order-insensitive, compare on stable keys).
-    let key = |f: &dtaint_core::Finding| {
-        (f.sink_ins, f.sink.clone(), f.sanitized, f.sources.clone(), f.call_chain.clone())
-    };
-    let mut a: Vec<_> = seq.findings.iter().map(key).collect();
-    let mut b: Vec<_> = par.findings.iter().map(key).collect();
-    a.sort();
-    b.sort();
-    assert_eq!(a, b, "parallel merge must not change findings");
+#[test]
+fn ddg_stage_agrees_across_thread_counts_on_all_profiles() {
+    for index in 0..6 {
+        let fw = capped_firmware(index, 200);
+        let seq = report(&fw, 1);
+        for threads in [2, 4, 8] {
+            let par = report(&fw, threads);
+            assert_reports_agree(
+                &seq,
+                &par,
+                &format!("profile {} threads={threads}", fw.profile.binary_name),
+            );
+        }
+    }
+}
 
-    // Rendered tainted expressions agree too (pool translation is
-    // structure-preserving).
-    let mut ta: Vec<&String> = seq.findings.iter().map(|f| &f.tainted_expr).collect();
-    let mut tb: Vec<&String> = par.findings.iter().map(|f| &f.tainted_expr).collect();
-    ta.sort();
-    tb.sort();
-    assert_eq!(ta, tb);
+/// The DDG stage in isolation: the whole dataflow result — final
+/// summaries, sink observations rendered through the pool, resolved
+/// indirect calls — must be bit-identical for every thread count, not
+/// just the downstream findings.
+#[test]
+fn dataflow_stage_is_deterministic_across_thread_counts() {
+    use dtaint_dataflow::{build_dataflow, DataflowConfig, ProgramDataflow};
+    use dtaint_symex::{analyze_function, ExprPool, SymexConfig};
+
+    fn fingerprint(df: &ProgramDataflow) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (addr, fin) in &df.finals {
+            let _ = writeln!(out, "{addr:#x} defs={}", fin.summary.def_pairs.len());
+            for s in &fin.sinks {
+                let args: Vec<String> =
+                    s.args.iter().map(|&a| df.pool.display(a).to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  {:?}@{:#x} chain={:?} args=[{}]",
+                    s.kind,
+                    s.sink_ins,
+                    s.call_chain,
+                    args.join(", ")
+                );
+            }
+        }
+        let _ = writeln!(out, "resolved={:?}", df.resolved_indirect);
+        out
+    }
+
+    let fw = capped_firmware(2, 160);
+    let cfgs = dtaint_cfg::build_all_cfgs(&fw.binary).unwrap();
+    let cg = dtaint_cfg::CallGraph::build(&fw.binary, &cfgs);
+    let mut pool = ExprPool::new();
+    let summaries: Vec<_> = cfgs
+        .iter()
+        .map(|c| analyze_function(&fw.binary, c, &mut pool, &SymexConfig::default()))
+        .collect();
+
+    let mut base = None;
+    for threads in [1, 2, 4, 8] {
+        let config = DataflowConfig { threads, ..Default::default() };
+        let df =
+            build_dataflow(&fw.binary, &mut cg.clone(), summaries.clone(), pool.clone(), &config);
+        let fp = fingerprint(&df);
+        match &base {
+            None => base = Some(fp),
+            Some(b) => assert_eq!(&fp, b, "threads={threads} diverged from sequential DDG"),
+        }
+    }
 }
 
 #[test]
@@ -48,5 +140,28 @@ fn thread_count_does_not_affect_repeated_runs() {
         let r2 = reports_for_threads(threads);
         assert_eq!(r1.vulnerabilities(), r2.vulnerabilities(), "threads={threads}");
         assert_eq!(r1.findings.len(), r2.findings.len(), "threads={threads}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random seeded generated programs: the parallel pipeline must
+    /// produce the identical order-insensitive finding set as the
+    /// sequential one, whatever the program shape.
+    #[test]
+    fn random_programs_agree_between_parallel_and_sequential(
+        seed in 0u64..1_000_000,
+        extra in 40usize..120,
+        threads in 2usize..=8,
+    ) {
+        let mut p = table2_profiles().remove(2);
+        p.seed = seed;
+        p.total_functions = 40 + extra;
+        let fw = build_firmware(&p);
+        let seq = report(&fw, 1);
+        let par = report(&fw, threads);
+        prop_assert_eq!(seq.resolved_indirect, par.resolved_indirect);
+        prop_assert_eq!(finding_keys(&seq), finding_keys(&par));
     }
 }

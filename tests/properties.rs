@@ -3,11 +3,11 @@
 //! planted flows must be found regardless of the surrounding noise.
 
 use dtaint_core::Dtaint;
+use dtaint_fwbin::{Arch, Binary};
+use dtaint_fwgen::compile;
 use dtaint_fwgen::filler::add_filler;
 use dtaint_fwgen::spec::{Callee, FnSpec, ProgramSpec, Stmt, Val};
 use dtaint_fwgen::templates::{plant, PlantKind, PlantSpec};
-use dtaint_fwgen::compile;
-use dtaint_fwbin::{Arch, Binary};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,7 +33,14 @@ fn kind_strategy() -> impl Strategy<Value = PlantKind> {
 }
 
 /// Builds a program with one plant surrounded by seeded filler noise.
-fn noisy_program(kind: PlantKind, sanitized: bool, depth: u8, filler: usize, seed: u64, arch: Arch) -> Binary {
+fn noisy_program(
+    kind: PlantKind,
+    sanitized: bool,
+    depth: u8,
+    filler: usize,
+    seed: u64,
+    arch: Arch,
+) -> Binary {
     let mut spec = ProgramSpec::new("prop");
     let gt = plant(&mut spec, &PlantSpec::new(kind, "p", sanitized, depth));
     let mut rng = StdRng::seed_from_u64(seed);
@@ -41,7 +48,11 @@ fn noisy_program(kind: PlantKind, sanitized: bool, depth: u8, filler: usize, see
     let mut main = FnSpec::new("main", 0);
     main.push(Stmt::Call { callee: Callee::Func(gt.entry_fn), args: vec![], ret: None });
     for n in names.iter().rev().take(3) {
-        main.push(Stmt::Call { callee: Callee::Func(n.clone()), args: vec![Val::Const(2)], ret: None });
+        main.push(Stmt::Call {
+            callee: Callee::Func(n.clone()),
+            args: vec![Val::Const(2)],
+            ret: None,
+        });
     }
     main.push(Stmt::Return(None));
     spec.func(main);

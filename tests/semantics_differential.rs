@@ -8,9 +8,9 @@
 
 use dtaint_cfg::build_all_cfgs;
 use dtaint_emu::{Exit, Machine};
+use dtaint_fwbin::Arch;
 use dtaint_fwgen::compile;
 use dtaint_fwgen::spec::{Arith, Cmp, FnSpec, LocalId, ProgramSpec, Stmt, Val};
-use dtaint_fwbin::Arch;
 use dtaint_symex::{analyze_function, ExprPool, SymexConfig};
 use proptest::prelude::*;
 
@@ -64,7 +64,12 @@ fn program(ops: &[Op], seed: u32) -> ProgramSpec {
         match op {
             Op::Bin(arith, c) => {
                 f.push(Stmt::Bin { dst: a, op: *arith, lhs: Val::Local(a), rhs: Val::Const(*c) });
-                f.push(Stmt::Bin { dst: b, op: Arith::Xor, lhs: Val::Local(b), rhs: Val::Local(a) });
+                f.push(Stmt::Bin {
+                    dst: b,
+                    op: Arith::Xor,
+                    lhs: Val::Local(b),
+                    rhs: Val::Local(a),
+                });
             }
             Op::SetConst(c) => {
                 f.push(Stmt::Set { dst: b, src: Val::Const(*c) });

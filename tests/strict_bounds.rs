@@ -5,10 +5,10 @@
 
 use dtaint_core::{Dtaint, DtaintConfig};
 use dtaint_emu::{validate, AttackConfig, Verdict};
+use dtaint_fwbin::Arch;
 use dtaint_fwgen::compile;
 use dtaint_fwgen::spec::{Callee, FnSpec, ProgramSpec, Stmt};
 use dtaint_fwgen::templates::{plant, PlantKind, PlantSpec};
-use dtaint_fwbin::Arch;
 
 fn build(sanitized: bool, arch: Arch) -> dtaint_fwbin::Binary {
     let mut spec = ProgramSpec::new("wb");
