@@ -1,0 +1,424 @@
+//! The integer interval lattice.
+
+use std::fmt;
+
+/// `i64::MIN` stands for −∞ in interval bounds.
+const NEG_INF: i64 = i64::MIN;
+/// `i64::MAX` stands for +∞ in interval bounds.
+const POS_INF: i64 = i64::MAX;
+
+/// A closed integer interval `[lo, hi]` with ±∞ sentinels.
+///
+/// The empty interval (⊥) is canonically `[+∞, −∞]`; `[−∞, +∞]` is ⊤.
+/// Guest values are 32-bit and sign-extended by the expression pool, so
+/// finite bounds stay far from the sentinels and saturating arithmetic
+/// is exact in practice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: i64,
+    hi: i64,
+}
+
+/// Saturating predecessor that keeps the sentinels fixed.
+fn pred(v: i64) -> i64 {
+    if v == NEG_INF || v == POS_INF {
+        v
+    } else {
+        v - 1
+    }
+}
+
+/// Saturating successor that keeps the sentinels fixed.
+fn succ(v: i64) -> i64 {
+    if v == NEG_INF || v == POS_INF {
+        v
+    } else {
+        v + 1
+    }
+}
+
+/// Adds two bounds; an infinite operand wins and clamping keeps finite
+/// sums away from the sentinels.
+fn add_bound(a: i64, b: i64) -> i64 {
+    if a == NEG_INF || b == NEG_INF {
+        NEG_INF
+    } else if a == POS_INF || b == POS_INF {
+        POS_INF
+    } else {
+        a.saturating_add(b).clamp(NEG_INF + 1, POS_INF - 1)
+    }
+}
+
+impl Interval {
+    /// The full lattice top: every value possible.
+    pub const TOP: Interval = Interval { lo: NEG_INF, hi: POS_INF };
+    /// The lattice bottom: no value possible (an infeasible fact).
+    pub const EMPTY: Interval = Interval { lo: POS_INF, hi: NEG_INF };
+
+    /// An interval from explicit bounds (canonicalised to
+    /// [`Interval::EMPTY`] when `lo > hi`).
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        if lo > hi {
+            Interval::EMPTY
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// The singleton `[v, v]`.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `(−∞, hi]`.
+    pub fn at_most(hi: i64) -> Interval {
+        Interval::new(NEG_INF, hi)
+    }
+
+    /// `[lo, +∞)`.
+    pub fn at_least(lo: i64) -> Interval {
+        Interval::new(lo, POS_INF)
+    }
+
+    /// True for the empty interval.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// True when nothing is known (both bounds infinite).
+    pub fn is_top(self) -> bool {
+        self == Interval::TOP
+    }
+
+    /// The finite lower bound, if one is proven.
+    pub fn lower(self) -> Option<i64> {
+        (!self.is_empty() && self.lo != NEG_INF).then_some(self.lo)
+    }
+
+    /// The finite upper bound, if one is proven.
+    pub fn upper(self) -> Option<i64> {
+        (!self.is_empty() && self.hi != POS_INF).then_some(self.hi)
+    }
+
+    /// The single value, when the interval is a point.
+    pub fn as_point(self) -> Option<i64> {
+        (self.lo == self.hi && !self.is_empty()).then_some(self.lo)
+    }
+
+    /// True when `v` lies inside.
+    pub fn contains(self, v: i64) -> bool {
+        !self.is_empty() && self.lo <= v && v <= self.hi
+    }
+
+    /// Greatest lower bound (intersection).
+    pub fn meet(self, other: Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Least upper bound (convex hull).
+    pub fn join(self, other: Interval) -> Interval {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Standard widening: a bound that moved since `self` (the previous
+    /// iterate) jumps to its infinity; a stable bound is kept.
+    ///
+    /// The solver's refinement only ever *narrows*, so widening usually
+    /// reproduces the previous iterate — it is the termination backstop
+    /// for constraint cycles that would otherwise descend one unit per
+    /// pass (see [`crate::IntervalAnalysis::solve`]).
+    pub fn widen(self, next: Interval) -> Interval {
+        if self.is_empty() {
+            return next;
+        }
+        if next.is_empty() {
+            return next;
+        }
+        Interval {
+            lo: if next.lo < self.lo { NEG_INF } else { self.lo },
+            hi: if next.hi > self.hi { POS_INF } else { self.hi },
+        }
+    }
+
+    /// Bitwise-and upper bound: for non-negative operands the result
+    /// cannot exceed either one (the `len & 0xff` masking idiom).
+    pub fn bit_and(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        if self.lo >= 0 && other.lo >= 0 {
+            Interval::new(0, self.hi.min(other.hi))
+        } else if self.lo >= 0 {
+            Interval::new(0, self.hi)
+        } else if other.lo >= 0 {
+            Interval::new(0, other.hi)
+        } else {
+            Interval::TOP
+        }
+    }
+
+    /// Bitwise or/xor upper bound: non-negative operands cannot set a
+    /// bit above the highest bit of either, so the result stays below
+    /// the next power of two.
+    pub fn bit_or_like(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        if self.lo < 0 || other.lo < 0 || self.hi == POS_INF || other.hi == POS_INF {
+            return Interval::TOP;
+        }
+        let max = self.hi.max(other.hi);
+        let bits = 64 - max.leading_zeros();
+        if bits >= 63 {
+            return Interval::TOP;
+        }
+        Interval::new(0, (1i64 << bits) - 1)
+    }
+
+    /// Logical shift right by a known amount (non-negative values only;
+    /// anything else degrades to ⊤ because the guest shift is unsigned).
+    pub fn shr_const(self, amount: u32) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        if self.lo < 0 || amount >= 32 {
+            return Interval::TOP;
+        }
+        let hi = if self.hi == POS_INF { POS_INF } else { self.hi >> amount };
+        Interval::new(self.lo >> amount, hi)
+    }
+
+    /// `[hi]`-side refinement helper: the interval of values strictly
+    /// less than some value of `other`.
+    pub fn lt_bound(other: Interval) -> Interval {
+        if other.is_empty() {
+            Interval::EMPTY
+        } else {
+            Interval::at_most(pred(other.hi))
+        }
+    }
+
+    /// Values less than or equal to some value of `other`.
+    pub fn le_bound(other: Interval) -> Interval {
+        if other.is_empty() {
+            Interval::EMPTY
+        } else {
+            Interval::at_most(other.hi)
+        }
+    }
+
+    /// Values strictly greater than some value of `other`.
+    pub fn gt_bound(other: Interval) -> Interval {
+        if other.is_empty() {
+            Interval::EMPTY
+        } else {
+            Interval::at_least(succ(other.lo))
+        }
+    }
+
+    /// Values greater than or equal to some value of `other`.
+    pub fn ge_bound(other: Interval) -> Interval {
+        if other.is_empty() {
+            Interval::EMPTY
+        } else {
+            Interval::at_least(other.lo)
+        }
+    }
+
+    /// Removes a point from the interval when it sits on a bound (the
+    /// only exclusion an interval can represent).
+    pub fn without_point(self, v: i64) -> Interval {
+        if self.is_empty() {
+            return self;
+        }
+        if self.as_point() == Some(v) {
+            return Interval::EMPTY;
+        }
+        if self.lo == v {
+            Interval::new(succ(self.lo), self.hi)
+        } else if self.hi == v {
+            Interval::new(self.lo, pred(self.hi))
+        } else {
+            self
+        }
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    /// Interval addition.
+    fn add(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(add_bound(self.lo, other.lo), add_bound(self.hi, other.hi))
+    }
+}
+
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+
+    /// Interval subtraction.
+    fn sub(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        let neg = Interval::new(
+            if other.hi == POS_INF { NEG_INF } else { -other.hi },
+            if other.lo == NEG_INF { POS_INF } else { -other.lo },
+        );
+        self + neg
+    }
+}
+
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+
+    /// Interval multiplication; any infinite operand degrades to ⊤
+    /// (conservative, and the guest's 32-bit wrap-around makes tighter
+    /// bounds unsound anyway).
+    fn mul(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        if self.lo == NEG_INF || self.hi == POS_INF || other.lo == NEG_INF || other.hi == POS_INF {
+            return Interval::TOP;
+        }
+        let products = [
+            (self.lo as i128) * (other.lo as i128),
+            (self.lo as i128) * (other.hi as i128),
+            (self.hi as i128) * (other.lo as i128),
+            (self.hi as i128) * (other.hi as i128),
+        ];
+        let lo = products.iter().copied().min().expect("non-empty");
+        let hi = products.iter().copied().max().expect("non-empty");
+        let clamp = |v: i128| v.clamp((NEG_INF + 1) as i128, (POS_INF - 1) as i128) as i64;
+        Interval::new(clamp(lo), clamp(hi))
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::TOP
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("⊥");
+        }
+        match (self.lo, self.hi) {
+            (NEG_INF, POS_INF) => f.write_str("⊤"),
+            (NEG_INF, hi) => write!(f, "(-∞, {hi}]"),
+            (lo, POS_INF) => write!(f, "[{lo}, +∞)"),
+            (lo, hi) if lo == hi => write!(f, "[{lo}]"),
+            (lo, hi) => write!(f, "[{lo}, {hi}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meet_and_join_are_lattice_ops() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.meet(b), Interval::new(5, 10));
+        assert_eq!(a.join(b), Interval::new(0, 20));
+        assert!(a.meet(Interval::new(11, 12)).is_empty());
+        assert_eq!(a.meet(Interval::TOP), a);
+        assert_eq!(a.join(Interval::EMPTY), a);
+        assert_eq!(Interval::EMPTY.meet(a), Interval::EMPTY);
+    }
+
+    #[test]
+    fn point_queries() {
+        let p = Interval::point(7);
+        assert_eq!(p.as_point(), Some(7));
+        assert_eq!(p.lower(), Some(7));
+        assert_eq!(p.upper(), Some(7));
+        assert!(p.contains(7));
+        assert!(!p.contains(8));
+        assert_eq!(Interval::TOP.upper(), None);
+        assert_eq!(Interval::EMPTY.as_point(), None);
+    }
+
+    #[test]
+    fn arithmetic_respects_infinities() {
+        let a = Interval::new(1, 5);
+        let b = Interval::new(10, 20);
+        assert_eq!(a + b, Interval::new(11, 25));
+        assert_eq!(b - a, Interval::new(5, 19));
+        assert_eq!(Interval::at_most(9) + Interval::point(1), Interval::at_most(10));
+        assert_eq!(Interval::TOP + a, Interval::TOP);
+        assert!((Interval::EMPTY + a).is_empty());
+        assert_eq!(a * b, Interval::new(10, 100));
+        assert_eq!(Interval::new(-2, 3) * Interval::point(-4), Interval::new(-12, 8));
+        assert_eq!(Interval::TOP * a, Interval::TOP);
+    }
+
+    #[test]
+    fn bit_ops_bound_nonnegative_ranges() {
+        let byte = Interval::new(0, 255);
+        assert_eq!(byte.bit_and(Interval::point(0x0f)), Interval::new(0, 0x0f));
+        assert_eq!(Interval::TOP.bit_and(byte), Interval::new(0, 255));
+        assert_eq!(byte.bit_or_like(Interval::new(0, 100)), Interval::new(0, 255));
+        assert_eq!(Interval::new(0, 256).bit_or_like(byte), Interval::new(0, 511));
+        assert_eq!(Interval::TOP.bit_or_like(byte), Interval::TOP);
+        assert_eq!(Interval::new(0, 100).shr_const(2), Interval::new(0, 25));
+        assert_eq!(Interval::TOP.shr_const(2), Interval::TOP);
+    }
+
+    #[test]
+    fn widening_jumps_moved_bounds_to_infinity() {
+        let prev = Interval::new(0, 100);
+        // Stable: kept.
+        assert_eq!(prev.widen(Interval::new(0, 100)), prev);
+        // Narrowed (a descending chain): reverts to the previous iterate.
+        assert_eq!(prev.widen(Interval::new(0, 99)), prev);
+        // Grown: the moving bound is widened away.
+        assert_eq!(prev.widen(Interval::new(0, 101)), Interval::at_least(0));
+        assert_eq!(prev.widen(Interval::new(-1, 100)), Interval::at_most(100));
+        assert_eq!(Interval::EMPTY.widen(prev), prev);
+    }
+
+    #[test]
+    fn directional_bounds() {
+        let b = Interval::new(10, 20);
+        assert_eq!(Interval::lt_bound(b), Interval::at_most(19));
+        assert_eq!(Interval::le_bound(b), Interval::at_most(20));
+        assert_eq!(Interval::gt_bound(b), Interval::at_least(11));
+        assert_eq!(Interval::ge_bound(b), Interval::at_least(10));
+        // Strict bounds against infinities stay infinite, not wrapped.
+        assert_eq!(Interval::lt_bound(Interval::TOP), Interval::TOP);
+    }
+
+    #[test]
+    fn without_point_trims_only_edges() {
+        let b = Interval::new(10, 20);
+        assert_eq!(b.without_point(10), Interval::new(11, 20));
+        assert_eq!(b.without_point(20), Interval::new(10, 19));
+        assert_eq!(b.without_point(15), b, "interior points are not representable exclusions");
+        assert!(Interval::point(3).without_point(3).is_empty());
+    }
+
+    #[test]
+    fn display_renders_lattice_points() {
+        assert_eq!(Interval::TOP.to_string(), "⊤");
+        assert_eq!(Interval::EMPTY.to_string(), "⊥");
+        assert_eq!(Interval::point(4).to_string(), "[4]");
+        assert_eq!(Interval::new(1, 2).to_string(), "[1, 2]");
+        assert_eq!(Interval::at_most(9).to_string(), "(-∞, 9]");
+        assert_eq!(Interval::at_least(9).to_string(), "[9, +∞)");
+    }
+}

@@ -33,7 +33,7 @@ pub const USAGE: &str = "\
 usage: dtaint <command> [args]
 
 commands:
-  scan <image|binary> [--json|--md] [--filter p1,p2] [--threads N] [--validate]
+  scan <image|binary> [--json|--md] [--filter p1,p2] [--threads N] [--interval-guards] [--validate]
   unpack <image> [--out DIR]
   info <image|binary>
   disasm <binary> [FUNCTION]
@@ -130,7 +130,9 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
         Some(v) => v.parse().map_err(|_| "scan: --threads expects a number".to_owned())?,
         None => 0,
     };
-    let config = DtaintConfig { function_filter: filter, threads, ..Default::default() };
+    let interval_guards = has_flag(rest, "--interval-guards");
+    let config =
+        DtaintConfig { function_filter: filter, threads, interval_guards, ..Default::default() };
     let analyzer = Dtaint::with_config(config);
 
     let mut exit = 0;
@@ -162,6 +164,18 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                     t.lift_cfg, t.ssa, t.ddg, t.ddg_alias, t.ddg_indirect, t.ddg_propagate, t.detect,
                 ),
             )?;
+            if interval_guards {
+                write_out(
+                    out,
+                    &format!(
+                        "   interval: absint {:.2?} (ddg {:.2?}, detect {:.2?}), {} infeasible path(s) suppressed\n",
+                        t.ddg_absint + t.detect_absint,
+                        t.ddg_absint,
+                        t.detect_absint,
+                        report.infeasible_suppressed,
+                    ),
+                )?;
+            }
             for f in &report.findings {
                 write_out(out, &format!("{f}\n"))?;
                 for step in &f.trace {
@@ -421,6 +435,21 @@ mod tests {
         assert_eq!(body(&seq), body(&par));
         let (code, _) = run_captured(&["scan", &p, "--threads", "zero"]);
         assert!(code.is_err());
+    }
+
+    #[test]
+    fn scan_interval_guards_prints_absint_line_and_stays_deterministic() {
+        let p = small_image_path();
+        let (code, seq) = run_captured(&["scan", &p, "--interval-guards", "--threads", "1"]);
+        assert_eq!(code, Ok(2));
+        assert!(seq.contains("interval: absint"), "{seq}");
+        assert!(seq.contains("infeasible path(s) suppressed"), "{seq}");
+        let (code, par) = run_captured(&["scan", &p, "--interval-guards", "--threads", "4"]);
+        assert_eq!(code, Ok(2));
+        // Skip summary, stage and interval-timing headers: the findings
+        // themselves must be identical regardless of thread count.
+        let body = |s: &str| s.lines().skip(3).map(str::to_owned).collect::<Vec<_>>();
+        assert_eq!(body(&seq), body(&par));
     }
 
     #[test]

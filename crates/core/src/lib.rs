@@ -60,9 +60,10 @@ pub use pipeline::{Dtaint, DtaintConfig};
 pub use report::{AnalysisReport, Finding, SourceRef, StageTimings, VulnKindRepr};
 pub use score::{score, GroundTruthFlow, Score};
 pub use sinks::{
-    default_sink_names, default_sources, sink_spec, SinkSpec, TaintedVar, VulnKind, SINK_SPECS,
-    SOURCE_NAMES,
+    default_sink_names, default_sources, sink_spec, SinkSpec, TaintedVar, VulnKind, CMD_SEPARATORS,
+    SINK_SPECS, SOURCE_NAMES,
 };
+pub use taint::{BoundsMode, TaintOutcome};
 
 #[cfg(test)]
 mod tests {

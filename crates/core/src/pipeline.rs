@@ -29,6 +29,13 @@ pub struct DtaintConfig {
     /// fit the destination's stack capacity to count as sanitisation
     /// (see [`crate::taint::detect_with`]).
     pub strict_bounds: bool,
+    /// Enable the interval abstract-interpretation extension
+    /// ([`crate::taint::BoundsMode::Interval`]): path constraints are
+    /// evaluated over an interval domain, so symbolic guards are judged
+    /// against the destination capacity and contradictory (infeasible)
+    /// paths are suppressed during both propagation and detection.
+    /// Subsumes `strict_bounds`.
+    pub interval_guards: bool,
     /// When set, only functions whose name passes the filter are
     /// analyzed — the paper does this for the large Uniview/Hikvision
     /// images ("we manually extract 430 functions that are used to
@@ -44,6 +51,7 @@ impl Default for DtaintConfig {
             sources: default_sources(),
             threads: 0,
             strict_bounds: false,
+            interval_guards: false,
             function_filter: None,
         }
     }
@@ -106,6 +114,7 @@ impl Dtaint {
         let t = Instant::now();
         let mut df_config = self.config.dataflow.clone();
         df_config.threads = self.effective_threads(cfgs.len());
+        df_config.interval_guards |= self.config.interval_guards;
         let df = build_dataflow(bin, &mut callgraph, summaries, pool, &df_config);
         let ddg = t.elapsed();
 
@@ -113,8 +122,14 @@ impl Dtaint {
         let t = Instant::now();
         let fn_names: HashMap<u32, String> =
             cfgs.iter().map(|c| (c.addr, c.name.clone())).collect();
-        let findings =
-            taint::detect_with(&df, &self.config.sources, &fn_names, self.config.strict_bounds);
+        let mode = if self.config.interval_guards {
+            taint::BoundsMode::Interval
+        } else if self.config.strict_bounds {
+            taint::BoundsMode::Strict
+        } else {
+            taint::BoundsMode::Paper
+        };
+        let outcome = taint::detect_full(&df, Some(bin), &self.config.sources, &fn_names, mode);
         let detect = t.elapsed();
 
         let sinks_count = df
@@ -139,7 +154,8 @@ impl Dtaint {
             call_graph_edges: callgraph.edge_count(),
             sinks_count,
             resolved_indirect: df.resolved_indirect.len(),
-            findings,
+            findings: outcome.findings,
+            infeasible_suppressed: outcome.infeasible_suppressed + df.pruned_infeasible,
             timings: StageTimings {
                 lift_cfg,
                 ssa,
@@ -148,6 +164,8 @@ impl Dtaint {
                 ddg_alias: df.timings.alias,
                 ddg_indirect: df.timings.indirect,
                 ddg_propagate: df.timings.propagate,
+                ddg_absint: df.timings.absint,
+                detect_absint: outcome.absint,
             },
         })
     }

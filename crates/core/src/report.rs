@@ -115,6 +115,15 @@ pub struct StageTimings {
     /// [`DtaintConfig::threads`]: crate::DtaintConfig
     #[serde(default)]
     pub ddg_propagate: Duration,
+    /// Interval-solver time spent pruning infeasible observations during
+    /// propagation (interval-guards mode; zero otherwise). Summed across
+    /// workers, so it can exceed the wall-clock share of `ddg`.
+    #[serde(default)]
+    pub ddg_absint: Duration,
+    /// Interval-solver time spent judging guards during detection
+    /// (interval-guards mode; zero otherwise).
+    #[serde(default)]
+    pub detect_absint: Duration,
 }
 
 impl StageTimings {
@@ -143,6 +152,10 @@ pub struct AnalysisReport {
     pub resolved_indirect: usize,
     /// Every judged `(source, path, sink)` tuple.
     pub findings: Vec<Finding>,
+    /// Tainted sink observations suppressed because their path
+    /// constraints are contradictory (interval-guards mode only).
+    #[serde(default)]
+    pub infeasible_suppressed: usize,
     /// Stage timings.
     pub timings: StageTimings,
 }
@@ -198,6 +211,10 @@ impl AnalysisReport {
         let _ = writeln!(md, "| sensitive sinks | {} |", self.sinks_count);
         let _ = writeln!(md, "| indirect calls resolved | {} |", self.resolved_indirect);
         let _ = writeln!(md, "| vulnerable paths | {} |", self.vulnerable_paths().len());
+        if self.infeasible_suppressed > 0 {
+            let _ =
+                writeln!(md, "| infeasible paths suppressed | {} |", self.infeasible_suppressed);
+        }
         let _ = writeln!(md, "| **vulnerabilities** | **{}** |", self.vulnerabilities());
         let _ = writeln!(md, "| analysis time | {:.2?} |", self.timings.total());
         let vulnerable = self.vulnerable_paths();
@@ -267,6 +284,7 @@ mod tests {
             sinks_count: 2,
             resolved_indirect: 0,
             findings: vec![finding(0x10, false), finding(0x10, false), finding(0x20, true)],
+            infeasible_suppressed: 0,
             timings: StageTimings::default(),
         }
     }

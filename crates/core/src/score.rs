@@ -133,6 +133,7 @@ mod tests {
             sinks_count: 1,
             resolved_indirect: 0,
             findings,
+            infeasible_suppressed: 0,
             timings: StageTimings::default(),
         }
     }

@@ -60,6 +60,13 @@ pub const SINK_SPECS: &[SinkSpec] = &[
     SinkSpec { name: "popen", kind: VulnKind::CommandInjection, tainted: TaintedVar::Pointee(0) },
 ];
 
+/// Shell metacharacters whose comparison against tainted data counts as
+/// command-injection sanitisation. `;`, `|`, and `&` chain or terminate
+/// a command under `sh -c`; a backtick opens a command substitution.
+/// Firmware input validators typically reject any one of these, so a
+/// path guarded by such a comparison is treated as filtered.
+pub const CMD_SEPARATORS: &[i64] = &[b';' as i64, b'|' as i64, b'&' as i64, b'`' as i64];
+
 /// The input sources of Table I.
 pub const SOURCE_NAMES: &[&str] = &[
     "read",
@@ -113,5 +120,13 @@ mod tests {
         for name in ["system", "popen"] {
             assert_eq!(sink_spec(name).unwrap().kind, VulnKind::CommandInjection);
         }
+    }
+
+    #[test]
+    fn separator_list_covers_shell_metacharacters() {
+        for b in [b';', b'|', b'&', b'`'] {
+            assert!(CMD_SEPARATORS.contains(&i64::from(b)), "{} missing", b as char);
+        }
+        assert!(!CMD_SEPARATORS.contains(&i64::from(b'a')));
     }
 }

@@ -15,20 +15,60 @@
 //!      `buf[1]`, `buf[2]`, … — the Heartbleed `n2s` pattern).
 //! 2. **Is the path sanitised?** Buffer overflows are guarded by a
 //!    bounding constraint on the tainted data (`n < 64`, `n < y`);
-//!    command injections by a comparison of a tainted byte against the
-//!    separator `';'` (0x3B). An unguarded tainted path is a
-//!    vulnerability.
+//!    command injections by a comparison of a tainted byte against a
+//!    shell separator ([`CMD_SEPARATORS`]). An unguarded tainted path
+//!    is a vulnerability.
+//!
+//! The judgement of bounding guards comes in three [`BoundsMode`]s: the
+//! paper's syntactic check, the strict-bounds extension (constant guards
+//! must fit the destination), and the interval extension (guards are
+//! evaluated over an interval abstract domain, so symbolic guards are
+//! judged too and contradictory paths are suppressed).
 
 use crate::report::{Finding, SourceRef};
-use crate::sinks::{sink_spec, TaintedVar, VulnKind};
+use crate::sinks::{sink_spec, TaintedVar, VulnKind, CMD_SEPARATORS};
+use dtaint_absint::IntervalAnalysis;
 use dtaint_dataflow::{FinalSummary, ProgramDataflow, SinkKind, SinkObservation};
+use dtaint_fwbin::{Binary, SymbolKind};
 use dtaint_symex::pool::{CmpOp, SymNode};
-use dtaint_symex::ExprId;
+use dtaint_symex::{ExprId, ExprPool};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::{Duration, Instant};
 
-/// ASCII code of the command separator checked by sanitised command
-/// paths.
+/// ASCII code of the classic command separator (the first entry of
+/// [`CMD_SEPARATORS`], kept for backward compatibility).
 pub const SEMICOLON: i64 = b';' as i64;
+
+/// How bounding guards on buffer-overflow paths are judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundsMode {
+    /// The paper's syntactic judgement: any bounding constraint on the
+    /// tainted data sanitises the copy.
+    #[default]
+    Paper,
+    /// Constant guards must fit the destination's stack capacity;
+    /// symbolic guards and non-stack destinations fall back to the
+    /// syntactic judgement.
+    Strict,
+    /// Interval abstract interpretation: a guard sanitises only when the
+    /// inferred range of the copied length provably fits the
+    /// destination's capacity (stack *or* named writable global), and
+    /// observations whose path constraints are contradictory are
+    /// suppressed outright. Subsumes [`BoundsMode::Strict`].
+    Interval,
+}
+
+/// The complete result of one taint-judgement pass.
+#[derive(Debug, Clone, Default)]
+pub struct TaintOutcome {
+    /// Every judged `(source, path, sink)` tuple.
+    pub findings: Vec<Finding>,
+    /// Tainted observations dropped because their path constraints are
+    /// contradictory ([`BoundsMode::Interval`] only; zero otherwise).
+    pub infeasible_suppressed: usize,
+    /// CPU time spent in the interval solver.
+    pub absint: Duration,
+}
 
 /// Object-granular taint knowledge for one observing function.
 struct TaintIndex<'a> {
@@ -150,7 +190,7 @@ pub fn detect(
     sources: &HashSet<String>,
     fn_names: &HashMap<u32, String>,
 ) -> Vec<Finding> {
-    detect_with(df, sources, fn_names, false)
+    detect_full(df, None, sources, fn_names, BoundsMode::Paper).findings
 }
 
 /// [`detect`] with the *strict bounds* extension: a bounding constraint
@@ -165,7 +205,29 @@ pub fn detect_with(
     fn_names: &HashMap<u32, String>,
     strict_bounds: bool,
 ) -> Vec<Finding> {
+    let mode = if strict_bounds { BoundsMode::Strict } else { BoundsMode::Paper };
+    detect_full(df, None, sources, fn_names, mode).findings
+}
+
+/// The full judgement with an explicit [`BoundsMode`] and, optionally,
+/// the binary (for global-destination capacities in interval mode).
+///
+/// In [`BoundsMode::Interval`] every holder function gets one
+/// [`IntervalAnalysis`] seeded from its definition pairs; each tainted
+/// observation clones it, assumes the observation's path constraints,
+/// and solves. A contradictory path suppresses the observation; an
+/// otherwise-guarded copy is sanitised only when the solved range of the
+/// length fits the destination capacity.
+pub fn detect_full(
+    df: &ProgramDataflow,
+    bin: Option<&Binary>,
+    sources: &HashSet<String>,
+    fn_names: &HashMap<u32, String>,
+    mode: BoundsMode,
+) -> TaintOutcome {
     let mut findings = Vec::new();
+    let mut infeasible_suppressed = 0usize;
+    let mut absint = Duration::ZERO;
     let mut seen: HashSet<(u32, Vec<u32>, Vec<SourceRef>, String)> = HashSet::new();
     let mut holders: Vec<&FinalSummary> = df.finals.values().collect();
     holders.sort_by_key(|f| f.summary.addr);
@@ -173,6 +235,15 @@ pub fn detect_with(
         // One object-taint index per observing function, shared by all
         // of its sink observations.
         let index = TaintIndex::build(df, holder, sources);
+        // Interval mode: one definition-seeded base environment per
+        // holder, cloned and specialised per observation below.
+        let base_absint = (mode == BoundsMode::Interval).then(|| {
+            let mut a = IntervalAnalysis::new(&df.pool);
+            for dp in &holder.summary.def_pairs {
+                a.seed_def(dp.d, dp.u);
+            }
+            a
+        });
         for obs in &holder.sinks {
             let (kind, sink_name) = match &obs.kind {
                 SinkKind::Import(name) => {
@@ -195,9 +266,6 @@ pub fn detect_with(
                 SinkKind::LoopCopy => {
                     if let Some(&value) = obs.args.get(1) {
                         note_taint(value, index.atoms_in(value));
-                    }
-                    if let Some(&dst) = obs.args.first() {
-                        let _ = dst;
                     }
                 }
                 SinkKind::Import(name) => {
@@ -225,18 +293,48 @@ pub fn detect_with(
                 continue;
             }
 
-            // 2. Sanitisation.
-            let capacity = if strict_bounds { stack_capacity(df, obs) } else { None };
-            let sanitized = match kind {
-                VulnKind::BufferOverflow => {
-                    if obs.kind == SinkKind::LoopCopy {
-                        // A counted loop carries a bounding constraint; a
-                        // "copy until NUL" loop does not.
-                        obs.constraints.iter().any(|(op, _, _)| op.is_bounding())
-                    } else {
-                        has_upper_bound(&index, obs, capacity)
-                    }
+            // 2. Interval feasibility and per-path ranges. Infeasibility
+            // comes from the path constraints alone (never from the
+            // flow-insensitive definition seeds): a contradiction there
+            // means no input reaches the sink with these guards taken.
+            let mut ranges: Option<IntervalAnalysis> = None;
+            if let Some(base) = &base_absint {
+                let t = Instant::now();
+                let feasible = dtaint_absint::path_feasible(&df.pool, &obs.constraints);
+                if feasible {
+                    let mut a = base.clone();
+                    a.assume_all(&obs.constraints);
+                    a.solve();
+                    ranges = Some(a);
                 }
+                absint += t.elapsed();
+                if !feasible {
+                    infeasible_suppressed += 1;
+                    continue;
+                }
+            }
+
+            // 3. Sanitisation.
+            let capacity = match mode {
+                BoundsMode::Paper => None,
+                // Strict mode keeps its documented stack-only scope;
+                // only interval mode rates named global destinations.
+                BoundsMode::Strict => obs.args.first().and_then(|&d| stack_capacity(&df.pool, d)),
+                BoundsMode::Interval => dest_capacity(df, bin, obs),
+            };
+            let sanitized = match kind {
+                VulnKind::BufferOverflow => match &obs.kind {
+                    SinkKind::LoopCopy => loop_copy_sanitized(df, obs, capacity, mode),
+                    SinkKind::Import(name) => {
+                        let spec = sink_spec(name).expect("checked above");
+                        match (&ranges, spec.tainted) {
+                            (Some(a), TaintedVar::Arg(i)) => obs.args.get(i).is_some_and(|&len| {
+                                interval_upper_bound(&index, a, obs, len, capacity)
+                            }),
+                            _ => has_upper_bound(&index, obs, capacity),
+                        }
+                    }
+                },
                 VulnKind::CommandInjection => has_separator_check(df, &index, obs),
             };
 
@@ -274,7 +372,7 @@ pub fn detect_with(
     findings.sort_by(|a, b| {
         (a.sink_ins, &a.observed_in, &a.sources).cmp(&(b.sink_ins, &b.observed_in, &b.sources))
     });
-    findings
+    TaintOutcome { findings, infeasible_suppressed, absint }
 }
 
 /// True when a bounding constraint covers the tainted data:
@@ -303,35 +401,186 @@ fn has_upper_bound(index: &TaintIndex<'_>, obs: &SinkObservation, capacity: Opti
     })
 }
 
-/// The byte distance from a stack destination to the saved-return slot,
-/// when the sink's destination pointer is `sp0 - K` in the observing
-/// frame.
-fn stack_capacity(df: &ProgramDataflow, obs: &SinkObservation) -> Option<i64> {
+/// Interval-mode bound judgement for a length argument. A bounding
+/// constraint must cover the tainted data (some explicit guard exists —
+/// a structural range alone, like a byte load's `[0, 255]`, is not a
+/// sanitiser), and the solver's range for the copied length must fit
+/// the destination when its capacity is known. This is where a symbolic
+/// guard `n < y` is decided: the seeded solver resolves `y` through the
+/// definition pairs, so `y = 200` sanitises a 256-byte copy while
+/// `y = 1024` — or an unresolvable `y` — does not.
+fn interval_upper_bound(
+    index: &TaintIndex<'_>,
+    analysis: &IntervalAnalysis<'_>,
+    obs: &SinkObservation,
+    len: ExprId,
+    capacity: Option<i64>,
+) -> bool {
+    let guarded = obs.constraints.iter().any(|(op, l, r)| {
+        let tainted_side = match op {
+            CmpOp::Lt | CmpOp::Le => *l,
+            CmpOp::Gt | CmpOp::Ge => *r,
+            _ => return false,
+        };
+        !index.atoms_in(tainted_side).is_empty()
+    });
+    if !guarded {
+        return false;
+    }
+    match (analysis.range_of(len).upper(), capacity) {
+        (Some(hi), Some(cap)) => hi <= cap,
+        // Unknown capacity: a provably finite length is the best
+        // obtainable judgement (matches the strict-mode fallback).
+        (Some(_), None) => true,
+        // Guarded, but the bound never resolves to a finite range:
+        // refuse to trust the guard.
+        (None, _) => false,
+    }
+}
+
+/// The destination's writable capacity: either the distance from a stack
+/// buffer to the saved-return slot, or the distance from a writable
+/// global to the end of its covering `Object` symbol. `None` when the
+/// destination is symbolic (heap pointers, unresolved arguments).
+fn dest_capacity(df: &ProgramDataflow, bin: Option<&Binary>, obs: &SinkObservation) -> Option<i64> {
     let dst = *obs.args.first()?;
-    let (base, off) = df.pool.base_offset(dst);
-    if !matches!(df.pool.node(base), SymNode::StackBase) || off >= 0 {
+    if let Some(cap) = stack_capacity(&df.pool, dst) {
+        return Some(cap);
+    }
+    let bin = bin?;
+    let (base, off) = deep_base_offset(&df.pool, dst);
+    let addr = u32::try_from(df.pool.as_const(base)? + off).ok()?;
+    if bin.is_immutable_addr(addr) {
+        return None;
+    }
+    let sym = bin
+        .symbols
+        .iter()
+        .filter(|s| s.kind == SymbolKind::Object && s.size > 0)
+        .find(|s| addr >= s.addr && addr < s.addr + s.size)?;
+    Some(i64::from(sym.addr + sym.size - addr))
+}
+
+/// [`ExprPool::base_offset`] applied down the whole `Add` spine:
+/// `(sp0 - 0x858) + 0x400` resolves to `(sp0, -0x458)` instead of
+/// stopping at the outer addition.
+fn deep_base_offset(pool: &ExprPool, mut e: ExprId) -> (ExprId, i64) {
+    let mut off = 0i64;
+    loop {
+        let (b, o) = pool.base_offset(e);
+        if b == e {
+            return (e, off);
+        }
+        off += o;
+        e = b;
+    }
+}
+
+/// The byte distance from a stack destination `sp0 - K` to the saved
+/// return slot (`K - 8`). `None` for non-stack bases and for
+/// non-negative offsets (caller-frame or unresolved pointers).
+pub(crate) fn stack_capacity(pool: &ExprPool, dst: ExprId) -> Option<i64> {
+    let (base, off) = pool.base_offset(dst);
+    if !matches!(pool.node(base), SymNode::StackBase) || off >= 0 {
         return None;
     }
     Some((-off - 8).max(0))
 }
 
-/// True when the path compares a tainted byte against `';'`.
+/// Loop-copy judgement. A counted loop carries a bounding constraint
+/// (`p < src + n`); a "copy until NUL" loop does not. In strict and
+/// interval modes a counted loop's *trip count* — the constant distance
+/// between the two compared pointers when they share a base — must
+/// additionally fit the destination's capacity, so an oversized counted
+/// copy is judged exactly like a weak constant `memcpy` bound.
+fn loop_copy_sanitized(
+    df: &ProgramDataflow,
+    obs: &SinkObservation,
+    capacity: Option<i64>,
+    mode: BoundsMode,
+) -> bool {
+    let bounding: Vec<&(CmpOp, ExprId, ExprId)> =
+        obs.constraints.iter().filter(|(op, _, _)| op.is_bounding()).collect();
+    if bounding.is_empty() {
+        return false;
+    }
+    if mode == BoundsMode::Paper {
+        return true;
+    }
+    let Some(cap) = capacity else { return true };
+    let trips: Vec<i64> = bounding
+        .iter()
+        .filter_map(|(_, l, r)| {
+            let (bl, ol) = deep_base_offset(&df.pool, *l);
+            let (br, orr) = deep_base_offset(&df.pool, *r);
+            (bl == br).then(|| (orr - ol).abs())
+        })
+        .collect();
+    // Symbolic loop bound (no extractable trip count): syntactic verdict.
+    trips.is_empty() || trips.iter().any(|&t| t <= cap)
+}
+
+/// True when the path compares a tainted byte against one of the shell
+/// separators in [`CMD_SEPARATORS`].
 fn has_separator_check(
     df: &ProgramDataflow,
     index: &TaintIndex<'_>,
     obs: &SinkObservation,
 ) -> bool {
+    let is_sep = |e: ExprId| df.pool.as_const(e).is_some_and(|c| CMD_SEPARATORS.contains(&c));
     obs.constraints.iter().any(|(op, l, r)| {
         if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
             return false;
         }
-        let data = if df.pool.as_const(*r) == Some(SEMICOLON) {
+        let data = if is_sep(*r) {
             *l
-        } else if df.pool.as_const(*l) == Some(SEMICOLON) {
+        } else if is_sep(*l) {
             *r
         } else {
             return false;
         };
         !index.atoms_in(data).is_empty()
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_capacity_measures_distance_to_saved_return() {
+        let mut p = ExprPool::new();
+        let sp = p.intern(SymNode::StackBase);
+        let dst = p.add_const(sp, -264);
+        assert_eq!(stack_capacity(&p, dst), Some(256));
+    }
+
+    #[test]
+    fn stack_capacity_rejects_non_stack_base() {
+        let mut p = ExprPool::new();
+        let g = p.constant(0x30000);
+        let dst = p.add_const(g, -64);
+        assert_eq!(stack_capacity(&p, dst), None);
+        let a = p.arg(0);
+        assert_eq!(stack_capacity(&p, a), None);
+    }
+
+    #[test]
+    fn stack_capacity_rejects_non_negative_offsets() {
+        let mut p = ExprPool::new();
+        let sp = p.intern(SymNode::StackBase);
+        assert_eq!(stack_capacity(&p, sp), None, "offset 0 is the caller frame");
+        let above = p.add_const(sp, 16);
+        assert_eq!(stack_capacity(&p, above), None);
+    }
+
+    #[test]
+    fn stack_capacity_at_saved_return_slot_is_zero() {
+        let mut p = ExprPool::new();
+        let sp = p.intern(SymNode::StackBase);
+        let dst = p.add_const(sp, -8);
+        assert_eq!(stack_capacity(&p, dst), Some(0), "writes at sp0-8 hit the return address");
+        let dst4 = p.add_const(sp, -4);
+        assert_eq!(stack_capacity(&p, dst4), Some(0), "clamped, never negative");
+    }
 }

@@ -67,6 +67,12 @@ pub struct DataflowConfig {
     /// Worker threads for the bottom-up pass (1 = fully sequential).
     /// Results are identical for every value.
     pub threads: usize,
+    /// Drop sink observations whose path constraints are contradictory
+    /// (`n < 8 && n > 64`) during propagation, before they bubble to
+    /// callers — the interval-analysis extension. The feasibility check
+    /// is a pure function of the pool's interned nodes, so pruning
+    /// preserves the bit-identical-across-threads guarantee.
+    pub interval_guards: bool,
 }
 
 impl Default for DataflowConfig {
@@ -83,6 +89,7 @@ impl Default for DataflowConfig {
             loop_copy_sinks: true,
             max_sinks_per_fn: 4096,
             threads: 1,
+            interval_guards: false,
         }
     }
 }
@@ -97,6 +104,10 @@ pub struct DdgTimings {
     /// The bottom-up propagation itself (Algorithm 2) — the stage the
     /// `threads` knob parallelises.
     pub propagate: Duration,
+    /// Interval feasibility pruning inside propagation (only non-zero
+    /// with [`DataflowConfig::interval_guards`]); summed across workers,
+    /// so this is CPU time, not wall-clock.
+    pub absint: Duration,
 }
 
 /// What kind of sink an observation describes.
@@ -147,6 +158,14 @@ pub struct FinalSummary {
     pub local_constraints: usize,
 }
 
+/// Accumulator for the interval feasibility pruning performed during
+/// propagation (one per worker; summed at the merge barrier).
+#[derive(Debug, Clone, Copy, Default)]
+struct AbsintStats {
+    time: Duration,
+    pruned: usize,
+}
+
 /// The whole-program data-flow result.
 #[derive(Debug)]
 pub struct ProgramDataflow {
@@ -163,6 +182,10 @@ pub struct ProgramDataflow {
     pub import_sites: HashMap<u32, String>,
     /// Wall-clock breakdown of the build.
     pub timings: DdgTimings,
+    /// Sink observations dropped because their accumulated path
+    /// constraints are contradictory (only with
+    /// [`DataflowConfig::interval_guards`]; zero otherwise).
+    pub pruned_infeasible: usize,
 }
 
 impl ProgramDataflow {
@@ -247,6 +270,7 @@ pub fn build_dataflow(
     config: &DataflowConfig,
 ) -> ProgramDataflow {
     let mut timings = DdgTimings::default();
+    let mut absint = AbsintStats::default();
     // Ordered, so per-function passes intern into the pool in a fixed
     // order regardless of how `locals` arrived.
     let mut by_addr: BTreeMap<u32, FuncSummary> = locals.into_iter().map(|s| (s.addr, s)).collect();
@@ -318,6 +342,7 @@ pub fn build_dataflow(
                     &resolution,
                     &mut pool,
                     config,
+                    &mut absint,
                 );
                 finals.insert(faddr, fs);
             }
@@ -338,7 +363,7 @@ pub fn build_dataflow(
             }
             out
         };
-        type WorkerOut = (ExprPool, Vec<(u32, FinalSummary, std::ops::Range<u32>)>);
+        type WorkerOut = (ExprPool, Vec<(u32, FinalSummary, std::ops::Range<u32>)>, AbsintStats);
         let fork_base = pool.len();
         let results: Vec<WorkerOut> = {
             let pool_ref = &pool;
@@ -352,16 +377,24 @@ pub fn build_dataflow(
                         scope.spawn(move |_| {
                             let mut fork = pool_ref.clone();
                             let mut out = Vec::with_capacity(chunk.len());
+                            let mut absint = AbsintStats::default();
                             for (faddr, summary) in chunk {
                                 let before = fork.next_unknown_index();
                                 let fs = process_function(
-                                    bin, faddr, summary, finals_ref, comp_ref, res_ref, &mut fork,
+                                    bin,
+                                    faddr,
+                                    summary,
+                                    finals_ref,
+                                    comp_ref,
+                                    res_ref,
+                                    &mut fork,
                                     config,
+                                    &mut absint,
                                 );
                                 let created = before..fork.next_unknown_index();
                                 out.push((faddr, fs, created));
                             }
-                            (fork, out)
+                            (fork, out, absint)
                         })
                     })
                     .collect();
@@ -376,7 +409,9 @@ pub fn build_dataflow(
         // reproduces the single-threaded numbering exactly. Translation
         // is fork-aware: ids below `fork_base` denote the same node in
         // the fork and the master, so only fork-created nodes cost work.
-        for (mut fork, items) in results {
+        for (mut fork, items, worker_absint) in results {
+            absint.time += worker_absint.time;
+            absint.pruned += worker_absint.pruned;
             for (faddr, fs, created) in items {
                 let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
                 for k in created {
@@ -420,8 +455,17 @@ pub fn build_dataflow(
         }
     }
     timings.propagate = t.elapsed();
+    timings.absint = absint.time;
 
-    ProgramDataflow { pool, finals, order, resolved_indirect: resolved, import_sites, timings }
+    ProgramDataflow {
+        pool,
+        finals,
+        order,
+        resolved_indirect: resolved,
+        import_sites,
+        timings,
+        pruned_infeasible: absint.pruned,
+    }
 }
 
 /// Summarises one function (Algorithm 2 outer-loop body): collects its
@@ -442,6 +486,7 @@ fn process_function(
     resolution: &HashMap<u32, u32>,
     pool: &mut ExprPool,
     config: &DataflowConfig,
+    absint: &mut AbsintStats,
 ) -> FinalSummary {
     let local_constraints = summary.constraints.len();
     let mut sinks: Vec<SinkObservation> = Vec::new();
@@ -505,6 +550,17 @@ fn process_function(
             pool,
             config,
         );
+    }
+
+    // Interval extension: an observation whose accumulated constraints
+    // contradict each other describes a path the program cannot take;
+    // dropping it here also stops it bubbling further up the call graph.
+    if config.interval_guards {
+        let t = Instant::now();
+        let before = sinks.len();
+        sinks.retain(|sk| dtaint_absint::path_feasible(pool, &sk.constraints));
+        absint.pruned += before - sinks.len();
+        absint.time += t.elapsed();
     }
 
     sinks.truncate(config.max_sinks_per_fn);

@@ -46,6 +46,30 @@ pub enum PlantKind {
     /// buffer* (`if (n < 1024)` into a 256-byte buffer) — still
     /// exploitable; detected only by the strict-bounds extension.
     BofWeakBound,
+    /// `recv → memcpy` guarded by a *symbolic* bound `if (n < y)` where
+    /// `y` is loaded from a global an init function set to a constant.
+    /// Syntactic judgements (paper and strict mode) cannot rate the
+    /// guard; only the interval extension resolves `y` and decides
+    /// whether it fits the 256-byte destination (`y = 200` sanitises,
+    /// `y = 1024` does not).
+    BofSymbolicBound,
+    /// `recv → memcpy` behind nested selector checks. The vulnerable
+    /// twin's single check matches what an init function stored; the
+    /// "sanitised" twin nests contradictory checks (`sel == 5 &&
+    /// sel == 7`), so its sink is dead code — reported as a false
+    /// positive by every syntactic mode and suppressed only by the
+    /// interval extension's feasibility pruning.
+    BofInfeasiblePath,
+    /// `recv → memcpy` into a 64-byte *global* (`.bss` object) with a
+    /// constant guard. Stack-capacity judgements cannot rate the
+    /// destination; the interval extension measures the covering object
+    /// symbol instead (`n < 48` sanitises, `n < 1024` does not).
+    BofGlobalDst,
+    /// Counted copy loop whose trip count exceeds the 64-byte stack
+    /// destination (1024 iterations). The paper's judgement accepts any
+    /// counted loop as sanitised; strict/interval modes compare the trip
+    /// count against the destination capacity (48 sanitises).
+    BofLoopcopyOversized,
 }
 
 impl PlantKind {
@@ -61,8 +85,13 @@ impl PlantKind {
             | PlantKind::BofSscanfRtsp
             | PlantKind::BofReadMemcpySmall
             | PlantKind::BofReadLoopcopy
+            | PlantKind::BofLoopcopyOversized
             | PlantKind::BofUrlParamAliasIndirect => "read",
-            PlantKind::BofRecvMemcpy | PlantKind::BofWeakBound => "recv",
+            PlantKind::BofRecvMemcpy
+            | PlantKind::BofWeakBound
+            | PlantKind::BofSymbolicBound
+            | PlantKind::BofInfeasiblePath
+            | PlantKind::BofGlobalDst => "recv",
         }
     }
 
@@ -74,11 +103,14 @@ impl PlantKind {
             PlantKind::BofReadStrncpy => "strncpy",
             PlantKind::BofGetenvSprintf => "sprintf",
             PlantKind::BofGetenvStrcpy | PlantKind::BofUrlParamAliasIndirect => "strcpy",
-            PlantKind::BofRecvMemcpy | PlantKind::BofReadMemcpySmall | PlantKind::BofWeakBound => {
-                "memcpy"
-            }
+            PlantKind::BofRecvMemcpy
+            | PlantKind::BofReadMemcpySmall
+            | PlantKind::BofWeakBound
+            | PlantKind::BofSymbolicBound
+            | PlantKind::BofInfeasiblePath
+            | PlantKind::BofGlobalDst => "memcpy",
             PlantKind::BofSscanfRtsp => "sscanf",
-            PlantKind::BofReadLoopcopy => "loop-copy",
+            PlantKind::BofReadLoopcopy | PlantKind::BofLoopcopyOversized => "loop-copy",
         }
     }
 
@@ -152,6 +184,10 @@ pub fn plant(spec: &mut ProgramSpec, p: &PlantSpec) -> PlantedVuln {
         PlantKind::BofReadLoopcopy => plant_loopcopy(spec, p, &entry_name),
         PlantKind::BofUrlParamAliasIndirect => plant_alias_indirect(spec, p, &entry_name),
         PlantKind::BofWeakBound => plant_weak_bound(spec, p, &entry_name),
+        PlantKind::BofSymbolicBound => plant_symbolic_bound(spec, p, &entry_name),
+        PlantKind::BofInfeasiblePath => plant_infeasible_path(spec, p, &entry_name),
+        PlantKind::BofGlobalDst => plant_global_dst(spec, p, &entry_name),
+        PlantKind::BofLoopcopyOversized => plant_loopcopy_oversized(spec, p, &entry_name),
     }
     PlantedVuln {
         id: p.id.clone(),
@@ -401,6 +437,158 @@ fn plant_weak_bound(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
             ret: None,
         }],
         els: vec![],
+    });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// The interval-extension subject: a guard that is *symbolic* at the
+/// sink (`if (n < y)` with `y` loaded from a global). An init function
+/// stores the actual limit, so only a judgement that propagates values
+/// through definition pairs can rate the guard. The guarded copy lives
+/// in a helper so the constraint reaches the entry unsubstituted —
+/// the cross-function shape firmware configuration limits take.
+fn plant_symbolic_bound(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
+    let limit = spec.global(&format!("g_limit_{}", p.id), 4);
+    let init = format!("limit_{}", p.id);
+    let mut inf = FnSpec::new(&init, 0);
+    let bound = if p.sanitized { 200 } else { 1024 };
+    inf.push(Stmt::Store { base: Val::GlobalAddr(limit.clone()), off: 0, src: Val::Const(bound) });
+    inf.push(Stmt::Return(None));
+    spec.func(inf);
+
+    let helper = format!("guard_copy_{}", p.id);
+    let mut hf = FnSpec::new(&helper, 3);
+    let y = hf.local();
+    hf.push(Stmt::Load { dst: y, base: Val::GlobalAddr(limit), off: 0 });
+    hf.push(Stmt::If {
+        lhs: Val::Param(2),
+        op: Cmp::Lt,
+        rhs: Val::Local(y),
+        then: vec![Stmt::Call {
+            callee: Callee::Import("memcpy".into()),
+            args: vec![Val::Param(0), Val::Param(1), Val::Param(2)],
+            ret: None,
+        }],
+        els: vec![],
+    });
+    hf.push(Stmt::Return(None));
+    spec.func(hf);
+
+    let mut e = FnSpec::new(entry, 0);
+    let big = e.buf(2048);
+    let small = e.buf(256);
+    let n = e.local();
+    e.push(Stmt::Call { callee: Callee::Func(init), args: vec![], ret: None });
+    e.push(Stmt::Call {
+        callee: Callee::Import("recv".into()),
+        args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(2048), Val::Const(0)],
+        ret: Some(n),
+    });
+    e.push(Stmt::Call {
+        callee: Callee::Func(helper),
+        args: vec![Val::BufAddr(small), Val::BufAddr(big), Val::Local(n)],
+        ret: None,
+    });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// The feasibility subject: a dispatcher whose selector is a global the
+/// vulnerable twin's init store agrees with. The "sanitised" twin nests
+/// two contradictory checks (`sel == 5 && sel == 7`), so its copy is
+/// dead code that only constraint reasoning can discard.
+fn plant_infeasible_path(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
+    let sel = spec.global(&format!("g_sel_{}", p.id), 4);
+    let mut e = FnSpec::new(entry, 0);
+    let big = e.buf(2048);
+    let small = e.buf(256);
+    let n = e.local();
+    let s = e.local();
+    if !p.sanitized {
+        // The selector value the single check expects.
+        e.push(Stmt::Store { base: Val::GlobalAddr(sel.clone()), off: 0, src: Val::Const(5) });
+    }
+    e.push(Stmt::Call {
+        callee: Callee::Import("recv".into()),
+        args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(2048), Val::Const(0)],
+        ret: Some(n),
+    });
+    e.push(Stmt::Load { dst: s, base: Val::GlobalAddr(sel), off: 0 });
+    let copy = Stmt::Call {
+        callee: Callee::Import("memcpy".into()),
+        args: vec![Val::BufAddr(small), Val::BufAddr(big), Val::Local(n)],
+        ret: None,
+    };
+    let body = if p.sanitized {
+        vec![Stmt::If {
+            lhs: Val::Local(s),
+            op: Cmp::Eq,
+            rhs: Val::Const(7),
+            then: vec![copy],
+            els: vec![],
+        }]
+    } else {
+        vec![copy]
+    };
+    e.push(Stmt::If {
+        lhs: Val::Local(s),
+        op: Cmp::Eq,
+        rhs: Val::Const(5),
+        then: body,
+        els: vec![],
+    });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// The global-destination subject: a guarded copy into a named 64-byte
+/// data object. There is no stack capacity to rate, so strict mode falls
+/// back to the syntactic judgement; the interval extension measures the
+/// covering object symbol instead.
+fn plant_global_dst(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
+    let dst = spec.global(&format!("g_dst_{}", p.id), 64);
+    let mut e = FnSpec::new(entry, 0);
+    let big = e.buf(2048);
+    let n = e.local();
+    e.push(Stmt::Call {
+        callee: Callee::Import("recv".into()),
+        args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(2048), Val::Const(0)],
+        ret: Some(n),
+    });
+    let bound = if p.sanitized { 48 } else { 1024 };
+    e.push(Stmt::If {
+        lhs: Val::Local(n),
+        op: Cmp::Lt,
+        rhs: Val::Const(bound),
+        then: vec![Stmt::Call {
+            callee: Callee::Import("memcpy".into()),
+            args: vec![Val::GlobalAddr(dst), Val::BufAddr(big), Val::Local(n)],
+            ret: None,
+        }],
+        els: vec![],
+    });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// The counted-loop twin of [`plant_weak_bound`]: the loop bound exists
+/// (so the paper's judgement accepts it) but exceeds the 64-byte stack
+/// destination.
+fn plant_loopcopy_oversized(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
+    let mut e = FnSpec::new(entry, 0);
+    let big = e.buf(2048);
+    let small = e.buf(64);
+    e.push(Stmt::Call {
+        callee: Callee::Import("read".into()),
+        args: vec![Val::Const(0), Val::BufAddr(big), Val::Const(2048)],
+        ret: None,
+    });
+    let bound = if p.sanitized { 48 } else { 1024 };
+    e.push(Stmt::CopyLoop {
+        dst: Val::BufAddr(small),
+        src: Val::BufAddr(big),
+        bound: Some(Val::Const(bound)),
     });
     e.push(Stmt::Return(None));
     spec.func(e);
