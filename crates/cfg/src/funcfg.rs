@@ -169,10 +169,14 @@ impl FunctionCfg {
 ///
 /// Propagates lifting errors ([`dtaint_fwbin::Error::BadInstruction`] on
 /// undecodable words, [`dtaint_fwbin::Error::Truncated`] on unmapped
-/// reads).
+/// reads, [`dtaint_fwbin::Error::BadSymbol`] when the symbol's address
+/// range wraps the 32-bit address space).
 pub fn build_function_cfg(bin: &Binary, sym: &Symbol) -> Result<FunctionCfg> {
     let start = sym.addr;
-    let end = sym.addr + sym.size;
+    let end = sym
+        .addr
+        .checked_add(sym.size)
+        .ok_or_else(|| dtaint_fwbin::Error::BadSymbol { name: sym.name.clone(), addr: sym.addr })?;
 
     // Pass 1: discover leaders by lifting one instruction at a time.
     // Terminator-ness comes from the decoded instruction, not from the

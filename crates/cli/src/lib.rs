@@ -34,10 +34,11 @@ usage: dtaint <command> [args]
 
 commands:
   scan <image|binary> [--json|--md] [--filter p1,p2] [--threads N] [--interval-guards] [--validate]
+                      [--keep-going|--fail-fast]
   unpack <image> [--out DIR]
   info <image|binary>
   disasm <binary> [FUNCTION]
-  gen <1..6> --out PATH
+  gen <1..6> --out PATH [--corrupt garbage-fn|dangling-symbol|overlapping-symbols]
   corpus [--n N] [--seed S]
   defs <binary> FUNCTION
   validate <binary> [ENTRY]
@@ -94,7 +95,10 @@ fn positional(rest: &[String]) -> Vec<&String> {
         }
         if a.starts_with("--") {
             // Flags with values.
-            if matches!(a.as_str(), "--out" | "--filter" | "--n" | "--seed" | "--threads") {
+            if matches!(
+                a.as_str(),
+                "--out" | "--filter" | "--n" | "--seed" | "--threads" | "--corrupt"
+            ) {
                 skip = true;
             }
             let _ = i;
@@ -131,11 +135,21 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
         None => 0,
     };
     let interval_guards = has_flag(rest, "--interval-guards");
-    let config =
-        DtaintConfig { function_filter: filter, threads, interval_guards, ..Default::default() };
+    let fail_fast = has_flag(rest, "--fail-fast");
+    if fail_fast && has_flag(rest, "--keep-going") {
+        return Err("scan: --keep-going and --fail-fast are mutually exclusive".into());
+    }
+    let config = DtaintConfig {
+        function_filter: filter,
+        threads,
+        interval_guards,
+        fail_fast,
+        ..Default::default()
+    };
     let analyzer = Dtaint::with_config(config);
 
-    let mut exit = 0;
+    let mut any_vuln = false;
+    let mut any_partial = false;
     for (name, bin) in load_binaries(path)? {
         let report = analyzer.analyze(&bin, &name).map_err(|e| e.to_string())?;
         if has_flag(rest, "--json") {
@@ -182,10 +196,24 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                     write_out(out, &format!("    {step}\n"))?;
                 }
             }
+            // Only imperfect scans print coverage, so a clean scan's
+            // output is byte-identical to pre-fault-tolerance builds.
+            if !report.coverage_complete() || report.functions_retried > 0 {
+                write_out(
+                    out,
+                    &format!(
+                        "   coverage: {}/{} function(s) analyzed, {} skipped, {} retried degraded\n",
+                        report.functions_analyzed,
+                        report.functions_analyzed + report.functions_skipped,
+                        report.functions_skipped,
+                        report.functions_retried,
+                    ),
+                )?;
+                write_out(out, &report.skip_table())?;
+            }
         }
-        if report.vulnerabilities() > 0 {
-            exit = 2;
-        }
+        any_vuln |= report.vulnerabilities() > 0;
+        any_partial |= !report.coverage_complete();
         if has_flag(rest, "--validate") {
             let mut attack = AttackConfig::default();
             poison_all_rodata_names(&bin, &mut attack);
@@ -195,7 +223,15 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             write_out(out, &format!("dynamic validation ({entry}): {verdict:?}\n"))?;
         }
     }
-    Ok(exit)
+    // Vulnerabilities dominate; a vuln-free scan with skipped functions
+    // exits 4 so callers can tell "clean" from "clean but partial".
+    Ok(if any_vuln {
+        2
+    } else if any_partial {
+        4
+    } else {
+        0
+    })
 }
 
 fn cmd_unpack(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
@@ -291,7 +327,26 @@ fn cmd_gen(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     }
     let dest = flag_value(rest, "--out").ok_or("gen: missing --out PATH")?;
     let profile = dtaint_fwgen::table2_profiles().remove(index - 1);
-    let fw = dtaint_fwgen::build_firmware(&profile);
+    let mut fw = dtaint_fwgen::build_firmware(&profile);
+    // Deliberate damage, for exercising the fault-tolerant scan path
+    // (CI smoke, demos): the mutated executable replaces the pristine
+    // one inside the packed image.
+    if let Some(kind) = flag_value(rest, "--corrupt") {
+        let fault = match kind {
+            "garbage-fn" => dtaint_fwgen::BinFault::GarbageOpcodes { index: 1, seed: 7 },
+            "dangling-symbol" => dtaint_fwgen::BinFault::DanglingSymbol,
+            "overlapping-symbols" => dtaint_fwgen::BinFault::OverlappingSymbols,
+            other => return Err(format!(
+                "gen: unknown --corrupt `{other}` (garbage-fn|dangling-symbol|overlapping-symbols)"
+            )),
+        };
+        let mutant = dtaint_fwgen::corrupt_binary(&fw.binary, &fault).to_bytes();
+        for f in &mut fw.image.files {
+            if f.data.starts_with(&dtaint_fwbin::fbf::FBF_MAGIC) {
+                f.data = mutant.clone();
+            }
+        }
+    }
     std::fs::write(dest, fw.image.pack(false)).map_err(|e| e.to_string())?;
     let manifest = serde_json::to_string_pretty(&fw.ground_truth).map_err(|e| e.to_string())?;
     let manifest_path = format!("{dest}.truth.json");
@@ -513,6 +568,27 @@ mod tests {
     }
 
     #[test]
+    fn gen_corrupt_writes_a_damaged_image() {
+        let dest = tmpdir().join("gen2-corrupt.fwi");
+        let (code, _) = run_captured(&[
+            "gen",
+            "2",
+            "--out",
+            dest.to_str().unwrap(),
+            "--corrupt",
+            "dangling-symbol",
+        ]);
+        assert_eq!(code, Ok(0));
+        let data = std::fs::read(&dest).unwrap();
+        let img = extract_image(&data).unwrap();
+        let bins = extract_binaries(&img).unwrap();
+        assert!(bins[0].1.function("phantom").is_some(), "mutation reached the packed binary");
+        let (code, _) =
+            run_captured(&["gen", "2", "--out", dest.to_str().unwrap(), "--corrupt", "nonsense"]);
+        assert!(code.is_err(), "unknown fault names are usage errors");
+    }
+
+    #[test]
     fn corpus_prints_yearly_stats() {
         let (code, out) = run_captured(&["corpus", "--n", "300", "--seed", "3"]);
         assert_eq!(code, Ok(0));
@@ -543,6 +619,36 @@ mod tests {
         assert!(out.contains("deref("), "{out}");
         let (code, _) = run_captured(&["defs", &p, "nonexistent"]);
         assert!(code.is_err());
+    }
+
+    #[test]
+    fn scan_partial_coverage_prints_skip_table_and_exits_4() {
+        // A phantom function whose body lies outside every section:
+        // lifting it must fail, and with the scan filtered to it alone
+        // there are no findings — "clean but partial", exit 4.
+        let mut profile = dtaint_fwgen::table2_profiles().remove(0);
+        profile.total_functions = 40;
+        let fw = dtaint_fwgen::build_firmware(&profile);
+        let mutant =
+            dtaint_fwgen::corrupt_binary(&fw.binary, &dtaint_fwgen::BinFault::DanglingSymbol);
+        let p = tmpdir().join("dangling.fbf");
+        std::fs::write(&p, mutant.to_bytes()).unwrap();
+        let path = p.to_string_lossy().into_owned();
+        let (code, out) = run_captured(&["scan", &path, "--filter", "phantom"]);
+        assert_eq!(code, Ok(4), "{out}");
+        assert!(out.contains("coverage: 0/1 function(s) analyzed"), "{out}");
+        assert!(out.contains("lift-failed"), "{out}");
+        assert!(out.contains("phantom"), "{out}");
+        // The same scan under --fail-fast aborts with the lift error.
+        let (code, _) = run_captured(&["scan", &path, "--filter", "phantom", "--fail-fast"]);
+        assert!(code.is_err(), "fail-fast propagates the lift failure");
+        // The full unfiltered scan still finds the planted vulns: the
+        // vulnerability exit code dominates the partial-coverage one.
+        let (code, out) = run_captured(&["scan", &path]);
+        assert_eq!(code, Ok(2), "{out}");
+        assert!(out.contains("coverage:"), "{out}");
+        let (code, _) = run_captured(&["scan", &path, "--keep-going", "--fail-fast"]);
+        assert!(code.is_err(), "the two policies are mutually exclusive");
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub mod taint;
 mod pipeline;
 
 pub use pipeline::{Dtaint, DtaintConfig};
-pub use report::{AnalysisReport, Finding, SourceRef, StageTimings, VulnKindRepr};
+pub use report::{
+    AnalysisReport, Finding, FunctionOutcome, FunctionRecord, SourceRef, StageTimings, VulnKindRepr,
+};
 pub use score::{score, GroundTruthFlow, Score};
 pub use sinks::{
     default_sink_names, default_sources, sink_spec, SinkSpec, TaintedVar, VulnKind, CMD_SEPARATORS,

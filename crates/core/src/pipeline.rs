@@ -4,15 +4,16 @@
 //! pointer aliasing → layout similarity → bottom-up data flow →
 //! sink/source matching → findings`.
 
-use crate::report::{AnalysisReport, StageTimings};
+use crate::report::{AnalysisReport, FunctionOutcome, FunctionRecord, StageTimings};
 use crate::sinks::{default_sink_names, default_sources};
 use crate::taint;
 use dtaint_cfg::{build_function_cfg, CallGraph, FunctionCfg};
 use dtaint_dataflow::{build_dataflow, DataflowConfig, SinkKind};
 use dtaint_fwbin::Binary;
 use dtaint_symex::{analyze_function, ExprPool, FuncSummary, SymexConfig};
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Configuration of the whole pipeline.
 #[derive(Debug, Clone)]
@@ -41,6 +42,12 @@ pub struct DtaintConfig {
     /// images ("we manually extract 430 functions that are used to
     /// process RTSP and HTTP", §V-A).
     pub function_filter: Option<Vec<String>>,
+    /// Abort the scan on the first function that cannot be lifted or
+    /// that panics, instead of downgrading it to an opaque summary and
+    /// carrying on. `false` (keep-going) is the production default for
+    /// whole-image scans; `true` is the old behaviour, useful when a
+    /// clean corpus is expected and any failure is a bug.
+    pub fail_fast: bool,
 }
 
 impl Default for DtaintConfig {
@@ -53,6 +60,7 @@ impl Default for DtaintConfig {
             strict_bounds: false,
             interval_guards: false,
             function_filter: None,
+            fail_fast: false,
         }
     }
 }
@@ -86,26 +94,85 @@ impl Dtaint {
 
     /// Analyzes one binary end-to-end.
     ///
+    /// In the default keep-going mode a function that cannot be lifted,
+    /// exhausts its analysis budget, or panics is downgraded — never
+    /// aborting the scan — and recorded in
+    /// [`AnalysisReport::skipped_functions`]. With
+    /// [`DtaintConfig::fail_fast`] the first lift failure or caught
+    /// panic aborts instead.
+    ///
     /// # Errors
     ///
-    /// Propagates lifting failures (undecodable instruction words,
-    /// unmapped reads) from CFG construction.
+    /// In fail-fast mode only: propagates lifting failures (undecodable
+    /// instruction words, unmapped reads) from CFG construction, and
+    /// converts caught analysis panics into
+    /// [`dtaint_fwbin::Error::BadFormat`].
     pub fn analyze(&self, bin: &Binary, name: &str) -> dtaint_fwbin::Result<AnalysisReport> {
-        // Stage 1: lift + CFGs + call graph.
+        // Per-function outcome records, keyed by entry address; only
+        // non-Analyzed outcomes are stored, and a later stage may
+        // overwrite with a more severe outcome.
+        let mut records: BTreeMap<u32, FunctionRecord> = BTreeMap::new();
+
+        // Stage 1: lift + CFGs + call graph. Each function lifts behind
+        // its own error and panic boundary; failures downgrade that one
+        // function to an opaque (absent) summary.
         let t = Instant::now();
         let mut syms: Vec<&dtaint_fwbin::Symbol> = bin.functions();
         if let Some(filter) = &self.config.function_filter {
             syms.retain(|s| filter.iter().any(|f| s.name.contains(f.as_str())));
         }
-        let cfgs: Vec<FunctionCfg> =
-            syms.iter().map(|s| build_function_cfg(bin, s)).collect::<dtaint_fwbin::Result<_>>()?;
+        let total_functions = syms.len();
+        let mut cfgs: Vec<FunctionCfg> = Vec::with_capacity(syms.len());
+        for s in &syms {
+            match catch_unwind(AssertUnwindSafe(|| build_function_cfg(bin, s))) {
+                Ok(Ok(cfg)) => cfgs.push(cfg),
+                Ok(Err(e)) => {
+                    if self.config.fail_fast {
+                        return Err(e);
+                    }
+                    record(
+                        &mut records,
+                        s.addr,
+                        &s.name,
+                        FunctionOutcome::LiftFailed,
+                        e.to_string(),
+                    );
+                }
+                Err(_) => {
+                    if self.config.fail_fast {
+                        return Err(dtaint_fwbin::Error::BadFormat(format!(
+                            "panic while lifting `{}`",
+                            s.name
+                        )));
+                    }
+                    record(
+                        &mut records,
+                        s.addr,
+                        &s.name,
+                        FunctionOutcome::Panicked,
+                        "panic during lift/CFG construction".into(),
+                    );
+                }
+            }
+        }
         let mut callgraph = CallGraph::build(bin, &cfgs);
         let lift_cfg = t.elapsed();
 
         // Stage 2: per-function static symbolic analysis, in parallel
-        // with private pools, merged afterwards.
+        // with private pools, merged afterwards. A panicking function is
+        // rolled back out of its pool and downgraded to an opaque
+        // summary; a fuel-exhausted one is retried once degraded.
         let t = Instant::now();
-        let (summaries, pool) = self.run_symex(bin, &cfgs);
+        let stage = self.run_symex(bin, &cfgs);
+        let SymexStage { summaries, pool, records: symex_records, retried, retry_time } = stage;
+        for (addr, name, outcome, detail) in symex_records {
+            if self.config.fail_fast && outcome == FunctionOutcome::Panicked {
+                return Err(dtaint_fwbin::Error::BadFormat(format!(
+                    "panic while analyzing `{name}`"
+                )));
+            }
+            record(&mut records, addr, &name, outcome, detail);
+        }
         let ssa = t.elapsed();
 
         // Stage 3: alias + layout similarity + bottom-up propagation.
@@ -116,6 +183,48 @@ impl Dtaint {
         df_config.threads = self.effective_threads(cfgs.len());
         df_config.interval_guards |= self.config.interval_guards;
         let df = build_dataflow(bin, &mut callgraph, summaries, pool, &df_config);
+        let fn_name_of = |addr: u32| {
+            df.finals
+                .get(&addr)
+                .map(|f| f.summary.name.clone())
+                .unwrap_or_else(|| format!("{addr:#x}"))
+        };
+        for &addr in &df.alias_panics {
+            record(
+                &mut records,
+                addr,
+                &fn_name_of(addr),
+                FunctionOutcome::Degraded,
+                "alias stage panicked; alias rewriting skipped".into(),
+            );
+        }
+        for f in df.finals.values() {
+            if f.panicked {
+                record(
+                    &mut records,
+                    f.summary.addr,
+                    &f.summary.name,
+                    FunctionOutcome::Panicked,
+                    "panic during data-flow propagation".into(),
+                );
+            } else if f.budget_exhausted {
+                record(
+                    &mut records,
+                    f.summary.addr,
+                    &f.summary.name,
+                    FunctionOutcome::BudgetExceeded,
+                    format!("data-flow fuel exhausted (max_fuel = {})", df_config.max_fuel),
+                );
+            }
+        }
+        if self.config.fail_fast {
+            if let Some(r) = records.values().find(|r| r.outcome == FunctionOutcome::Panicked) {
+                return Err(dtaint_fwbin::Error::BadFormat(format!(
+                    "panic while analyzing `{}`",
+                    r.name
+                )));
+            }
+        }
         let ddg = t.elapsed();
 
         // Stage 4: taint judgement.
@@ -130,6 +239,21 @@ impl Dtaint {
             taint::BoundsMode::Paper
         };
         let outcome = taint::detect_full(&df, Some(bin), &self.config.sources, &fn_names, mode);
+        for &addr in &outcome.failed_holders {
+            if self.config.fail_fast {
+                return Err(dtaint_fwbin::Error::BadFormat(format!(
+                    "panic while judging `{}`",
+                    fn_name_of(addr)
+                )));
+            }
+            record(
+                &mut records,
+                addr,
+                &fn_name_of(addr),
+                FunctionOutcome::Panicked,
+                "panic during taint judgement".into(),
+            );
+        }
         let detect = t.elapsed();
 
         let sinks_count = df
@@ -144,8 +268,13 @@ impl Dtaint {
             .flat_map(|f| f.sinks.iter())
             .filter(|s| s.kind == SinkKind::LoopCopy && s.call_chain.is_empty())
             .count();
-        let _ = loop_copy_sinks;
 
+        let functions_skipped = records
+            .values()
+            .filter(|r| {
+                matches!(r.outcome, FunctionOutcome::LiftFailed | FunctionOutcome::Panicked)
+            })
+            .count();
         Ok(AnalysisReport {
             binary_name: name.to_owned(),
             arch: bin.arch.to_string(),
@@ -156,6 +285,11 @@ impl Dtaint {
             resolved_indirect: df.resolved_indirect.len(),
             findings: outcome.findings,
             infeasible_suppressed: outcome.infeasible_suppressed + df.pruned_infeasible,
+            functions_analyzed: total_functions - functions_skipped,
+            functions_skipped,
+            functions_retried: retried,
+            loop_copy_sinks,
+            skipped_functions: records.into_values().collect(),
             timings: StageTimings {
                 lift_cfg,
                 ssa,
@@ -166,6 +300,7 @@ impl Dtaint {
                 ddg_propagate: df.timings.propagate,
                 ddg_absint: df.timings.absint,
                 detect_absint: outcome.absint,
+                ssa_retry: retry_time,
             },
         })
     }
@@ -183,38 +318,200 @@ impl Dtaint {
 
     /// Runs the per-function symbolic analysis, parallelised with
     /// crossbeam scoped threads; each worker interns into a private pool
-    /// that is translated into the global pool at the end.
-    fn run_symex(&self, bin: &Binary, cfgs: &[FunctionCfg]) -> (Vec<FuncSummary>, ExprPool) {
+    /// that is translated into the global pool at the end. Per-function
+    /// panics are caught and rolled back out of the pool; fuel
+    /// exhaustion triggers one degraded retry (see [`symex_one`]).
+    fn run_symex(&self, bin: &Binary, cfgs: &[FunctionCfg]) -> SymexStage {
         let threads = self.effective_threads(cfgs.len());
-        let mut global = ExprPool::new();
-        let mut merged: Vec<FuncSummary> = Vec::with_capacity(cfgs.len());
+        let mut stage = SymexStage {
+            summaries: Vec::with_capacity(cfgs.len()),
+            pool: ExprPool::new(),
+            records: Vec::new(),
+            retried: 0,
+            retry_time: Duration::ZERO,
+        };
         if threads <= 1 || cfgs.len() < 8 {
             for c in cfgs {
-                let s = analyze_function(bin, c, &mut global, &self.config.symex);
-                merged.push(s);
+                let one = symex_one(bin, c, &mut stage.pool, &self.config.symex);
+                stage.absorb(one, None);
             }
-            return (merged, global);
+            return stage;
         }
         let chunk = cfgs.len().div_ceil(threads);
-        let parts: Vec<(Vec<FuncSummary>, ExprPool)> = crossbeam::thread::scope(|scope| {
+        let parts: Vec<(Vec<SymexOne>, ExprPool)> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for slice in cfgs.chunks(chunk) {
                 let symex = self.config.symex;
                 handles.push(scope.spawn(move |_| {
                     let mut pool = ExprPool::new();
-                    let out: Vec<FuncSummary> =
-                        slice.iter().map(|c| analyze_function(bin, c, &mut pool, &symex)).collect();
+                    let out: Vec<SymexOne> =
+                        slice.iter().map(|c| symex_one(bin, c, &mut pool, &symex)).collect();
                     (out, pool)
                 }));
             }
             handles.into_iter().map(|h| h.join().expect("symex worker panicked")).collect()
         })
         .expect("crossbeam scope");
-        for (summaries, local) in parts {
-            for s in summaries {
-                merged.push(s.translate_into(&local, &mut global));
+        for (ones, local) in parts {
+            for one in ones {
+                stage.absorb(one, Some(&local));
             }
         }
-        (merged, global)
+        stage
+    }
+}
+
+/// Result of the symbolic-execution stage.
+struct SymexStage {
+    summaries: Vec<FuncSummary>,
+    pool: ExprPool,
+    /// `(addr, name, outcome, detail)` for every non-Analyzed function.
+    records: Vec<(u32, String, FunctionOutcome, String)>,
+    retried: usize,
+    retry_time: Duration,
+}
+
+impl SymexStage {
+    /// Folds one function's result in, translating its summary from the
+    /// worker's private pool when one is given.
+    fn absorb(&mut self, one: SymexOne, local: Option<&ExprPool>) {
+        let summary = match local {
+            Some(local) => one.summary.translate_into(local, &mut self.pool),
+            None => one.summary,
+        };
+        if let Some((outcome, detail)) = one.record {
+            self.records.push((summary.addr, summary.name.clone(), outcome, detail));
+        }
+        if one.retried {
+            self.retried += 1;
+            self.retry_time += one.retry_time;
+        }
+        self.summaries.push(summary);
+    }
+}
+
+/// One function's symbolic-execution result.
+struct SymexOne {
+    summary: FuncSummary,
+    record: Option<(FunctionOutcome, String)>,
+    retried: bool,
+    retry_time: Duration,
+}
+
+/// Analyzes one function behind a panic boundary with fuel-exhaustion
+/// retry.
+///
+/// * A panic rolls the pool back to its pre-function state — erasing
+///   every node and unknown index the failed run interned, so the
+///   functions analyzed after it see bit-identical pool state whether
+///   this function panicked or never existed — and yields an opaque
+///   summary flagged [`FunctionOutcome::Panicked`].
+/// * Fuel exhaustion rolls back and retries once under
+///   [`SymexConfig::degraded`]; success is [`FunctionOutcome::Degraded`],
+///   a second exhaustion keeps the partial degraded summary as
+///   [`FunctionOutcome::BudgetExceeded`].
+fn symex_one(
+    bin: &Binary,
+    cfg: &FunctionCfg,
+    pool: &mut ExprPool,
+    config: &SymexConfig,
+) -> SymexOne {
+    let mark = pool.mark();
+    let full = catch_unwind(AssertUnwindSafe(|| analyze_function(bin, cfg, pool, config)));
+    match full {
+        Err(_) => {
+            pool.rollback(mark);
+            SymexOne {
+                summary: opaque_summary(cfg),
+                record: Some((FunctionOutcome::Panicked, "panic during symbolic execution".into())),
+                retried: false,
+                retry_time: Duration::ZERO,
+            }
+        }
+        Ok(summary) if summary.fuel_exhausted => {
+            let t = Instant::now();
+            pool.rollback(mark);
+            let degraded_config = config.degraded();
+            let retry = catch_unwind(AssertUnwindSafe(|| {
+                analyze_function(bin, cfg, pool, &degraded_config)
+            }));
+            match retry {
+                Err(_) => {
+                    pool.rollback(mark);
+                    SymexOne {
+                        summary: opaque_summary(cfg),
+                        record: Some((
+                            FunctionOutcome::Panicked,
+                            "panic during degraded symbolic execution".into(),
+                        )),
+                        retried: true,
+                        retry_time: t.elapsed(),
+                    }
+                }
+                Ok(mut summary) => {
+                    summary.degraded = true;
+                    let record = if summary.fuel_exhausted {
+                        (
+                            FunctionOutcome::BudgetExceeded,
+                            format!(
+                                "fuel exhausted at full and degraded strength (max_fuel = {})",
+                                config.max_fuel
+                            ),
+                        )
+                    } else {
+                        (
+                            FunctionOutcome::Degraded,
+                            format!(
+                                "retried degraded after fuel exhaustion (max_fuel = {})",
+                                config.max_fuel
+                            ),
+                        )
+                    };
+                    SymexOne {
+                        summary,
+                        record: Some(record),
+                        retried: true,
+                        retry_time: t.elapsed(),
+                    }
+                }
+            }
+        }
+        Ok(summary) => {
+            SymexOne { summary, record: None, retried: false, retry_time: Duration::ZERO }
+        }
+    }
+}
+
+/// The opaque summary a failed function downgrades to: no defs, no
+/// callsites, no constraints — callers treat its calls like unknown
+/// imports (`ret_{cs}` stays symbolic), a conservative pass-through.
+fn opaque_summary(cfg: &FunctionCfg) -> FuncSummary {
+    FuncSummary { addr: cfg.addr, name: cfg.name.clone(), ..FuncSummary::default() }
+}
+
+/// Inserts or upgrades a per-function outcome record, keeping the more
+/// severe outcome when one exists (severity follows the lattice:
+/// analyzed < degraded < budget-exceeded < lift-failed/panicked).
+fn record(
+    records: &mut BTreeMap<u32, FunctionRecord>,
+    addr: u32,
+    name: &str,
+    outcome: FunctionOutcome,
+    detail: String,
+) {
+    let severity = |o: FunctionOutcome| match o {
+        FunctionOutcome::Analyzed => 0,
+        FunctionOutcome::Degraded => 1,
+        FunctionOutcome::BudgetExceeded => 2,
+        FunctionOutcome::LiftFailed => 3,
+        FunctionOutcome::Panicked => 4,
+    };
+    let new = FunctionRecord { addr, name: name.to_owned(), outcome, detail };
+    match records.get_mut(&addr) {
+        Some(old) if severity(old.outcome) >= severity(new.outcome) => {}
+        Some(old) => *old = new,
+        None => {
+            records.insert(addr, new);
+        }
     }
 }

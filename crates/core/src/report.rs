@@ -92,6 +92,57 @@ impl fmt::Display for Finding {
     }
 }
 
+/// How the pipeline fared on one function — the fault-tolerance
+/// lattice, ordered from full success to total loss.
+///
+/// Everything except [`FunctionOutcome::LiftFailed`] and
+/// [`FunctionOutcome::Panicked`] still contributes results to the
+/// report; those two downgrade the function to an opaque summary (no
+/// defs, conservative pass-through for callers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FunctionOutcome {
+    /// Fully analyzed at full strength.
+    Analyzed,
+    /// Analyzed under the degraded profile (reduced path budget and/or
+    /// alias rewriting off) after exhausting its fuel at full strength.
+    Degraded,
+    /// Even the degraded retry exhausted its fuel; partial results kept.
+    BudgetExceeded,
+    /// The function could not be lifted to a CFG (undecodable word,
+    /// unmapped read, impossible symbol range); downgraded to opaque.
+    LiftFailed,
+    /// Analysis panicked and was caught; downgraded to opaque with the
+    /// expression pool rolled back to its pre-function state.
+    Panicked,
+}
+
+impl fmt::Display for FunctionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FunctionOutcome::Analyzed => "analyzed",
+            FunctionOutcome::Degraded => "degraded",
+            FunctionOutcome::BudgetExceeded => "budget-exceeded",
+            FunctionOutcome::LiftFailed => "lift-failed",
+            FunctionOutcome::Panicked => "panicked",
+        })
+    }
+}
+
+/// Per-function outcome record for every function that did not come
+/// through [`FunctionOutcome::Analyzed`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionRecord {
+    /// Function entry address.
+    pub addr: u32,
+    /// Function name.
+    pub name: String,
+    /// How far the analysis got.
+    pub outcome: FunctionOutcome,
+    /// Human-readable reason (the lift error, the exhausted budget, the
+    /// panic stage).
+    pub detail: String,
+}
+
 /// Wall-clock cost of each pipeline stage.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct StageTimings {
@@ -124,6 +175,10 @@ pub struct StageTimings {
     /// (interval-guards mode; zero otherwise).
     #[serde(default)]
     pub detect_absint: Duration,
+    /// Time spent re-running fuel-exhausted functions under the
+    /// degraded symbolic-execution profile (part of `ssa` wall-clock).
+    #[serde(default)]
+    pub ssa_retry: Duration,
 }
 
 impl StageTimings {
@@ -156,6 +211,28 @@ pub struct AnalysisReport {
     /// constraints are contradictory (interval-guards mode only).
     #[serde(default)]
     pub infeasible_suppressed: usize,
+    /// Functions that produced results — [`FunctionOutcome::Analyzed`],
+    /// [`FunctionOutcome::Degraded`] or
+    /// [`FunctionOutcome::BudgetExceeded`].
+    #[serde(default)]
+    pub functions_analyzed: usize,
+    /// Functions downgraded to opaque summaries
+    /// ([`FunctionOutcome::LiftFailed`] or
+    /// [`FunctionOutcome::Panicked`]).
+    #[serde(default)]
+    pub functions_skipped: usize,
+    /// Functions re-run under the degraded profile after exhausting
+    /// their fuel at full strength.
+    #[serde(default)]
+    pub functions_retried: usize,
+    /// Loop-copy sink observations carried by the data-flow stage
+    /// (the paper's memory-copies-in-loops heuristic, §III-F).
+    #[serde(default)]
+    pub loop_copy_sinks: usize,
+    /// One record per function that did not come through fully analyzed,
+    /// in address order — the skip table `dtaint scan` prints.
+    #[serde(default)]
+    pub skipped_functions: Vec<FunctionRecord>,
     /// Stage timings.
     pub timings: StageTimings,
 }
@@ -175,6 +252,35 @@ impl AnalysisReport {
     /// Vulnerable findings of one kind.
     pub fn findings_of_kind(&self, kind: VulnKindRepr) -> Vec<&Finding> {
         self.vulnerable_paths().into_iter().filter(|f| f.kind == kind).collect()
+    }
+
+    /// True when no function was downgraded to an opaque summary — the
+    /// report covers every function the binary declares.
+    pub fn coverage_complete(&self) -> bool {
+        self.functions_skipped == 0
+    }
+
+    /// Plain-text table of every function that did not come through
+    /// fully analyzed (empty string when coverage is clean).
+    pub fn skip_table(&self) -> String {
+        use std::fmt::Write as _;
+        if self.skipped_functions.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "degraded/skipped functions:");
+        let _ = writeln!(out, "  {:<10} {:<24} {:<16} detail", "address", "function", "outcome");
+        for r in &self.skipped_functions {
+            let _ = writeln!(
+                out,
+                "  {:<#10x} {:<24} {:<16} {}",
+                r.addr,
+                r.name,
+                r.outcome.to_string(),
+                r.detail
+            );
+        }
+        out
     }
 
     /// Renders the report as pretty JSON.
@@ -215,6 +321,13 @@ impl AnalysisReport {
             let _ =
                 writeln!(md, "| infeasible paths suppressed | {} |", self.infeasible_suppressed);
         }
+        if self.loop_copy_sinks > 0 {
+            let _ = writeln!(md, "| loop-copy sinks | {} |", self.loop_copy_sinks);
+        }
+        if !self.coverage_complete() || self.functions_retried > 0 {
+            let _ = writeln!(md, "| functions skipped | {} |", self.functions_skipped);
+            let _ = writeln!(md, "| functions retried (degraded) | {} |", self.functions_retried);
+        }
         let _ = writeln!(md, "| **vulnerabilities** | **{}** |", self.vulnerabilities());
         let _ = writeln!(md, "| analysis time | {:.2?} |", self.timings.total());
         let vulnerable = self.vulnerable_paths();
@@ -248,6 +361,18 @@ impl AnalysisReport {
                     md,
                     "- {} via `{}` at `{:#x}` — guarded by a path constraint",
                     f.kind, f.sink, f.sink_ins
+                );
+            }
+        }
+        if !self.skipped_functions.is_empty() {
+            let _ = writeln!(md, "\n## Degraded / skipped functions\n");
+            let _ = writeln!(md, "| address | function | outcome | detail |");
+            let _ = writeln!(md, "|---|---|---|---|");
+            for r in &self.skipped_functions {
+                let _ = writeln!(
+                    md,
+                    "| `{:#x}` | `{}` | {} | {} |",
+                    r.addr, r.name, r.outcome, r.detail
                 );
             }
         }
@@ -285,6 +410,11 @@ mod tests {
             resolved_indirect: 0,
             findings: vec![finding(0x10, false), finding(0x10, false), finding(0x20, true)],
             infeasible_suppressed: 0,
+            functions_analyzed: 2,
+            functions_skipped: 0,
+            functions_retried: 0,
+            loop_copy_sinks: 0,
+            skipped_functions: Vec::new(),
             timings: StageTimings::default(),
         }
     }
@@ -313,6 +443,31 @@ mod tests {
         assert!(md.contains("## Vulnerabilities"));
         assert!(md.contains("Sanitised paths"));
         assert!(md.contains("source recv@0x100"));
+    }
+
+    #[test]
+    fn skip_table_lists_non_analyzed_functions() {
+        let mut r = report();
+        assert!(r.coverage_complete());
+        assert_eq!(r.skip_table(), "");
+        r.functions_skipped = 1;
+        r.skipped_functions.push(FunctionRecord {
+            addr: 0x8000,
+            name: "broken".into(),
+            outcome: FunctionOutcome::LiftFailed,
+            detail: "undecodable instruction word".into(),
+        });
+        assert!(!r.coverage_complete());
+        let table = r.skip_table();
+        assert!(table.contains("0x8000"));
+        assert!(table.contains("broken"));
+        assert!(table.contains("lift-failed"));
+        let md = r.to_markdown();
+        assert!(md.contains("Degraded / skipped functions"));
+        // Round-trips through JSON, and old reports without the new
+        // fields still parse.
+        let back = AnalysisReport::from_json(&r.to_json().unwrap()).unwrap();
+        assert_eq!(back.skipped_functions, r.skipped_functions);
     }
 
     #[test]

@@ -135,6 +135,11 @@ mod tests {
             findings,
             infeasible_suppressed: 0,
             timings: StageTimings::default(),
+            functions_analyzed: 1,
+            functions_skipped: 0,
+            functions_retried: 0,
+            loop_copy_sinks: 0,
+            skipped_functions: vec![],
         }
     }
 

@@ -68,6 +68,9 @@ pub struct TaintOutcome {
     pub infeasible_suppressed: usize,
     /// CPU time spent in the interval solver.
     pub absint: Duration,
+    /// Observing functions whose judgement panicked and was caught —
+    /// their sink observations yielded no findings. Sorted by address.
+    pub failed_holders: Vec<u32>,
 }
 
 /// Object-granular taint knowledge for one observing function.
@@ -229,9 +232,59 @@ pub fn detect_full(
     let mut infeasible_suppressed = 0usize;
     let mut absint = Duration::ZERO;
     let mut seen: HashSet<(u32, Vec<u32>, Vec<SourceRef>, String)> = HashSet::new();
+    let mut failed_holders: Vec<u32> = Vec::new();
     let mut holders: Vec<&FinalSummary> = df.finals.values().collect();
     holders.sort_by_key(|f| f.summary.addr);
     for holder in holders {
+        // Judge each observing function behind a panic boundary: the
+        // pool is only read here, so a caught panic loses that holder's
+        // findings and nothing else. Cross-holder deduplication stays
+        // out here, applied in the same holder order as a clean run.
+        let judged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            judge_holder(df, bin, sources, fn_names, mode, holder)
+        }));
+        let Ok(judged) = judged else {
+            failed_holders.push(holder.summary.addr);
+            continue;
+        };
+        infeasible_suppressed += judged.suppressed;
+        absint += judged.absint;
+        for f in judged.candidates {
+            let key = (f.sink_ins, f.call_chain.clone(), f.sources.clone(), f.sink.clone());
+            if seen.insert(key) {
+                findings.push(f);
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.sink_ins, &a.observed_in, &a.sources).cmp(&(b.sink_ins, &b.observed_in, &b.sources))
+    });
+    TaintOutcome { findings, infeasible_suppressed, absint, failed_holders }
+}
+
+/// Per-holder result of [`judge_holder`], before cross-holder
+/// deduplication.
+struct HolderJudgement {
+    candidates: Vec<Finding>,
+    suppressed: usize,
+    absint: Duration,
+}
+
+/// Judges every sink observation of one observing function. Pure reader
+/// of the data-flow result — it never mutates the pool — so it can run
+/// behind `catch_unwind` without poisoning shared state.
+fn judge_holder(
+    df: &ProgramDataflow,
+    bin: Option<&Binary>,
+    sources: &HashSet<String>,
+    fn_names: &HashMap<u32, String>,
+    mode: BoundsMode,
+    holder: &FinalSummary,
+) -> HolderJudgement {
+    let mut findings = Vec::new();
+    let mut infeasible_suppressed = 0usize;
+    let mut absint = Duration::ZERO;
+    {
         // One object-taint index per observing function, shared by all
         // of its sink observations.
         let index = TaintIndex::build(df, holder, sources);
@@ -339,10 +392,6 @@ pub fn detect_full(
             };
 
             let srcs: Vec<SourceRef> = source_refs.into_iter().collect();
-            let key = (obs.sink_ins, obs.call_chain.clone(), srcs.clone(), sink_name.clone());
-            if !seen.insert(key) {
-                continue;
-            }
             // Backward DFS over the dependency graph for a printable trace.
             let trace: Vec<String> = tainted_rendered
                 .map(|e| {
@@ -369,10 +418,7 @@ pub fn detect_full(
             });
         }
     }
-    findings.sort_by(|a, b| {
-        (a.sink_ins, &a.observed_in, &a.sources).cmp(&(b.sink_ins, &b.observed_in, &b.sources))
-    });
-    TaintOutcome { findings, infeasible_suppressed, absint }
+    HolderJudgement { candidates: findings, suppressed: infeasible_suppressed, absint }
 }
 
 /// True when a bounding constraint covers the tainted data:

@@ -73,6 +73,20 @@ pub struct DataflowConfig {
     /// is a pure function of the pool's interned nodes, so pruning
     /// preserves the bit-identical-across-threads guarantee.
     pub interval_guards: bool,
+    /// Per-function fuel for the bottom-up propagation, in work units
+    /// (one unit per call-site application plus one per callee term
+    /// substituted up). Deterministic step count, never wall-clock:
+    /// the set of functions that exhaust it is identical for every
+    /// thread count. When a function runs out, the remaining call
+    /// sites keep their un-substituted symbolic form (a conservative
+    /// partial summary) and the function is flagged
+    /// [`FinalSummary::budget_exhausted`]. The default is far above any
+    /// realistic function, so it only binds when lowered explicitly.
+    pub max_fuel: u64,
+    /// Fault-injection drill: panic when propagating the function at
+    /// this address. Exercises the per-function `catch_unwind`
+    /// isolation in tests; `None` in production.
+    pub panic_on: Option<u32>,
 }
 
 impl Default for DataflowConfig {
@@ -90,6 +104,8 @@ impl Default for DataflowConfig {
             max_sinks_per_fn: 4096,
             threads: 1,
             interval_guards: false,
+            max_fuel: 1 << 24,
+            panic_on: None,
         }
     }
 }
@@ -156,6 +172,13 @@ pub struct FinalSummary {
     /// from callees and are not re-exported (transitive pulling would
     /// compound exponentially up the call graph).
     pub local_constraints: usize,
+    /// True when propagation for this function panicked and was caught:
+    /// the summary was downgraded to an opaque one (no defs, no sinks)
+    /// and every expression the failed run interned was rolled back.
+    pub panicked: bool,
+    /// True when propagation stopped at [`DataflowConfig::max_fuel`];
+    /// call sites past the cut-off keep their symbolic form.
+    pub budget_exhausted: bool,
 }
 
 /// Accumulator for the interval feasibility pruning performed during
@@ -186,6 +209,10 @@ pub struct ProgramDataflow {
     /// constraints are contradictory (only with
     /// [`DataflowConfig::interval_guards`]; zero otherwise).
     pub pruned_infeasible: usize,
+    /// Functions whose alias-recognition pass panicked; their summaries
+    /// kept the pre-alias form (no rewriting) and were flagged
+    /// [`FuncSummary::degraded`]. Sorted by address.
+    pub alias_panics: Vec<u32>,
 }
 
 impl ProgramDataflow {
@@ -275,11 +302,29 @@ pub fn build_dataflow(
     // order regardless of how `locals` arrived.
     let mut by_addr: BTreeMap<u32, FuncSummary> = locals.into_iter().map(|s| (s.addr, s)).collect();
 
-    // Stage 1: pointer aliasing per function (Algorithm 1).
+    // Stage 1: pointer aliasing per function (Algorithm 1). Degraded
+    // summaries skip it (that is what "degraded" means: optional
+    // refinements off); a panic inside it downgrades just that function
+    // — the pristine summary is restored, the pool rolled back, and the
+    // scan continues.
     let t = Instant::now();
+    let mut alias_panics: Vec<u32> = Vec::new();
     if config.enable_alias {
         for s in by_addr.values_mut() {
-            alias_replace(s, &mut pool);
+            if s.degraded {
+                continue;
+            }
+            let mark = pool.mark();
+            let saved = s.clone();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                alias_replace(s, &mut pool)
+            }));
+            if r.is_err() {
+                pool.rollback(mark);
+                *s = saved;
+                s.degraded = true;
+                alias_panics.push(s.addr);
+            }
         }
     }
     timings.alias = t.elapsed();
@@ -333,7 +378,7 @@ pub fn build_dataflow(
 
         if threads <= 1 || work.len() < PAR_STRATUM_MIN {
             for (faddr, summary) in work {
-                let fs = process_function(
+                let fs = process_function_caught(
                     bin,
                     faddr,
                     summary,
@@ -380,7 +425,7 @@ pub fn build_dataflow(
                             let mut absint = AbsintStats::default();
                             for (faddr, summary) in chunk {
                                 let before = fork.next_unknown_index();
-                                let fs = process_function(
+                                let fs = process_function_caught(
                                     bin,
                                     faddr,
                                     summary,
@@ -449,7 +494,13 @@ pub fn build_dataflow(
                     .collect();
                 finals.insert(
                     faddr,
-                    FinalSummary { summary, sinks, local_constraints: fs.local_constraints },
+                    FinalSummary {
+                        summary,
+                        sinks,
+                        local_constraints: fs.local_constraints,
+                        panicked: fs.panicked,
+                        budget_exhausted: fs.budget_exhausted,
+                    },
                 );
             }
         }
@@ -465,6 +516,46 @@ pub fn build_dataflow(
         import_sites,
         timings,
         pruned_infeasible: absint.pruned,
+        alias_panics,
+    }
+}
+
+/// [`process_function`] behind a panic boundary: a panic while
+/// propagating one function rolls the pool back to its pre-function
+/// state (erasing every node and unknown the failed run interned, so
+/// later functions see bit-identical ids) and yields an opaque
+/// [`FinalSummary`] — no defs, no sinks — flagged `panicked`.
+#[allow(clippy::too_many_arguments)]
+fn process_function_caught(
+    bin: &Binary,
+    faddr: u32,
+    summary: FuncSummary,
+    finals: &BTreeMap<u32, FinalSummary>,
+    comp_of: &HashMap<u32, usize>,
+    resolution: &HashMap<u32, u32>,
+    pool: &mut ExprPool,
+    config: &DataflowConfig,
+    absint: &mut AbsintStats,
+) -> FinalSummary {
+    let name = summary.name.clone();
+    let mark = pool.mark();
+    let saved_absint = *absint;
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        process_function(bin, faddr, summary, finals, comp_of, resolution, pool, config, absint)
+    }));
+    match r {
+        Ok(fs) => fs,
+        Err(_) => {
+            pool.rollback(mark);
+            *absint = saved_absint;
+            FinalSummary {
+                summary: FuncSummary { addr: faddr, name, ..FuncSummary::default() },
+                sinks: Vec::new(),
+                local_constraints: 0,
+                panicked: true,
+                budget_exhausted: false,
+            }
+        }
     }
 }
 
@@ -488,8 +579,13 @@ fn process_function(
     config: &DataflowConfig,
     absint: &mut AbsintStats,
 ) -> FinalSummary {
+    if config.panic_on == Some(faddr) {
+        panic!("injected fault: ddg panic drill at {faddr:#x}");
+    }
     let local_constraints = summary.constraints.len();
     let mut sinks: Vec<SinkObservation> = Vec::new();
+    let mut fuel = config.max_fuel;
+    let mut budget_exhausted = false;
 
     // Own loop-copy sinks.
     if config.loop_copy_sinks {
@@ -539,6 +635,21 @@ fn process_function(
             continue;
         }
         let Some(callee) = finals.get(&callee_addr) else { continue };
+        // Fuel: one unit for the application itself plus one per callee
+        // term that must be substituted up. Charged before applying so
+        // the cut-off point is a pure function of the summaries, not of
+        // timing or thread count.
+        let cost = 1
+            + callee.summary.escape_defs.len() as u64
+            + callee.summary.ret_values.len() as u64
+            + callee.sinks.len() as u64;
+        if fuel < cost {
+            // Out of fuel: remaining call sites keep their symbolic
+            // `ret_{cs}` form — a conservative partial summary.
+            budget_exhausted = true;
+            break;
+        }
+        fuel -= cost;
         apply_callee(
             bin,
             &mut summary,
@@ -564,7 +675,7 @@ fn process_function(
     }
 
     sinks.truncate(config.max_sinks_per_fn);
-    FinalSummary { summary, sinks, local_constraints }
+    FinalSummary { summary, sinks, local_constraints, panicked: false, budget_exhausted }
 }
 
 fn constraints_on_path(summary: &FuncSummary, path: u32) -> Vec<(CmpOp, ExprId, ExprId)> {

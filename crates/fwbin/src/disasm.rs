@@ -39,7 +39,7 @@ pub fn disassemble_range(bin: &Binary, start: u32, end: u32) -> Vec<DisasmLine> 
 /// Returns `None` when the symbol does not exist.
 pub fn disassemble_function(bin: &Binary, name: &str) -> Option<Vec<DisasmLine>> {
     let sym = bin.function(name)?;
-    Some(disassemble_range(bin, sym.addr, sym.addr + sym.size))
+    Some(disassemble_range(bin, sym.addr, sym.addr.saturating_add(sym.size)))
 }
 
 fn render(bin: &Binary, word: u32, pc: u32) -> (String, Option<String>) {
@@ -87,7 +87,7 @@ pub fn listing(bin: &Binary) -> String {
     let _ = writeln!(out, "; {} binary, entry {:#x}", bin.arch, bin.entry);
     for sym in bin.functions() {
         let _ = writeln!(out, "\n{:#010x} <{}>:", sym.addr, sym.name);
-        for line in disassemble_range(bin, sym.addr, sym.addr + sym.size) {
+        for line in disassemble_range(bin, sym.addr, sym.addr.saturating_add(sym.size)) {
             match &line.call_target {
                 Some(t) => {
                     let _ = writeln!(

@@ -38,6 +38,23 @@ pub enum Error {
     BadFormat(String),
     /// The byte stream ended before a complete structure was read.
     Truncated,
+    /// A section's address range wraps past the end of the 32-bit
+    /// address space or cannot hold its data.
+    SectionOutOfRange {
+        /// Section name.
+        name: String,
+        /// Load address.
+        addr: u32,
+        /// Claimed size in bytes.
+        size: u32,
+    },
+    /// A symbol's address range is impossible (wraps the address space).
+    BadSymbol {
+        /// Symbol name.
+        name: String,
+        /// Symbol address.
+        addr: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -57,6 +74,12 @@ impl fmt::Display for Error {
             }
             Error::BadFormat(m) => write!(f, "malformed binary: {m}"),
             Error::Truncated => write!(f, "unexpected end of input"),
+            Error::SectionOutOfRange { name, addr, size } => {
+                write!(f, "section `{name}` out of range ({size:#x} bytes at {addr:#x})")
+            }
+            Error::BadSymbol { name, addr } => {
+                write!(f, "symbol `{name}` at {addr:#x} has an impossible address range")
+            }
         }
     }
 }

@@ -267,8 +267,11 @@ impl Binary {
     /// # Errors
     ///
     /// Returns [`Error::BadFormat`] on a bad magic, unknown enum value or
-    /// malformed string, and [`Error::Truncated`] when the input ends
-    /// early.
+    /// malformed string, [`Error::Truncated`] when the input ends early
+    /// (including a symbol count larger than the remaining input),
+    /// [`Error::SectionOutOfRange`] when a section lies about its
+    /// extent, and [`Error::BadSymbol`] when a symbol's address range
+    /// wraps the address space.
     pub fn from_bytes(mut buf: &[u8]) -> Result<Binary> {
         let magic = take(&mut buf, 4)?;
         if magic != FBF_MAGIC {
@@ -288,10 +291,23 @@ impl Binary {
             let addr = get_u32(&mut buf)?;
             let size = get_u32(&mut buf)?;
             let data_len = get_u32(&mut buf)? as usize;
+            // A section whose claimed range wraps the 32-bit address
+            // space, or that stores more bytes than it spans, is lying
+            // about its extent.
+            if addr.checked_add(size).is_none() || data_len as u64 > size as u64 {
+                return Err(Error::SectionOutOfRange { name, addr, size });
+            }
             let data = take(&mut buf, data_len)?.to_vec();
             sections.push(Section { name, kind, addr, size, data });
         }
         let n_symbols = get_u32(&mut buf)? as usize;
+        // Each symbol occupies at least 11 encoded bytes; a count that
+        // cannot fit in the remaining input is corrupt, and reserving
+        // for it up front would abort on allocation before the loop
+        // ever hit `Truncated`.
+        if n_symbols > buf.remaining() / 11 {
+            return Err(Error::Truncated);
+        }
         let mut symbols = Vec::with_capacity(n_symbols);
         for _ in 0..n_symbols {
             let name = get_str(&mut buf)?;
@@ -302,6 +318,9 @@ impl Binary {
                 1 => SymbolKind::Object,
                 v => return Err(Error::BadFormat(format!("unknown symbol kind {v}"))),
             };
+            if addr.checked_add(size).is_none() {
+                return Err(Error::BadSymbol { name, addr });
+            }
             symbols.push(Symbol { name, addr, size, kind });
         }
         let n_imports = get_u16(&mut buf)? as usize;

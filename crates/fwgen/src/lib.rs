@@ -18,11 +18,15 @@
 
 pub mod codegen;
 pub mod filler;
+pub mod mutate;
 pub mod profiles;
 pub mod spec;
 pub mod templates;
 
 pub use codegen::compile;
+pub use mutate::{
+    corrupt_binary, corrupt_bytes, fbf_fault_corpus, fwi_fault_corpus, BinFault, ByteFault, Rng64,
+};
 pub use profiles::{
     build_firmware, table2_profiles, table7_programs, FirmwareProfile, GeneratedFirmware,
 };

@@ -210,6 +210,11 @@ impl FwImage {
         let metadata: FwMetadata = serde_json::from_slice(meta_bytes)
             .map_err(|e| Error::Corrupted(format!("metadata: {e}")))?;
         let n_files = get_u32(&mut buf)? as usize;
+        // Each file entry takes at least 6 bytes (path length + data
+        // length); a count the remaining body cannot hold is corrupt.
+        if n_files > buf.remaining() / 6 {
+            return Err(Error::Corrupted("file table overflows container".into()));
+        }
         let mut files = Vec::with_capacity(n_files.min(4096));
         for _ in 0..n_files {
             let plen = get_u16(&mut buf)? as usize;

@@ -25,11 +25,37 @@ pub struct SymexConfig {
     pub max_blocks_per_path: u32,
     /// Number of stack-passed arguments to seed (`arg4..`).
     pub stack_args: u8,
+    /// Total block executions allowed per function, summed over every
+    /// path. Fuel is a deterministic step count — never wall-clock — so
+    /// the set of functions that exhaust it is identical run-to-run and
+    /// thread-count-to-thread-count. The default is well above the
+    /// worst case of `max_paths * max_blocks_per_path`, so it only
+    /// binds when lowered explicitly.
+    pub max_fuel: u32,
+    /// Fault-injection drill: panic on entry when analyzing the function
+    /// at this address. Exercises the pipeline's `catch_unwind` isolation
+    /// in tests; `None` in production.
+    pub panic_on: Option<u32>,
 }
 
 impl Default for SymexConfig {
     fn default() -> Self {
-        SymexConfig { max_paths: 64, max_blocks_per_path: 512, stack_args: 6 }
+        SymexConfig {
+            max_paths: 64,
+            max_blocks_per_path: 512,
+            stack_args: 6,
+            max_fuel: 1 << 20,
+            panic_on: None,
+        }
+    }
+}
+
+impl SymexConfig {
+    /// The degraded retry profile: quarter of the path budget (at least
+    /// one path) under the same fuel, used for one retry after a
+    /// function exhausts its fuel at full strength.
+    pub fn degraded(&self) -> SymexConfig {
+        SymexConfig { max_paths: (self.max_paths / 4).max(1), ..*self }
     }
 }
 
@@ -64,8 +90,19 @@ pub fn analyze_function(
     pool: &mut ExprPool,
     config: &SymexConfig,
 ) -> FuncSummary {
-    Executor { bin, cfg, pool, config, loop_blocks: cfg.loop_blocks(), escape_seen: HashSet::new() }
-        .run()
+    if config.panic_on == Some(cfg.addr) {
+        panic!("injected fault: symex panic drill at {:#x}", cfg.addr);
+    }
+    Executor {
+        bin,
+        cfg,
+        pool,
+        config,
+        loop_blocks: cfg.loop_blocks(),
+        escape_seen: HashSet::new(),
+        fuel_used: 0,
+    }
+    .run()
 }
 
 struct Executor<'a> {
@@ -75,6 +112,7 @@ struct Executor<'a> {
     config: &'a SymexConfig,
     loop_blocks: HashSet<u32>,
     escape_seen: HashSet<(ExprId, ExprId)>,
+    fuel_used: u32,
 }
 
 impl Executor<'_> {
@@ -108,11 +146,20 @@ impl Executor<'_> {
                 summary.path_cap_hit = true;
                 break;
             }
+            if self.fuel_used >= self.config.max_fuel {
+                summary.fuel_exhausted = true;
+                break;
+            }
             // Execute blocks until the path ends or forks.
             let ended = loop {
                 if item.steps >= self.config.max_blocks_per_path {
                     break true;
                 }
+                if self.fuel_used >= self.config.max_fuel {
+                    summary.fuel_exhausted = true;
+                    break true;
+                }
+                self.fuel_used += 1;
                 item.steps += 1;
                 item.visited.insert(item.block);
                 let Some(block) = self.cfg.blocks.get(&item.block) else { break true };

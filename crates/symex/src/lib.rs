@@ -74,7 +74,7 @@ pub mod types;
 mod exec;
 
 pub use exec::{analyze_function, SymexConfig};
-pub use pool::{CmpOp, ExprId, ExprPool, SymNode};
+pub use pool::{CmpOp, ExprId, ExprPool, PoolMark, SymNode};
 pub use summary::{CalleeRef, CallsiteInfo, Constraint, DefPair, FuncSummary, LoopCopy};
 pub use types::VType;
 

@@ -253,6 +253,35 @@ impl ExprPool {
         self.intern(SymNode::Deref { addr, width })
     }
 
+    /// Snapshots the pool so a failed analysis can be undone.
+    ///
+    /// Interning only ever appends, so a mark is two integers. Taken
+    /// before running untrusted per-function analysis; if that analysis
+    /// panics, [`Self::rollback`] erases every node (and unknown index)
+    /// it interned, leaving the pool bit-identical to the snapshot —
+    /// required so a caught panic cannot perturb expression ids or
+    /// unknown numbering for the functions analysed afterwards.
+    pub fn mark(&self) -> PoolMark {
+        PoolMark { len: self.nodes.len(), next_unknown: self.next_unknown }
+    }
+
+    /// Reverts the pool to a [`Self::mark`] taken earlier.
+    ///
+    /// Cost is proportional to the nodes interned since the mark, not to
+    /// the pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mark does not come from this pool's past (the
+    /// pool has fewer nodes than the mark records).
+    pub fn rollback(&mut self, mark: PoolMark) {
+        assert!(mark.len <= self.nodes.len(), "rollback mark is from the future");
+        for node in self.nodes.drain(mark.len..) {
+            self.dedup.remove(&node);
+        }
+        self.next_unknown = mark.next_unknown;
+    }
+
     /// Interns a normalised addition: constants fold, and a constant
     /// addend bubbles to the right of the spine, keeping addresses in
     /// `base + offset` form.
@@ -802,6 +831,13 @@ impl ExprPool {
     }
 }
 
+/// Snapshot token returned by [`ExprPool::mark`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolMark {
+    len: usize,
+    next_unknown: u32,
+}
+
 /// Helper returned by [`ExprPool::display`].
 #[derive(Debug, Clone, Copy)]
 pub struct DisplayExpr<'a> {
@@ -1015,6 +1051,28 @@ mod tests {
     fn fresh_unknowns_are_distinct() {
         let mut p = ExprPool::new();
         assert_ne!(p.fresh_unknown(), p.fresh_unknown());
+    }
+
+    #[test]
+    fn rollback_erases_everything_after_the_mark() {
+        let mut p = ExprPool::new();
+        let arg0 = p.arg(0);
+        let kept = p.add_const(arg0, 4);
+        let unk_before = p.next_unknown_index();
+        let mark = p.mark();
+        // Pollute the pool the way a panicking analysis would.
+        let u = p.fresh_unknown();
+        let junk = p.add(kept, u);
+        p.deref(junk, 4);
+        p.rollback(mark);
+        assert_eq!(p.len(), mark.len);
+        assert_eq!(p.next_unknown_index(), unk_before);
+        // Old ids survive; re-interning after rollback reuses the same
+        // ids a clean run would have produced.
+        assert_eq!(p.add_const(arg0, 4), kept);
+        let u2 = p.fresh_unknown();
+        assert_eq!(p.node(u2), SymNode::Unknown(unk_before));
+        assert_eq!(u2, u);
     }
 
     proptest! {

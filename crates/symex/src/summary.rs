@@ -107,6 +107,15 @@ pub struct FuncSummary {
     pub paths_explored: u32,
     /// True when exploration stopped at the path cap.
     pub path_cap_hit: bool,
+    /// True when exploration stopped because the per-function fuel
+    /// budget ([`SymexConfig::max_fuel`]) ran out.
+    ///
+    /// [`SymexConfig::max_fuel`]: crate::exec::SymexConfig::max_fuel
+    pub fuel_exhausted: bool,
+    /// True when this summary comes from a degraded retry (reduced path
+    /// budget after a fuel exhaustion); downstream stages skip optional
+    /// refinements such as alias rewriting for degraded summaries.
+    pub degraded: bool,
 }
 
 impl FuncSummary {
@@ -166,6 +175,8 @@ impl FuncSummary {
             args_used: self.args_used.clone(),
             paths_explored: self.paths_explored,
             path_cap_hit: self.path_cap_hit,
+            fuel_exhausted: self.fuel_exhausted,
+            degraded: self.degraded,
             ..FuncSummary::default()
         };
         for dp in &self.def_pairs {
