@@ -43,6 +43,7 @@ pub struct IntervalAnalysis<'p> {
     constraints: Vec<(CmpOp, ExprId, ExprId)>,
     seeds: BTreeMap<ExprId, Vec<ExprId>>,
     infeasible: bool,
+    passes_run: u32,
 }
 
 impl<'p> IntervalAnalysis<'p> {
@@ -54,7 +55,17 @@ impl<'p> IntervalAnalysis<'p> {
             constraints: Vec::new(),
             seeds: BTreeMap::new(),
             infeasible: false,
+            passes_run: 0,
         }
+    }
+
+    /// Refinement passes executed by [`solve`] so far — a deterministic
+    /// logical work counter (one per fixpoint iteration, bounded by
+    /// `MAX_PASSES` per solve), used by the telemetry layer.
+    ///
+    /// [`solve`]: Self::solve
+    pub fn passes_run(&self) -> u32 {
+        self.passes_run
     }
 
     /// Records a path constraint `lhs op rhs` for the next [`solve`].
@@ -91,6 +102,7 @@ impl<'p> IntervalAnalysis<'p> {
     /// feasible).
     pub fn solve(&mut self) {
         for pass in 0..MAX_PASSES {
+            self.passes_run += 1;
             let before = self.env.clone();
             let mut changed = false;
             let cons = self.constraints.clone();

@@ -1,0 +1,102 @@
+//! Telemetry overhead check — whole-pipeline wall time with the
+//! collector disabled (the `analyze` default) versus enabled with no
+//! exporter attached, on a mid-sized Table II profile. The instrumented
+//! run must stay within 5% of the baseline (plus a small absolute slack
+//! to absorb timer noise on fast scans).
+//!
+//! Prints the comparison and records the measurements in
+//! `results/BENCH_telemetry_overhead.json` (relative to the working
+//! directory, normally the workspace root).
+//!
+//! ```sh
+//! cargo run --release -p dtaint-bench --bin telemetry_overhead
+//! ```
+//!
+//! `DTAINT_REPS` (default 5) sets the repetitions; the best (minimum)
+//! wall time of each mode is compared, so scheduler noise inflates
+//! neither side.
+
+use dtaint_bench::scaled;
+use dtaint_core::Dtaint;
+use dtaint_fwgen::{build_firmware, table2_profiles};
+use dtaint_telemetry::Collector;
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+/// Absolute slack added to the 5% budget: on a scan measured in tens of
+/// milliseconds, timer granularity and allocator jitter alone exceed a
+/// strict percentage of the total.
+const ABS_SLACK: Duration = Duration::from_millis(15);
+
+fn main() {
+    let reps: usize = std::env::var("DTAINT_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    // Profile 2 of Table II: the DIR-890L cgibin.
+    let profile = scaled(table2_profiles().remove(1));
+    println!(
+        "telemetry overhead on {} {} `{}` ({} functions), best of {reps} reps",
+        profile.manufacturer,
+        profile.firmware_version,
+        profile.binary_name,
+        profile.total_functions
+    );
+    let fw = build_firmware(&profile);
+    let analyzer = Dtaint::new();
+
+    // Warm-up: touch every code path once so neither mode pays cold
+    // caches.
+    let warm = analyzer.analyze(&fw.binary, "warmup").expect("scan");
+
+    let mut base = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = analyzer.analyze(&fw.binary, "base").expect("scan");
+        base = base.min(t.elapsed());
+        assert_eq!(r.findings.len(), warm.findings.len());
+    }
+
+    let mut traced = Duration::MAX;
+    let mut spans = 0usize;
+    for _ in 0..reps {
+        let mut tel = Collector::enabled();
+        let t = Instant::now();
+        let r = analyzer.analyze_traced(&fw.binary, "traced", &mut tel).expect("scan");
+        traced = traced.min(t.elapsed());
+        spans = tel.events().len();
+        // Telemetry must be a pure observer.
+        assert_eq!(r.findings.len(), warm.findings.len());
+        assert_eq!(r.telemetry.metrics, warm.telemetry.metrics);
+    }
+
+    let overhead = traced.as_secs_f64() / base.as_secs_f64().max(1e-9) - 1.0;
+    let allowed = base.mul_f64(1.05) + ABS_SLACK;
+    println!("  disabled: {:8.2} ms", base.as_secs_f64() * 1e3);
+    println!("  enabled:  {:8.2} ms ({spans} spans recorded)", traced.as_secs_f64() * 1e3);
+    println!("  overhead: {:+.2}% (budget 5% + {ABS_SLACK:?} slack)", overhead * 1e2);
+    let ok = traced <= allowed;
+
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::Str("telemetry_overhead".into())),
+        ("profile".into(), Value::Str(profile.binary_name.into())),
+        ("functions".into(), Value::Int(profile.total_functions as i64)),
+        ("reps".into(), Value::Int(reps as i64)),
+        ("disabled_ms".into(), Value::Float(base.as_secs_f64() * 1e3)),
+        ("enabled_ms".into(), Value::Float(traced.as_secs_f64() * 1e3)),
+        ("overhead_pct".into(), Value::Float(overhead * 1e2)),
+        ("spans".into(), Value::Int(spans as i64)),
+        ("budget_pct".into(), Value::Float(5.0)),
+        ("within_budget".into(), Value::Bool(ok)),
+    ]);
+    std::fs::create_dir_all("results").ok();
+    let path = "results/BENCH_telemetry_overhead.json";
+    let json = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(path, json + "\n").expect("write results file");
+    println!("wrote {path}");
+
+    assert!(
+        ok,
+        "telemetry overhead {:.2}% exceeds the 5% budget ({:?} > {:?})",
+        overhead * 1e2,
+        traced,
+        allowed
+    );
+}

@@ -33,6 +33,11 @@ impl FunctionCfg {
         self.blocks.len()
     }
 
+    /// Number of intra-function control-flow edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.values().map(Vec::len).sum()
+    }
+
     /// The entry block.
     ///
     /// # Panics

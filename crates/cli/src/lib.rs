@@ -20,21 +20,23 @@
 //! The command logic lives in [`run`] (writes to any `io::Write`), so
 //! every subcommand is unit-testable; `main.rs` is a thin wrapper.
 
-use dtaint_core::{Dtaint, DtaintConfig};
+use dtaint_core::{AnalysisReport, Dtaint, DtaintConfig};
 use dtaint_emu::{poison_all_rodata_names, validate as emu_validate, AttackConfig, Verdict};
 use dtaint_fwbin::{disasm, Binary};
 use dtaint_fwimage::{
     extract_binaries, extract_image, generate_corpus, scan, triage, CorpusConfig, FwImage,
 };
+use dtaint_telemetry::{export_chrome, export_jsonl, log, Collector};
 use std::io::Write;
 
 /// Usage text printed on bad invocations.
 pub const USAGE: &str = "\
-usage: dtaint <command> [args]
+usage: dtaint [--quiet|-v] <command> [args]
 
 commands:
   scan <image|binary> [--json|--md] [--filter p1,p2] [--threads N] [--interval-guards] [--validate]
-                      [--keep-going|--fail-fast]
+                      [--keep-going|--fail-fast] [--profile]
+                      [--trace-out FILE] [--trace-chrome FILE] [--metrics-out FILE]
   unpack <image> [--out DIR]
   info <image|binary>
   disasm <binary> [FUNCTION]
@@ -42,6 +44,10 @@ commands:
   corpus [--n N] [--seed S]
   defs <binary> FUNCTION
   validate <binary> [ENTRY]
+
+global flags:
+  --quiet   only errors on stderr
+  -v        debug chatter on stderr
 ";
 
 /// Executes one CLI invocation, writing human output to `out`.
@@ -53,6 +59,22 @@ commands:
 /// Returns a message for usage errors and failed operations; `main`
 /// prints it to stderr and exits non-zero.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    // Verbosity flags may appear anywhere; they are consumed here so
+    // subcommands never see them.
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let verbose = args.iter().any(|a| a == "-v");
+    if quiet && verbose {
+        return Err("--quiet and -v are mutually exclusive".into());
+    }
+    log::set_verbosity(if quiet {
+        log::Level::Error
+    } else if verbose {
+        log::Level::Debug
+    } else {
+        log::Level::Info
+    });
+    let args: Vec<String> =
+        args.iter().filter(|a| *a != "--quiet" && *a != "-v").cloned().collect();
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(|| USAGE.to_owned())?;
     let rest: Vec<String> = it.cloned().collect();
@@ -97,7 +119,15 @@ fn positional(rest: &[String]) -> Vec<&String> {
             // Flags with values.
             if matches!(
                 a.as_str(),
-                "--out" | "--filter" | "--n" | "--seed" | "--threads" | "--corrupt"
+                "--out"
+                    | "--filter"
+                    | "--n"
+                    | "--seed"
+                    | "--threads"
+                    | "--corrupt"
+                    | "--trace-out"
+                    | "--trace-chrome"
+                    | "--metrics-out"
             ) {
                 skip = true;
             }
@@ -139,6 +169,10 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     if fail_fast && has_flag(rest, "--keep-going") {
         return Err("scan: --keep-going and --fail-fast are mutually exclusive".into());
     }
+    let trace_out = flag_value(rest, "--trace-out");
+    let trace_chrome = flag_value(rest, "--trace-chrome");
+    let metrics_out = flag_value(rest, "--metrics-out");
+    let profile = has_flag(rest, "--profile");
     let config = DtaintConfig {
         function_filter: filter,
         threads,
@@ -148,10 +182,17 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     };
     let analyzer = Dtaint::with_config(config);
 
+    // One collector for the whole invocation: spans from every binary
+    // in the image share the clock epoch, and the registry accumulates.
+    // Span recording is only paid for when something will consume it.
+    let want_spans = profile || trace_out.is_some() || trace_chrome.is_some();
+    let mut tel = if want_spans { Collector::enabled() } else { Collector::disabled() };
+
     let mut any_vuln = false;
     let mut any_partial = false;
     for (name, bin) in load_binaries(path)? {
-        let report = analyzer.analyze(&bin, &name).map_err(|e| e.to_string())?;
+        log::debug(&format!("scanning {name}"));
+        let report = analyzer.analyze_traced(&bin, &name, &mut tel).map_err(|e| e.to_string())?;
         if has_flag(rest, "--json") {
             let json = report.to_json().map_err(|e| e.to_string())?;
             write_out(out, &json)?;
@@ -212,6 +253,22 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                 write_out(out, &report.skip_table())?;
             }
         }
+        if profile {
+            write_profile(out, &report)?;
+        }
+        // Stage wall-clock as gauges, for `--metrics-out`. Durations are
+        // confined to `stage.*_us` names so consumers can filter them
+        // out of determinism comparisons. Summed across binaries.
+        let t = &report.timings;
+        for (nm, d) in [
+            ("stage.lift_cfg_us", t.lift_cfg),
+            ("stage.ssa_us", t.ssa),
+            ("stage.ddg_us", t.ddg),
+            ("stage.detect_us", t.detect),
+        ] {
+            let prev = tel.metrics.gauge(nm);
+            tel.metrics.set_gauge(nm, prev + d.as_micros() as u64);
+        }
         any_vuln |= report.vulnerabilities() > 0;
         any_partial |= !report.coverage_complete();
         if has_flag(rest, "--validate") {
@@ -223,6 +280,21 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             write_out(out, &format!("dynamic validation ({entry}): {verdict:?}\n"))?;
         }
     }
+    if let Some(dest) = trace_out {
+        std::fs::write(dest, export_jsonl(tel.events()))
+            .map_err(|e| format!("write {dest}: {e}"))?;
+        log::info(&format!("wrote {} span(s) to {dest}", tel.events().len()));
+    }
+    if let Some(dest) = trace_chrome {
+        std::fs::write(dest, export_chrome(tel.events()))
+            .map_err(|e| format!("write {dest}: {e}"))?;
+        log::info(&format!("wrote Chrome trace to {dest} (open in chrome://tracing or Perfetto)"));
+    }
+    if let Some(dest) = metrics_out {
+        let json = serde_json::to_string_pretty(&tel.metrics).map_err(|e| e.to_string())?;
+        std::fs::write(dest, json).map_err(|e| format!("write {dest}: {e}"))?;
+        log::info(&format!("wrote metrics to {dest}"));
+    }
     // Vulnerabilities dominate; a vuln-free scan with skipped functions
     // exits 4 so callers can tell "clean" from "clean but partial".
     Ok(if any_vuln {
@@ -232,6 +304,64 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     } else {
         0
     })
+}
+
+/// The `--profile` breakdown: per-stage wall-clock, logical per-function
+/// cost percentiles, and the hotspot table. Every duration-derived token
+/// is prefixed `~` — strip those and the output is bit-identical across
+/// thread counts, because everything else comes from logical counters.
+fn write_profile(out: &mut dyn Write, report: &AnalysisReport) -> Result<(), String> {
+    let t = &report.timings;
+    let total = t.total().as_micros().max(1) as f64;
+    write_out(out, &format!("   profile ({}):\n", report.binary_name))?;
+    for (nm, d) in [("lift+cfg", t.lift_cfg), ("ssa", t.ssa), ("ddg", t.ddg), ("detect", t.detect)]
+    {
+        write_out(
+            out,
+            &format!("     {nm:<10} ~{d:.2?} ~{:.1}%\n", 100.0 * d.as_micros() as f64 / total),
+        )?;
+    }
+    // Percentiles over the logical histograms (deterministic: bucket
+    // upper bounds of step counts, no wall-clock involved).
+    for (label, hist) in [
+        ("blocks/fn", report.telemetry.metrics.histogram("symex.blocks_per_fn")),
+        ("ddg-fuel/fn", report.telemetry.metrics.histogram("ddg.fuel_per_fn")),
+    ] {
+        if let Some(h) = hist {
+            write_out(
+                out,
+                &format!(
+                    "     {label:<11} p50 {} p90 {} p99 {} max {}\n",
+                    h.percentile(0.50),
+                    h.percentile(0.90),
+                    h.percentile(0.99),
+                    h.percentile(1.0),
+                ),
+            )?;
+        }
+    }
+    let hot = report.telemetry.hotspots(5);
+    if !hot.is_empty() {
+        write_out(out, "     hotspots (by logical work):\n")?;
+        for f in hot {
+            write_out(
+                out,
+                &format!(
+                    "       {:#010x} {:<24} blocks {} paths {} alias {} fuel {} sinks {} ~{}us ~{}us\n",
+                    f.addr,
+                    f.name,
+                    f.blocks_executed,
+                    f.paths_explored,
+                    f.alias_rewrites,
+                    f.ddg_fuel,
+                    f.sinks,
+                    f.symex_us,
+                    f.ddg_us,
+                ),
+            )?;
+        }
+    }
+    Ok(())
 }
 
 fn cmd_unpack(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
@@ -336,9 +466,11 @@ fn cmd_gen(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             "garbage-fn" => dtaint_fwgen::BinFault::GarbageOpcodes { index: 1, seed: 7 },
             "dangling-symbol" => dtaint_fwgen::BinFault::DanglingSymbol,
             "overlapping-symbols" => dtaint_fwgen::BinFault::OverlappingSymbols,
-            other => return Err(format!(
+            other => {
+                return Err(format!(
                 "gen: unknown --corrupt `{other}` (garbage-fn|dangling-symbol|overlapping-symbols)"
-            )),
+            ))
+            }
         };
         let mutant = dtaint_fwgen::corrupt_binary(&fw.binary, &fault).to_bytes();
         for f in &mut fw.image.files {

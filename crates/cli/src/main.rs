@@ -7,7 +7,7 @@ fn main() {
     match dtaint_cli::run(&args, &mut stdout) {
         Ok(code) => std::process::exit(code),
         Err(msg) => {
-            eprintln!("{msg}");
+            dtaint_telemetry::log::error(&msg);
             std::process::exit(1);
         }
     }

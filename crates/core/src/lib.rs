@@ -58,7 +58,8 @@ mod pipeline;
 
 pub use pipeline::{Dtaint, DtaintConfig};
 pub use report::{
-    AnalysisReport, Finding, FunctionOutcome, FunctionRecord, SourceRef, StageTimings, VulnKindRepr,
+    AnalysisReport, Finding, FnCost, FunctionOutcome, FunctionRecord, SourceRef, StageTimings,
+    TelemetrySection, VulnKindRepr,
 };
 pub use score::{score, GroundTruthFlow, Score};
 pub use sinks::{

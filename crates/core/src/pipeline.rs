@@ -4,13 +4,16 @@
 //! pointer aliasing → layout similarity → bottom-up data flow →
 //! sink/source matching → findings`.
 
-use crate::report::{AnalysisReport, FunctionOutcome, FunctionRecord, StageTimings};
+use crate::report::{
+    AnalysisReport, FnCost, FunctionOutcome, FunctionRecord, StageTimings, TelemetrySection,
+};
 use crate::sinks::{default_sink_names, default_sources};
 use crate::taint;
 use dtaint_cfg::{build_function_cfg, CallGraph, FunctionCfg};
 use dtaint_dataflow::{build_dataflow, DataflowConfig, SinkKind};
 use dtaint_fwbin::Binary;
 use dtaint_symex::{analyze_function, ExprPool, FuncSummary, SymexConfig};
+use dtaint_telemetry::{Collector, MetricsRegistry, SpanEvent, TraceBuffer, TraceSpec};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -108,6 +111,33 @@ impl Dtaint {
     /// converts caught analysis panics into
     /// [`dtaint_fwbin::Error::BadFormat`].
     pub fn analyze(&self, bin: &Binary, name: &str) -> dtaint_fwbin::Result<AnalysisReport> {
+        let mut tel = Collector::disabled();
+        self.analyze_traced(bin, name, &mut tel)
+    }
+
+    /// [`Dtaint::analyze`] with telemetry: hierarchical spans (scan →
+    /// function → stage) are recorded into `tel` when it is enabled, and
+    /// the metrics registry is populated either way (metrics are logical
+    /// counters — free to keep, and bit-identical across thread counts).
+    ///
+    /// Spans carry wall-clock durations *and* logical work counters; the
+    /// two are kept strictly separate, and nothing the analysis computes
+    /// ever reads a duration, so findings and all logical counters are
+    /// identical whether `tel` is enabled or not, at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtaint::analyze`].
+    pub fn analyze_traced(
+        &self,
+        bin: &Binary,
+        name: &str,
+        tel: &mut Collector,
+    ) -> dtaint_fwbin::Result<AnalysisReport> {
+        let scan_t0 = tel.start();
+        // Only events this scan appends matter for the per-function
+        // duration lookup below (one collector may span many binaries).
+        let watermark = tel.events().len();
         // Per-function outcome records, keyed by entry address; only
         // non-Analyzed outcomes are stored, and a later stage may
         // overwrite with a more severe outcome.
@@ -116,6 +146,7 @@ impl Dtaint {
         // Stage 1: lift + CFGs + call graph. Each function lifts behind
         // its own error and panic boundary; failures downgrade that one
         // function to an opaque (absent) summary.
+        let stage_t0 = tel.start();
         let t = Instant::now();
         let mut syms: Vec<&dtaint_fwbin::Symbol> = bin.functions();
         if let Some(filter) = &self.config.function_filter {
@@ -157,13 +188,15 @@ impl Dtaint {
         }
         let mut callgraph = CallGraph::build(bin, &cfgs);
         let lift_cfg = t.elapsed();
+        tel.record("lift_cfg", "stage", stage_t0, BTreeMap::new());
 
         // Stage 2: per-function static symbolic analysis, in parallel
         // with private pools, merged afterwards. A panicking function is
         // rolled back out of its pool and downgraded to an opaque
         // summary; a fuel-exhausted one is retried once degraded.
+        let stage_t0 = tel.start();
         let t = Instant::now();
-        let stage = self.run_symex(bin, &cfgs);
+        let stage = self.run_symex(bin, &cfgs, tel);
         let SymexStage { summaries, pool, records: symex_records, retried, retry_time } = stage;
         for (addr, name, outcome, detail) in symex_records {
             if self.config.fail_fast && outcome == FunctionOutcome::Panicked {
@@ -174,15 +207,20 @@ impl Dtaint {
             record(&mut records, addr, &name, outcome, detail);
         }
         let ssa = t.elapsed();
+        tel.record("ssa", "stage", stage_t0, BTreeMap::new());
 
         // Stage 3: alias + layout similarity + bottom-up propagation.
         // The propagation walk shares the session thread count with the
         // symbolic stage; results are identical for every value.
+        let stage_t0 = tel.start();
         let t = Instant::now();
         let mut df_config = self.config.dataflow.clone();
         df_config.threads = self.effective_threads(cfgs.len());
         df_config.interval_guards |= self.config.interval_guards;
-        let df = build_dataflow(bin, &mut callgraph, summaries, pool, &df_config);
+        df_config.trace = tel.is_enabled().then(|| TraceSpec { clock: tel.clock(), base_lane: 1 });
+        let mut df = build_dataflow(bin, &mut callgraph, summaries, pool, &df_config);
+        tel.absorb(std::mem::take(&mut df.trace_events));
+        let df = df;
         let fn_name_of = |addr: u32| {
             df.finals
                 .get(&addr)
@@ -226,8 +264,32 @@ impl Dtaint {
             }
         }
         let ddg = t.elapsed();
+        tel.record("ddg", "stage", stage_t0, BTreeMap::new());
+        // The DDG sub-stages run back-to-back inside `build_dataflow`,
+        // so their spans can be reconstructed from its timing breakdown
+        // at the stage's start offset without plumbing a clock through.
+        if tel.is_enabled() {
+            let mut off = stage_t0;
+            for (nm, d) in [
+                ("ddg_alias", df.timings.alias),
+                ("ddg_indirect", df.timings.indirect),
+                ("ddg_propagate", df.timings.propagate),
+            ] {
+                let dur = d.as_micros() as u64;
+                tel.push(SpanEvent {
+                    name: nm.to_owned(),
+                    cat: "stage".to_owned(),
+                    lane: 0,
+                    start_us: off,
+                    dur_us: dur,
+                    args: BTreeMap::new(),
+                });
+                off += dur;
+            }
+        }
 
         // Stage 4: taint judgement.
+        let stage_t0 = tel.start();
         let t = Instant::now();
         let fn_names: HashMap<u32, String> =
             cfgs.iter().map(|c| (c.addr, c.name.clone())).collect();
@@ -255,6 +317,7 @@ impl Dtaint {
             );
         }
         let detect = t.elapsed();
+        tel.record("detect", "stage", stage_t0, BTreeMap::new());
 
         let sinks_count = df
             .finals
@@ -275,6 +338,102 @@ impl Dtaint {
                 matches!(r.outcome, FunctionOutcome::LiftFailed | FunctionOutcome::Panicked)
             })
             .count();
+
+        // Per-function wall-clock, looked up from the spans this scan
+        // recorded (empty maps when the collector is disabled). These
+        // feed only the `*_us` display fields of `FnCost`.
+        let mut symex_us: HashMap<u32, u64> = HashMap::new();
+        let mut ddg_us: HashMap<u32, u64> = HashMap::new();
+        for ev in &tel.events()[watermark..] {
+            if let Some(&addr) = ev.args.get("addr") {
+                match ev.cat.as_str() {
+                    "symex_fn" => {
+                        symex_us.insert(addr as u32, ev.dur_us);
+                    }
+                    "ddg_fn" => {
+                        ddg_us.insert(addr as u32, ev.dur_us);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let fn_costs: Vec<FnCost> = df
+            .finals
+            .values()
+            .map(|f| FnCost {
+                addr: f.summary.addr,
+                name: f.summary.name.clone(),
+                blocks_executed: u64::from(f.summary.blocks_executed),
+                paths_explored: u64::from(f.summary.paths_explored),
+                alias_rewrites: u64::from(f.summary.alias_rewrites),
+                ddg_fuel: f.fuel_used,
+                sinks: f.sinks.len() as u64,
+                symex_us: symex_us.get(&f.summary.addr).copied().unwrap_or(0),
+                ddg_us: ddg_us.get(&f.summary.addr).copied().unwrap_or(0),
+            })
+            .collect();
+
+        // The metrics registry: every value here is a deterministic
+        // logical count or size — never wall-clock — so the whole
+        // registry is bit-identical across thread counts.
+        let mut metrics = MetricsRegistry::default();
+        let stats = bin.stats();
+        metrics.set_gauge("image.sections", stats.sections as u64);
+        metrics.set_gauge("image.symbols", stats.symbols as u64);
+        metrics.set_gauge("image.imports", stats.imports as u64);
+        metrics.set_gauge("image.code_bytes", stats.code_bytes);
+        metrics.set_gauge("image.functions", cfgs.len() as u64);
+        metrics.set_gauge("image.blocks", cfgs.iter().map(|c| c.block_count() as u64).sum());
+        metrics.set_gauge("image.cfg_edges", cfgs.iter().map(|c| c.edge_count() as u64).sum());
+        metrics.set_gauge("image.call_graph_edges", callgraph.edge_count() as u64);
+        metrics.set_gauge("image.sinks", sinks_count as u64);
+        metrics.set_gauge("image.resolved_indirect", df.resolved_indirect.len() as u64);
+        for f in &fn_costs {
+            metrics.inc("symex.blocks_executed", f.blocks_executed);
+            metrics.inc("symex.paths_explored", f.paths_explored);
+            metrics.inc("ddg.alias_rewrites", f.alias_rewrites);
+            metrics.inc("ddg.fuel_spent", f.ddg_fuel);
+            metrics.observe("symex.blocks_per_fn", f.blocks_executed);
+            metrics.observe("ddg.fuel_per_fn", f.ddg_fuel);
+            metrics.observe("fn.sinks", f.sinks);
+        }
+        metrics.inc("symex.functions_retried", retried as u64);
+        metrics.inc("ddg.pruned_infeasible", df.pruned_infeasible as u64);
+        metrics.inc("detect.infeasible_suppressed", outcome.infeasible_suppressed as u64);
+        metrics.inc("absint.solver_passes", outcome.absint_passes);
+        metrics.inc("detect.findings", outcome.findings.len() as u64);
+        tel.metrics.merge(&metrics);
+
+        // Root span last: it closes after everything it contains. The
+        // pool size rides here rather than in the registry: the parallel
+        // merge translates only summary-reachable nodes into the master
+        // pool while the sequential path interns intermediates directly,
+        // so it is an allocation statistic, not a thread-invariant
+        // logical count.
+        let mut root_args = BTreeMap::new();
+        root_args.insert("functions".to_owned(), cfgs.len() as u64);
+        root_args.insert("findings".to_owned(), outcome.findings.len() as u64);
+        root_args.insert("pool_nodes".to_owned(), df.pool.len() as u64);
+        tel.record(name, "scan", scan_t0, root_args);
+
+        let timings = StageTimings {
+            lift_cfg,
+            ssa,
+            ddg,
+            detect,
+            ddg_alias: df.timings.alias,
+            ddg_indirect: df.timings.indirect,
+            ddg_propagate: df.timings.propagate,
+            ddg_absint: df.timings.absint,
+            detect_absint: outcome.absint,
+            ssa_retry: retry_time,
+        };
+        debug_assert!(
+            timings.consistency_error(Duration::from_millis(50)).is_none(),
+            "stage timing drift: {:?}",
+            timings.consistency_error(Duration::from_millis(50))
+        );
+
         Ok(AnalysisReport {
             binary_name: name.to_owned(),
             arch: bin.arch.to_string(),
@@ -290,18 +449,8 @@ impl Dtaint {
             functions_retried: retried,
             loop_copy_sinks,
             skipped_functions: records.into_values().collect(),
-            timings: StageTimings {
-                lift_cfg,
-                ssa,
-                ddg,
-                detect,
-                ddg_alias: df.timings.alias,
-                ddg_indirect: df.timings.indirect,
-                ddg_propagate: df.timings.propagate,
-                ddg_absint: df.timings.absint,
-                detect_absint: outcome.absint,
-                ssa_retry: retry_time,
-            },
+            timings,
+            telemetry: TelemetrySection { metrics, functions: fn_costs },
         })
     }
 
@@ -321,7 +470,7 @@ impl Dtaint {
     /// that is translated into the global pool at the end. Per-function
     /// panics are caught and rolled back out of the pool; fuel
     /// exhaustion triggers one degraded retry (see [`symex_one`]).
-    fn run_symex(&self, bin: &Binary, cfgs: &[FunctionCfg]) -> SymexStage {
+    fn run_symex(&self, bin: &Binary, cfgs: &[FunctionCfg], tel: &mut Collector) -> SymexStage {
         let threads = self.effective_threads(cfgs.len());
         let mut stage = SymexStage {
             summaries: Vec::with_capacity(cfgs.len()),
@@ -330,29 +479,59 @@ impl Dtaint {
             retried: 0,
             retry_time: Duration::ZERO,
         };
+        // One span per function, carrying its logical counters as args.
+        // Recording is a worker-local append guarded by the enabled
+        // flag, so the disabled path costs one branch per function.
+        let span = |buf: &mut TraceBuffer, c: &FunctionCfg, one: &SymexOne, t0: u64| {
+            if buf.is_enabled() {
+                let mut args = BTreeMap::new();
+                args.insert("addr".to_owned(), u64::from(c.addr));
+                args.insert("blocks".to_owned(), u64::from(one.summary.blocks_executed));
+                args.insert("paths".to_owned(), u64::from(one.summary.paths_explored));
+                buf.record(&c.name, "symex_fn", t0, args);
+            }
+        };
         if threads <= 1 || cfgs.len() < 8 {
+            let mut buf = tel.buffer(1);
             for c in cfgs {
+                let t0 = buf.start();
                 let one = symex_one(bin, c, &mut stage.pool, &self.config.symex);
+                span(&mut buf, c, &one, t0);
                 stage.absorb(one, None);
             }
+            tel.absorb(buf.into_events());
             return stage;
         }
         let chunk = cfgs.len().div_ceil(threads);
-        let parts: Vec<(Vec<SymexOne>, ExprPool)> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for slice in cfgs.chunks(chunk) {
-                let symex = self.config.symex;
-                handles.push(scope.spawn(move |_| {
-                    let mut pool = ExprPool::new();
-                    let out: Vec<SymexOne> =
-                        slice.iter().map(|c| symex_one(bin, c, &mut pool, &symex)).collect();
-                    (out, pool)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("symex worker panicked")).collect()
-        })
-        .expect("crossbeam scope");
-        for (ones, local) in parts {
+        let clock = tel.clock();
+        let on = tel.is_enabled();
+        let parts: Vec<(Vec<SymexOne>, ExprPool, Vec<SpanEvent>)> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (widx, slice) in cfgs.chunks(chunk).enumerate() {
+                    let symex = self.config.symex;
+                    handles.push(scope.spawn(move |_| {
+                        let mut pool = ExprPool::new();
+                        let mut buf = TraceBuffer::new(clock, 1 + widx as u32, on);
+                        let out: Vec<SymexOne> = slice
+                            .iter()
+                            .map(|c| {
+                                let t0 = buf.start();
+                                let one = symex_one(bin, c, &mut pool, &symex);
+                                span(&mut buf, c, &one, t0);
+                                one
+                            })
+                            .collect();
+                        (out, pool, buf.into_events())
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("symex worker panicked")).collect()
+            })
+            .expect("crossbeam scope");
+        // Absorbed in chunk (spawn) order, so the merged event stream is
+        // deterministic for a given thread count.
+        for (ones, local, events) in parts {
+            tel.absorb(events);
             for one in ones {
                 stage.absorb(one, Some(&local));
             }

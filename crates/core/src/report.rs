@@ -1,6 +1,7 @@
 //! Findings and analysis reports.
 
 use crate::sinks::VulnKind;
+use dtaint_telemetry::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -186,6 +187,101 @@ impl StageTimings {
     pub fn total(&self) -> Duration {
         self.lift_cfg + self.ssa + self.ddg + self.detect
     }
+
+    /// Checks the internal accounting invariants: each recorded
+    /// sub-stage must fit inside its parent stage's wall-clock (within
+    /// `tolerance`, to absorb timer granularity). Returns a description
+    /// of the first violation, or `None` when the timings are coherent.
+    ///
+    /// `ddg_absint` and `ssa_retry` are exempt: both are summed across
+    /// workers (CPU time), so they legitimately exceed their parent's
+    /// wall-clock share under parallelism.
+    pub fn consistency_error(&self, tolerance: Duration) -> Option<String> {
+        let ddg_subs = self.ddg_alias + self.ddg_indirect + self.ddg_propagate;
+        if ddg_subs > self.ddg + tolerance {
+            return Some(format!(
+                "ddg sub-stages ({ddg_subs:?}) exceed ddg wall-clock ({:?})",
+                self.ddg
+            ));
+        }
+        if self.detect_absint > self.detect + tolerance {
+            return Some(format!(
+                "detect_absint ({:?}) exceeds detect wall-clock ({:?})",
+                self.detect_absint, self.detect
+            ));
+        }
+        let total = self.total();
+        let parts = self.lift_cfg + self.ssa + self.ddg + self.detect;
+        if total + tolerance < parts || parts + tolerance < total {
+            return Some(format!("total ({total:?}) drifted from stage sum ({parts:?})"));
+        }
+        None
+    }
+}
+
+/// Logical cost profile of one function, aggregated across pipeline
+/// stages. Every field except the `*_us` durations is a deterministic
+/// work counter — bit-identical across thread counts — and only those
+/// logical fields ever feed reports or comparisons. The durations exist
+/// for trace export and `--profile` display only.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FnCost {
+    /// Function entry address.
+    pub addr: u32,
+    /// Function name.
+    pub name: String,
+    /// Basic blocks executed during symbolic exploration (the symex
+    /// fuel spent; counts re-executions across paths).
+    pub blocks_executed: u64,
+    /// Execution paths explored by symex.
+    pub paths_explored: u64,
+    /// Definition pairs rewritten by alias recognition (Algorithm 1).
+    pub alias_rewrites: u64,
+    /// Fuel units spent by bottom-up propagation (Algorithm 2).
+    pub ddg_fuel: u64,
+    /// Sink observations visible from this function.
+    pub sinks: u64,
+    /// Wall-clock spent in symex for this function, in microseconds.
+    /// Never deterministic; excluded from all logical comparisons.
+    #[serde(default)]
+    pub symex_us: u64,
+    /// Wall-clock spent propagating this function, in microseconds.
+    /// Never deterministic; excluded from all logical comparisons.
+    #[serde(default)]
+    pub ddg_us: u64,
+}
+
+impl FnCost {
+    /// Logical work score used to rank hotspots: a pure function of the
+    /// deterministic counters, so the ranking is identical across
+    /// thread counts.
+    pub fn work(&self) -> u64 {
+        self.blocks_executed + self.ddg_fuel + self.alias_rewrites
+    }
+}
+
+/// The observability section of a report: the per-image metrics
+/// registry plus per-function cost profiles.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TelemetrySection {
+    /// Counters, gauges and histograms aggregated over the whole image.
+    #[serde(default)]
+    pub metrics: MetricsRegistry,
+    /// Per-function cost profiles, in address order.
+    #[serde(default)]
+    pub functions: Vec<FnCost>,
+}
+
+impl TelemetrySection {
+    /// The `n` most expensive functions by logical work, descending
+    /// (ties broken by address, ascending). Zero-work functions are
+    /// omitted.
+    pub fn hotspots(&self, n: usize) -> Vec<&FnCost> {
+        let mut v: Vec<&FnCost> = self.functions.iter().filter(|f| f.work() > 0).collect();
+        v.sort_by(|a, b| b.work().cmp(&a.work()).then(a.addr.cmp(&b.addr)));
+        v.truncate(n);
+        v
+    }
 }
 
 /// The complete result of analyzing one binary.
@@ -235,6 +331,11 @@ pub struct AnalysisReport {
     pub skipped_functions: Vec<FunctionRecord>,
     /// Stage timings.
     pub timings: StageTimings,
+    /// Logical metrics and per-function cost profiles. The counters in
+    /// here are deterministic (bit-identical across thread counts);
+    /// wall-clock only appears in fields documented as such.
+    #[serde(default)]
+    pub telemetry: TelemetrySection,
 }
 
 impl AnalysisReport {
@@ -376,6 +477,28 @@ impl AnalysisReport {
                 );
             }
         }
+        // Hotspots rank by the deterministic work score only, so this
+        // table is bit-identical across thread counts.
+        let hot = self.telemetry.hotspots(10);
+        if !hot.is_empty() {
+            let _ = writeln!(md, "\n## Hotspots (top {} by logical work)\n", hot.len());
+            let _ =
+                writeln!(md, "| address | function | blocks | paths | alias | ddg fuel | sinks |");
+            let _ = writeln!(md, "|---|---|---|---|---|---|---|");
+            for f in hot {
+                let _ = writeln!(
+                    md,
+                    "| `{:#x}` | `{}` | {} | {} | {} | {} | {} |",
+                    f.addr,
+                    f.name,
+                    f.blocks_executed,
+                    f.paths_explored,
+                    f.alias_rewrites,
+                    f.ddg_fuel,
+                    f.sinks
+                );
+            }
+        }
         md
     }
 }
@@ -416,6 +539,7 @@ mod tests {
             loop_copy_sinks: 0,
             skipped_functions: Vec::new(),
             timings: StageTimings::default(),
+            telemetry: TelemetrySection::default(),
         }
     }
 
@@ -468,6 +592,68 @@ mod tests {
         // fields still parse.
         let back = AnalysisReport::from_json(&r.to_json().unwrap()).unwrap();
         assert_eq!(back.skipped_functions, r.skipped_functions);
+    }
+
+    #[test]
+    fn stage_timings_consistency() {
+        let mut t = StageTimings::default();
+        assert!(t.consistency_error(Duration::ZERO).is_none());
+        t.lift_cfg = Duration::from_millis(10);
+        t.ssa = Duration::from_millis(20);
+        t.ddg = Duration::from_millis(30);
+        t.detect = Duration::from_millis(5);
+        t.ddg_alias = Duration::from_millis(10);
+        t.ddg_indirect = Duration::from_millis(5);
+        t.ddg_propagate = Duration::from_millis(14);
+        t.detect_absint = Duration::from_millis(4);
+        assert!(t.consistency_error(Duration::from_millis(1)).is_none());
+        // Sub-stages exceeding their parent is flagged…
+        t.ddg_propagate = Duration::from_millis(40);
+        let err = t.consistency_error(Duration::from_millis(1)).unwrap();
+        assert!(err.contains("ddg sub-stages"), "{err}");
+        t.ddg_propagate = Duration::from_millis(14);
+        t.detect_absint = Duration::from_millis(50);
+        let err = t.consistency_error(Duration::from_millis(1)).unwrap();
+        assert!(err.contains("detect_absint"), "{err}");
+        // …but the CPU-summed fields are exempt by design.
+        t.detect_absint = Duration::ZERO;
+        t.ddg_absint = Duration::from_secs(100);
+        t.ssa_retry = Duration::from_secs(100);
+        assert!(t.consistency_error(Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn hotspots_rank_by_logical_work() {
+        let mut r = report();
+        r.telemetry.functions = vec![
+            FnCost { addr: 0x100, name: "cold".into(), ..FnCost::default() },
+            FnCost {
+                addr: 0x200,
+                name: "warm".into(),
+                blocks_executed: 10,
+                ddg_fuel: 5,
+                ..FnCost::default()
+            },
+            FnCost {
+                addr: 0x300,
+                name: "hot".into(),
+                blocks_executed: 100,
+                alias_rewrites: 3,
+                symex_us: 1, // durations must not affect the ranking
+                ..FnCost::default()
+            },
+        ];
+        let hot = r.telemetry.hotspots(10);
+        assert_eq!(hot.len(), 2, "zero-work functions are omitted");
+        assert_eq!(hot[0].name, "hot");
+        assert_eq!(hot[1].name, "warm");
+        let md = r.to_markdown();
+        assert!(md.contains("## Hotspots"));
+        assert!(md.contains("| `0x300` | `hot` | 100 |"));
+        assert!(!md.contains("cold"));
+        // And the whole section round-trips through JSON.
+        let back = AnalysisReport::from_json(&r.to_json().unwrap()).unwrap();
+        assert_eq!(back.telemetry.functions, r.telemetry.functions);
     }
 
     #[test]

@@ -140,6 +140,7 @@ mod tests {
             functions_retried: 0,
             loop_copy_sinks: 0,
             skipped_functions: vec![],
+            telemetry: Default::default(),
         }
     }
 

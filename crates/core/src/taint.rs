@@ -68,6 +68,9 @@ pub struct TaintOutcome {
     pub infeasible_suppressed: usize,
     /// CPU time spent in the interval solver.
     pub absint: Duration,
+    /// Interval-solver passes run across all observations — a
+    /// deterministic step count (unlike `absint`, which is wall-clock).
+    pub absint_passes: u64,
     /// Observing functions whose judgement panicked and was caught —
     /// their sink observations yielded no findings. Sorted by address.
     pub failed_holders: Vec<u32>,
@@ -231,6 +234,7 @@ pub fn detect_full(
     let mut findings = Vec::new();
     let mut infeasible_suppressed = 0usize;
     let mut absint = Duration::ZERO;
+    let mut absint_passes = 0u64;
     let mut seen: HashSet<(u32, Vec<u32>, Vec<SourceRef>, String)> = HashSet::new();
     let mut failed_holders: Vec<u32> = Vec::new();
     let mut holders: Vec<&FinalSummary> = df.finals.values().collect();
@@ -249,6 +253,7 @@ pub fn detect_full(
         };
         infeasible_suppressed += judged.suppressed;
         absint += judged.absint;
+        absint_passes += judged.absint_passes;
         for f in judged.candidates {
             let key = (f.sink_ins, f.call_chain.clone(), f.sources.clone(), f.sink.clone());
             if seen.insert(key) {
@@ -259,7 +264,7 @@ pub fn detect_full(
     findings.sort_by(|a, b| {
         (a.sink_ins, &a.observed_in, &a.sources).cmp(&(b.sink_ins, &b.observed_in, &b.sources))
     });
-    TaintOutcome { findings, infeasible_suppressed, absint, failed_holders }
+    TaintOutcome { findings, infeasible_suppressed, absint, absint_passes, failed_holders }
 }
 
 /// Per-holder result of [`judge_holder`], before cross-holder
@@ -268,6 +273,7 @@ struct HolderJudgement {
     candidates: Vec<Finding>,
     suppressed: usize,
     absint: Duration,
+    absint_passes: u64,
 }
 
 /// Judges every sink observation of one observing function. Pure reader
@@ -284,6 +290,7 @@ fn judge_holder(
     let mut findings = Vec::new();
     let mut infeasible_suppressed = 0usize;
     let mut absint = Duration::ZERO;
+    let mut absint_passes = 0u64;
     {
         // One object-taint index per observing function, shared by all
         // of its sink observations.
@@ -358,6 +365,7 @@ fn judge_holder(
                     let mut a = base.clone();
                     a.assume_all(&obs.constraints);
                     a.solve();
+                    absint_passes += u64::from(a.passes_run());
                     ranges = Some(a);
                 }
                 absint += t.elapsed();
@@ -418,7 +426,12 @@ fn judge_holder(
             });
         }
     }
-    HolderJudgement { candidates: findings, suppressed: infeasible_suppressed, absint }
+    HolderJudgement {
+        candidates: findings,
+        suppressed: infeasible_suppressed,
+        absint,
+        absint_passes,
+    }
 }
 
 /// True when a bounding constraint covers the tainted data:

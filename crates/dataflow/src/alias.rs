@@ -83,11 +83,14 @@ pub fn alias_replace(summary: &mut FuncSummary, pool: &mut ExprPool) -> Vec<Alia
     }
     let existing: std::collections::HashSet<(ExprId, ExprId)> =
         summary.def_pairs.iter().map(|p| (p.d, p.u)).collect();
+    let mut appended = 0u32;
     for p in new_pairs {
         if !existing.contains(&(p.d, p.u)) {
             summary.def_pairs.push(p);
+            appended += 1;
         }
     }
+    summary.alias_rewrites = summary.alias_rewrites.saturating_add(appended);
     aliases
 }
 

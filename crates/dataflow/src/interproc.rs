@@ -42,6 +42,7 @@ use dtaint_cfg::CallGraph;
 use dtaint_fwbin::Binary;
 use dtaint_symex::pool::{CmpOp, ExprPool, SymNode};
 use dtaint_symex::{CalleeRef, Constraint, DefPair, ExprId, FuncSummary};
+use dtaint_telemetry::{Clock, SpanEvent, TraceBuffer, TraceSpec};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -87,6 +88,13 @@ pub struct DataflowConfig {
     /// this address. Exercises the per-function `catch_unwind`
     /// isolation in tests; `None` in production.
     pub panic_on: Option<u32>,
+    /// When set, the propagation stage records one span per function
+    /// into [`ProgramDataflow::trace_events`] against the given clock
+    /// epoch (worker *i* uses lane `base_lane + i`). Spans carry
+    /// wall-clock durations for trace export only — nothing analysed
+    /// downstream reads them, so `None` vs `Some` never changes
+    /// findings. `None` (the default) records nothing.
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for DataflowConfig {
@@ -106,6 +114,7 @@ impl Default for DataflowConfig {
             interval_guards: false,
             max_fuel: 1 << 24,
             panic_on: None,
+            trace: None,
         }
     }
 }
@@ -179,6 +188,11 @@ pub struct FinalSummary {
     /// True when propagation stopped at [`DataflowConfig::max_fuel`];
     /// call sites past the cut-off keep their symbolic form.
     pub budget_exhausted: bool,
+    /// Fuel units this function's propagation consumed — a deterministic
+    /// step count (a pure function of the callee summaries), never a
+    /// wall-clock measurement, so it is safe to compare across thread
+    /// counts. Zero for panicked functions.
+    pub fuel_used: u64,
 }
 
 /// Accumulator for the interval feasibility pruning performed during
@@ -213,6 +227,11 @@ pub struct ProgramDataflow {
     /// kept the pre-alias form (no rewriting) and were flagged
     /// [`FuncSummary::degraded`]. Sorted by address.
     pub alias_panics: Vec<u32>,
+    /// Per-function propagation spans, recorded only when
+    /// [`DataflowConfig::trace`] is set (empty otherwise). Ordered by
+    /// stratum, then by worker, then by address within each worker's
+    /// chunk. Durations are wall-clock and must never feed findings.
+    pub trace_events: Vec<SpanEvent>,
 }
 
 impl ProgramDataflow {
@@ -367,6 +386,14 @@ pub fn build_dataflow(
         .collect();
     let threads = config.threads.max(1);
     let mut finals: BTreeMap<u32, FinalSummary> = BTreeMap::new();
+    // Copy the trace spec out so worker closures capture a `Copy` value
+    // rather than borrowing `config` through the scope.
+    let trace = config.trace;
+    let mk_buf = |lane_off: u32| match trace {
+        Some(ts) => TraceBuffer::new(ts.clock, ts.base_lane + lane_off, true),
+        None => TraceBuffer::new(Clock::new(), 0, false),
+    };
+    let mut trace_events: Vec<SpanEvent> = Vec::new();
 
     for stratum in &strata {
         // Pull this stratum's work out in address order.
@@ -377,7 +404,9 @@ pub fn build_dataflow(
         }
 
         if threads <= 1 || work.len() < PAR_STRATUM_MIN {
+            let mut buf = mk_buf(0);
             for (faddr, summary) in work {
+                let t0 = buf.start();
                 let fs = process_function_caught(
                     bin,
                     faddr,
@@ -389,8 +418,15 @@ pub fn build_dataflow(
                     config,
                     &mut absint,
                 );
+                if buf.is_enabled() {
+                    let mut args = BTreeMap::new();
+                    args.insert("addr".to_owned(), faddr as u64);
+                    args.insert("fuel".to_owned(), fs.fuel_used);
+                    buf.record(&fs.summary.name, "ddg_fn", t0, args);
+                }
                 finals.insert(faddr, fs);
             }
+            trace_events.extend(buf.into_events());
             continue;
         }
 
@@ -408,7 +444,8 @@ pub fn build_dataflow(
             }
             out
         };
-        type WorkerOut = (ExprPool, Vec<(u32, FinalSummary, std::ops::Range<u32>)>, AbsintStats);
+        type WorkerOut =
+            (ExprPool, Vec<(u32, FinalSummary, std::ops::Range<u32>)>, AbsintStats, Vec<SpanEvent>);
         let fork_base = pool.len();
         let results: Vec<WorkerOut> = {
             let pool_ref = &pool;
@@ -418,13 +455,21 @@ pub fn build_dataflow(
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
-                    .map(|chunk| {
+                    .enumerate()
+                    .map(|(widx, chunk)| {
                         scope.spawn(move |_| {
                             let mut fork = pool_ref.clone();
                             let mut out = Vec::with_capacity(chunk.len());
                             let mut absint = AbsintStats::default();
+                            let mut buf = match trace {
+                                Some(ts) => {
+                                    TraceBuffer::new(ts.clock, ts.base_lane + widx as u32, true)
+                                }
+                                None => TraceBuffer::new(Clock::new(), 0, false),
+                            };
                             for (faddr, summary) in chunk {
                                 let before = fork.next_unknown_index();
+                                let t0 = buf.start();
                                 let fs = process_function_caught(
                                     bin,
                                     faddr,
@@ -436,10 +481,16 @@ pub fn build_dataflow(
                                     config,
                                     &mut absint,
                                 );
+                                if buf.is_enabled() {
+                                    let mut args = BTreeMap::new();
+                                    args.insert("addr".to_owned(), faddr as u64);
+                                    args.insert("fuel".to_owned(), fs.fuel_used);
+                                    buf.record(&fs.summary.name, "ddg_fn", t0, args);
+                                }
                                 let created = before..fork.next_unknown_index();
                                 out.push((faddr, fs, created));
                             }
-                            (fork, out, absint)
+                            (fork, out, absint, buf.into_events())
                         })
                     })
                     .collect();
@@ -454,9 +505,10 @@ pub fn build_dataflow(
         // reproduces the single-threaded numbering exactly. Translation
         // is fork-aware: ids below `fork_base` denote the same node in
         // the fork and the master, so only fork-created nodes cost work.
-        for (mut fork, items, worker_absint) in results {
+        for (mut fork, items, worker_absint, events) in results {
             absint.time += worker_absint.time;
             absint.pruned += worker_absint.pruned;
+            trace_events.extend(events);
             for (faddr, fs, created) in items {
                 let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
                 for k in created {
@@ -500,6 +552,7 @@ pub fn build_dataflow(
                         local_constraints: fs.local_constraints,
                         panicked: fs.panicked,
                         budget_exhausted: fs.budget_exhausted,
+                        fuel_used: fs.fuel_used,
                     },
                 );
             }
@@ -517,6 +570,7 @@ pub fn build_dataflow(
         timings,
         pruned_infeasible: absint.pruned,
         alias_panics,
+        trace_events,
     }
 }
 
@@ -554,6 +608,7 @@ fn process_function_caught(
                 local_constraints: 0,
                 panicked: true,
                 budget_exhausted: false,
+                fuel_used: 0,
             }
         }
     }
@@ -675,7 +730,14 @@ fn process_function(
     }
 
     sinks.truncate(config.max_sinks_per_fn);
-    FinalSummary { summary, sinks, local_constraints, panicked: false, budget_exhausted }
+    FinalSummary {
+        summary,
+        sinks,
+        local_constraints,
+        panicked: false,
+        budget_exhausted,
+        fuel_used: config.max_fuel - fuel,
+    }
 }
 
 fn constraints_on_path(summary: &FuncSummary, path: u32) -> Vec<(CmpOp, ExprId, ExprId)> {

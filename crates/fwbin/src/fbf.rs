@@ -140,6 +140,21 @@ pub struct Binary {
     pub imports: Vec<Import>,
 }
 
+/// Shape statistics of one [`Binary`] (see [`Binary::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BinStats {
+    /// Loadable sections.
+    pub sections: usize,
+    /// Defined symbols of every kind.
+    pub symbols: usize,
+    /// Function symbols.
+    pub functions: usize,
+    /// Imported library functions.
+    pub imports: usize,
+    /// Bytes of executable code (text + PLT sections).
+    pub code_bytes: u64,
+}
+
 impl Binary {
     /// The section of the given kind, if present.
     pub fn section(&self, kind: SectionKind) -> Option<&Section> {
@@ -164,6 +179,23 @@ impl Binary {
     /// The function symbol with the given name.
     pub fn function(&self, name: &str) -> Option<&Symbol> {
         self.symbols.iter().find(|s| s.kind == SymbolKind::Function && s.name == name)
+    }
+
+    /// Whole-binary shape statistics — the telemetry layer publishes
+    /// these as per-image gauges.
+    pub fn stats(&self) -> BinStats {
+        BinStats {
+            sections: self.sections.len(),
+            symbols: self.symbols.len(),
+            functions: self.symbols.iter().filter(|s| s.kind == SymbolKind::Function).count(),
+            imports: self.imports.len(),
+            code_bytes: self
+                .sections
+                .iter()
+                .filter(|s| matches!(s.kind, SectionKind::Text | SectionKind::Plt))
+                .map(|s| u64::from(s.size))
+                .sum(),
+        }
     }
 
     /// All function symbols in address order.

@@ -60,7 +60,7 @@ mod error;
 mod reg;
 
 pub use error::Error;
-pub use fbf::{Binary, Import, Section, SectionKind, Symbol, SymbolKind};
+pub use fbf::{BinStats, Binary, Import, Section, SectionKind, Symbol, SymbolKind};
 pub use reg::Reg;
 
 use std::fmt;

@@ -312,6 +312,7 @@ impl Executor<'_> {
                 }
             }
         }
+        summary.blocks_executed = self.fuel_used;
         summary
     }
 

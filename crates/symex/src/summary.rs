@@ -116,6 +116,15 @@ pub struct FuncSummary {
     /// budget after a fuel exhaustion); downstream stages skip optional
     /// refinements such as alias rewriting for degraded summaries.
     pub degraded: bool,
+    /// Basic-block executions charged against the fuel budget, summed
+    /// over every explored path — the symbolic stage's logical work
+    /// counter. A pure step count (never wall-clock), identical across
+    /// thread counts.
+    pub blocks_executed: u32,
+    /// Rewritten definition pairs appended by pointer-alias recognition
+    /// (Algorithm 1) — the alias stage's logical work counter. Zero
+    /// until `dtaint-dataflow` runs the alias pass over this summary.
+    pub alias_rewrites: u32,
 }
 
 impl FuncSummary {
@@ -177,6 +186,8 @@ impl FuncSummary {
             path_cap_hit: self.path_cap_hit,
             fuel_exhausted: self.fuel_exhausted,
             degraded: self.degraded,
+            blocks_executed: self.blocks_executed,
+            alias_rewrites: self.alias_rewrites,
             ..FuncSummary::default()
         };
         for dp in &self.def_pairs {

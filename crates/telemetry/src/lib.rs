@@ -1,0 +1,32 @@
+//! Observability for the DTaint pipeline: spans, metrics, exporters,
+//! and a leveled log facade.
+//!
+//! The layer is **deterministic by construction**: every value it feeds
+//! back into analysis results is a *logical* work counter (blocks
+//! executed, fuel spent, alias rewrites, …) derived from the analysis
+//! itself, never from the clock. Wall-clock durations are collected
+//! alongside — in [`SpanEvent`]s and per-function cost rows — but they
+//! flow only into trace exports and the self-profiling printout, so
+//! reports stay bit-identical across thread counts and machine speeds.
+//!
+//! Pieces:
+//!
+//! * [`Collector`] — the per-scan accumulator: a shared [`Clock`] epoch,
+//!   the span event stream, and a [`MetricsRegistry`]. Cheap to carry
+//!   around disabled ([`Collector::disabled`] records nothing).
+//! * [`TraceBuffer`] — a thread-local span buffer for parallel stages;
+//!   workers record into private buffers that the owner
+//!   [`Collector::absorb`]s in a deterministic order.
+//! * [`MetricsRegistry`] — counters, gauges, and [`Histogram`]s with
+//!   fixed log2 buckets.
+//! * [`export_jsonl`]/[`export_chrome`] — the JSONL event stream and the
+//!   Chrome `trace_event` format (loadable in `chrome://tracing` and
+//!   Perfetto).
+//! * [`log`] — a leveled stderr facade replacing ad-hoc `eprintln!`s.
+
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use span::{export_chrome, export_jsonl, Clock, Collector, SpanEvent, TraceBuffer, TraceSpec};

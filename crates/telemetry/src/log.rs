@@ -1,0 +1,119 @@
+//! A minimal leveled log facade.
+//!
+//! Library crates and the CLI route status output through this instead
+//! of bare `eprintln!`, so one process-wide verbosity knob (set from
+//! `--quiet`/`-v`) governs everything. Messages go to stderr; analysis
+//! *results* never go through here — stdout stays machine-parseable.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Message severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable problems; always printed (even under `--quiet`).
+    Error = 0,
+    /// Suspicious-but-survivable conditions.
+    Warn = 1,
+    /// Progress and status notes (the default ceiling).
+    Info = 2,
+    /// Diagnostic chatter (`-v`).
+    Debug = 3,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+
+    /// The lowercase tag printed before each message.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-wide verbosity ceiling: messages above it are
+/// dropped.
+pub fn set_verbosity(level: Level) {
+    VERBOSITY.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current verbosity ceiling.
+pub fn verbosity() -> Level {
+    Level::from_u8(VERBOSITY.load(Ordering::Relaxed))
+}
+
+/// True when a message at `level` would be printed.
+pub fn enabled(level: Level) -> bool {
+    level <= verbosity()
+}
+
+/// Writes one message to stderr when `level` clears the ceiling.
+pub fn log(level: Level, msg: &str) {
+    if enabled(level) {
+        // Errors keep their bare form (they may be multi-line usage
+        // text); lower severities get a level tag.
+        if level == Level::Error {
+            eprintln!("{msg}");
+        } else {
+            eprintln!("{}: {msg}", level.tag());
+        }
+    }
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(msg: &str) {
+    log(Level::Error, msg);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(msg: &str) {
+    log(Level::Warn, msg);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(msg: &str) {
+    log(Level::Info, msg);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(msg: &str) {
+    log(Level::Debug, msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_gates_levels() {
+        let saved = verbosity();
+        set_verbosity(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_verbosity(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_verbosity(saved);
+    }
+
+    #[test]
+    fn levels_are_ordered_and_tagged() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::Warn.tag(), "warn");
+    }
+}

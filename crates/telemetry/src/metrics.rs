@@ -1,0 +1,248 @@
+//! Counters, gauges, and log2-bucketed histograms.
+//!
+//! Every metric in the registry carries *logical* quantities — work
+//! units the analysis itself counts — so registries are bit-identical
+//! across thread counts and host speeds. Wall-clock never enters here;
+//! it lives in [`SpanEvent`](crate::SpanEvent)s only.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket *k* holds
+/// values in `[2^(k-1), 2^k)`, and the last bucket absorbs everything
+/// beyond `2^(HISTOGRAM_BUCKETS-2)`.
+pub const HISTOGRAM_BUCKETS: usize = 33;
+
+/// Bucket index for a value (fixed log2 buckets).
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// A histogram over fixed log2 buckets, with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Log2 bucket occupancy (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: 0, max: 0, buckets: vec![0; HISTOGRAM_BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Folds another histogram in.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`): the upper bound of the
+    /// bucket holding the `ceil(q·count)`-th observation, clamped to the
+    /// exact observed min/max so tail quantiles stay honest.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A named collection of counters (monotonic sums), gauges (last-set
+/// values), and [`Histogram`]s. Keys use dotted names
+/// (`symex.blocks_executed`); `BTreeMap` keeps serialisation and
+/// iteration order deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    /// Monotonic counters.
+    #[serde(default)]
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time values.
+    #[serde(default)]
+    pub gauges: BTreeMap<String, u64>,
+    /// Distributions over log2 buckets.
+    #[serde(default)]
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds `by` to a counter, creating it at zero first.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads a gauge (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one observation into a named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_owned()).or_default().observe(value);
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds another registry in: counters add, gauges take the other's
+    /// value, histograms merge.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_percentiles() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.sum, 1106);
+        assert_eq!(h.percentile(1.0), 1000);
+        assert!(h.percentile(0.5) <= 100);
+        assert!(h.percentile(0.0) >= 1);
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_matches_direct_observation() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut direct = Histogram::default();
+        for v in [5u64, 9, 0] {
+            a.observe(v);
+            direct.observe(v);
+        }
+        for v in [77u64, 2] {
+            b.observe(v);
+            direct.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, direct);
+    }
+
+    #[test]
+    fn registry_counters_gauges_merge() {
+        let mut r = MetricsRegistry::default();
+        r.inc("x", 2);
+        r.inc("x", 3);
+        r.set_gauge("g", 7);
+        r.observe("h", 4);
+        assert_eq!(r.counter("x"), 5);
+        assert_eq!(r.gauge("g"), 7);
+        let mut other = MetricsRegistry::default();
+        other.inc("x", 1);
+        other.set_gauge("g", 9);
+        other.observe("h", 8);
+        r.merge(&other);
+        assert_eq!(r.counter("x"), 6);
+        assert_eq!(r.gauge("g"), 9);
+        assert_eq!(r.histogram("h").unwrap().count, 2);
+    }
+
+    #[test]
+    fn registry_roundtrips_through_json() {
+        let mut r = MetricsRegistry::default();
+        r.inc("a.b", 41);
+        r.set_gauge("pool.nodes", 9000);
+        r.observe("blocks", 17);
+        let s = serde_json::to_string(&r).unwrap();
+        let back: MetricsRegistry = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+}

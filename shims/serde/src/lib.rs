@@ -249,6 +249,28 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, m)| {
+                    V::from_value(m)
+                        .map(|v| (k.clone(), v))
+                        .map_err(|e| Error(format!("member `{k}`: {e}")))
+                })
+                .collect(),
+            other => Err(Error(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
 impl Serialize for std::time::Duration {
     fn to_value(&self) -> Value {
         // Matches upstream serde's Duration encoding.
