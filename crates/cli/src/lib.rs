@@ -3,9 +3,15 @@
 //! Subcommands:
 //!
 //! * `scan <image|binary>` — run the full pipeline, print findings
-//!   (`--json` for machine-readable reports, `--filter p1,p2` to analyze
-//!   matching functions only, `--validate` to confirm findings in the
-//!   concrete emulator),
+//!   (`--json` for machine-readable reports, `--sarif-out FILE` for a
+//!   SARIF 2.1.0 document, `--filter p1,p2` to analyze matching
+//!   functions only, `--validate` to confirm findings in the concrete
+//!   emulator),
+//! * `explain <report.json>` — render each finding's typed evidence
+//!   chain as an indented narrative (`--finding PREFIX` to select one),
+//! * `diff <baseline.json> <current.json>` — compare two scans by
+//!   content-addressed fingerprint: new/fixed/changed-verdict findings
+//!   plus metrics-counter deltas; exits 2 when regressions appeared,
 //! * `unpack <image> [--out dir]` — extract the root filesystem,
 //! * `info <image|binary>` — metadata, sections, symbols, signatures,
 //! * `disasm <binary> [function]` — objdump-style listing,
@@ -20,7 +26,7 @@
 //! The command logic lives in [`run`] (writes to any `io::Write`), so
 //! every subcommand is unit-testable; `main.rs` is a thin wrapper.
 
-use dtaint_core::{AnalysisReport, Dtaint, DtaintConfig};
+use dtaint_core::{AnalysisReport, Dtaint, DtaintConfig, Finding};
 use dtaint_emu::{poison_all_rodata_names, validate as emu_validate, AttackConfig, Verdict};
 use dtaint_fwbin::{disasm, Binary};
 use dtaint_fwimage::{
@@ -35,8 +41,10 @@ usage: dtaint [--quiet|-v] <command> [args]
 
 commands:
   scan <image|binary> [--json|--md] [--filter p1,p2] [--threads N] [--interval-guards] [--validate]
-                      [--keep-going|--fail-fast] [--profile]
+                      [--keep-going|--fail-fast] [--profile] [--sarif-out FILE]
                       [--trace-out FILE] [--trace-chrome FILE] [--metrics-out FILE]
+  explain <report.json> [--finding PREFIX]
+  diff <baseline.json> <current.json>
   unpack <image> [--out DIR]
   info <image|binary>
   disasm <binary> [FUNCTION]
@@ -80,6 +88,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let rest: Vec<String> = it.cloned().collect();
     match cmd.as_str() {
         "scan" => cmd_scan(&rest, out),
+        "explain" => cmd_explain(&rest, out),
+        "diff" => cmd_diff(&rest, out),
         "unpack" => cmd_unpack(&rest, out),
         "info" => cmd_info(&rest, out),
         "disasm" => cmd_disasm(&rest, out),
@@ -128,6 +138,8 @@ fn positional(rest: &[String]) -> Vec<&String> {
                     | "--trace-out"
                     | "--trace-chrome"
                     | "--metrics-out"
+                    | "--sarif-out"
+                    | "--finding"
             ) {
                 skip = true;
             }
@@ -172,6 +184,7 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let trace_out = flag_value(rest, "--trace-out");
     let trace_chrome = flag_value(rest, "--trace-chrome");
     let metrics_out = flag_value(rest, "--metrics-out");
+    let sarif_out = flag_value(rest, "--sarif-out");
     let profile = has_flag(rest, "--profile");
     let config = DtaintConfig {
         function_filter: filter,
@@ -190,6 +203,7 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
 
     let mut any_vuln = false;
     let mut any_partial = false;
+    let mut sarif_reports: Vec<AnalysisReport> = Vec::new();
     for (name, bin) in load_binaries(path)? {
         log::debug(&format!("scanning {name}"));
         let report = analyzer.analyze_traced(&bin, &name, &mut tel).map_err(|e| e.to_string())?;
@@ -233,7 +247,7 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             }
             for f in &report.findings {
                 write_out(out, &format!("{f}\n"))?;
-                for step in &f.trace {
+                for step in &f.evidence {
                     write_out(out, &format!("    {step}\n"))?;
                 }
             }
@@ -279,6 +293,14 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             let verdict = emu_validate(&bin, &entry, &attack);
             write_out(out, &format!("dynamic validation ({entry}): {verdict:?}\n"))?;
         }
+        if sarif_out.is_some() {
+            sarif_reports.push(report);
+        }
+    }
+    if let Some(dest) = sarif_out {
+        std::fs::write(dest, dtaint_core::sarif::to_sarif_string(&sarif_reports))
+            .map_err(|e| format!("write {dest}: {e}"))?;
+        log::info(&format!("wrote SARIF ({} run(s)) to {dest}", sarif_reports.len()));
     }
     if let Some(dest) = trace_out {
         std::fs::write(dest, export_jsonl(tel.events()))
@@ -362,6 +384,173 @@ fn write_profile(out: &mut dyn Write, report: &AnalysisReport) -> Result<(), Str
         }
     }
     Ok(())
+}
+
+/// Parses a single-report JSON file as produced by `scan --json` on one
+/// binary (a whole-image scan concatenates one document per executable;
+/// split those before feeding them to `explain`/`diff`).
+fn load_report(path: &str) -> Result<AnalysisReport, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    AnalysisReport::from_json(data.trim())
+        .map_err(|e| format!("parse {path}: {e} (expected one `scan --json` report)"))
+}
+
+fn cmd_explain(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let path = pos.first().ok_or("explain: missing report path (produce with `scan --json`)")?;
+    let report = load_report(path)?;
+    let want = flag_value(rest, "--finding");
+    let mut shown = 0usize;
+    for f in &report.findings {
+        if let Some(prefix) = want {
+            if !f.fingerprint.starts_with(prefix) {
+                continue;
+            }
+        }
+        shown += 1;
+        let status = if f.sanitized() { "sanitized" } else { "VULNERABLE" };
+        write_out(
+            out,
+            &format!(
+                "finding {} — {} via `{}` at {:#x} in {} [{status}]\n",
+                if f.fingerprint.is_empty() { "<no fingerprint>" } else { &f.fingerprint },
+                f.kind,
+                f.sink,
+                f.sink_ins,
+                f.sink_fn,
+            ),
+        )?;
+        let sources: Vec<String> =
+            f.sources.iter().map(|s| format!("{}@{:#x}", s.name, s.ins_addr)).collect();
+        write_out(out, &format!("  sources: {}\n", sources.join(", ")))?;
+        write_out(out, &format!("  tainted expression: {}\n", f.tainted_expr))?;
+        let chain = f.call_chain_display();
+        if !chain.is_empty() {
+            write_out(out, &format!("  call chain: {chain}\n"))?;
+        }
+        if f.evidence.is_empty() {
+            write_out(out, "  (no recorded evidence — legacy report?)\n")?;
+        }
+        for (i, step) in f.evidence.iter().enumerate() {
+            write_out(out, &format!("  {:>2}. {step}\n", i + 1))?;
+        }
+        write_out(out, "\n")?;
+    }
+    if shown == 0 {
+        return Err(match want {
+            Some(prefix) => format!("explain: no finding matches fingerprint `{prefix}`"),
+            None => "explain: report contains no findings".into(),
+        });
+    }
+    Ok(0)
+}
+
+fn cmd_diff(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let base_path = pos.first().ok_or("diff: missing baseline report path")?;
+    let cur_path = pos.get(1).ok_or("diff: missing current report path")?;
+    let base = load_report(base_path)?;
+    let cur = load_report(cur_path)?;
+
+    // One exemplar per fingerprint, preferring a vulnerable one so a
+    // fingerprint whose path set is partly sanitised still diffs as
+    // vulnerable. BTreeMap keys give deterministic section ordering.
+    fn index(r: &AnalysisReport) -> std::collections::BTreeMap<&str, &Finding> {
+        let mut m = std::collections::BTreeMap::new();
+        for f in &r.findings {
+            let e = m.entry(f.fingerprint.as_str()).or_insert(f);
+            if !f.sanitized() {
+                *e = f;
+            }
+        }
+        m
+    }
+    let before = index(&base);
+    let after = index(&cur);
+
+    write_out(
+        out,
+        &format!(
+            "baseline {}: {} finding(s); current {}: {} finding(s)\n",
+            base.binary_name,
+            base.findings.len(),
+            cur.binary_name,
+            cur.findings.len(),
+        ),
+    )?;
+
+    let mut regressions = 0usize;
+    let mut new_lines = Vec::new();
+    let mut fixed_lines = Vec::new();
+    let mut changed_lines = Vec::new();
+    for (fp, f) in &after {
+        match before.get(fp) {
+            None => {
+                if !f.sanitized() {
+                    regressions += 1;
+                }
+                new_lines.push(format!("  + {fp} {f}\n"));
+            }
+            Some(old) if old.verdict != f.verdict => {
+                if old.sanitized() && !f.sanitized() {
+                    regressions += 1;
+                }
+                changed_lines.push(format!("  ~ {fp} {} => {}\n", old.verdict, f.verdict));
+            }
+            Some(_) => {}
+        }
+    }
+    for (fp, f) in &before {
+        if !after.contains_key(fp) {
+            fixed_lines.push(format!("  - {fp} {f}\n"));
+        }
+    }
+    for (title, lines) in [
+        ("new finding(s):", &new_lines),
+        ("fixed finding(s):", &fixed_lines),
+        ("changed verdict(s):", &changed_lines),
+    ] {
+        if !lines.is_empty() {
+            write_out(out, &format!("{title}\n"))?;
+            for l in lines {
+                write_out(out, l)?;
+            }
+        }
+    }
+    if new_lines.is_empty() && fixed_lines.is_empty() && changed_lines.is_empty() {
+        write_out(out, "no finding differences\n")?;
+    }
+
+    // Telemetry counter deltas (the counters are deterministic, so a
+    // non-zero delta means the analysis itself changed shape).
+    let mut names: std::collections::BTreeSet<&String> =
+        base.telemetry.metrics.counters.keys().collect();
+    names.extend(cur.telemetry.metrics.counters.keys());
+    let mut delta_lines = Vec::new();
+    for name in names {
+        let b = base.telemetry.metrics.counters.get(name).copied().unwrap_or(0);
+        let c = cur.telemetry.metrics.counters.get(name).copied().unwrap_or(0);
+        if b != c {
+            delta_lines.push(format!("  {name}: {b} -> {c} ({:+})\n", c as i64 - b as i64));
+        }
+    }
+    if !delta_lines.is_empty() {
+        write_out(out, "counter delta(s):\n")?;
+        for l in delta_lines {
+            write_out(out, &l)?;
+        }
+    }
+
+    if regressions > 0 {
+        write_out(
+            out,
+            &format!("{regressions} regression(s): new or re-opened vulnerable finding(s)\n"),
+        )?;
+        Ok(2)
+    } else {
+        write_out(out, "no regressions\n")?;
+        Ok(0)
+    }
 }
 
 fn cmd_unpack(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
@@ -655,6 +844,83 @@ mod tests {
         assert_eq!(code, Ok(2));
         let report = dtaint_core::AnalysisReport::from_json(out.trim()).unwrap();
         assert!(report.vulnerabilities() > 0);
+    }
+
+    #[test]
+    fn scan_sarif_out_writes_schema_shaped_document() {
+        let p = small_image_path();
+        let dest = tmpdir().join("scan.sarif");
+        let (code, _) = run_captured(&["scan", &p, "--sarif-out", dest.to_str().unwrap()]);
+        assert_eq!(code, Ok(2), "exit code still reflects the findings");
+        let text = std::fs::read_to_string(&dest).unwrap();
+        assert!(text.contains("\"$schema\""), "schema stamped");
+        assert!(text.contains("sarif-schema-2.1.0"), "2.1.0 schema URI");
+        assert!(text.contains("\"codeFlows\""), "evidence chains exported");
+        assert!(text.contains("dtaint/findingIdentity/v1"), "partial fingerprints present");
+        assert!(text.contains("\"error\""), "vulnerable findings are errors");
+    }
+
+    #[test]
+    fn explain_renders_numbered_evidence_and_filters_by_fingerprint() {
+        let p = small_image_path();
+        let (_, json) = run_captured(&["scan", &p, "--json"]);
+        let rp = tmpdir().join("explain-report.json");
+        std::fs::write(&rp, &json).unwrap();
+        let path = rp.to_string_lossy().into_owned();
+        let (code, out) = run_captured(&["explain", &path]);
+        assert_eq!(code, Ok(0), "{out}");
+        assert!(out.contains("finding "), "{out}");
+        assert!(out.contains("tainted expression:"), "{out}");
+        assert!(out.contains("verdict:"), "chains end in the verdict: {out}");
+        assert!(out.contains("   1. "), "steps are numbered: {out}");
+        // --finding narrows to one fingerprint (prefix match).
+        let report = AnalysisReport::from_json(json.trim()).unwrap();
+        let fp = report.findings[0].fingerprint.clone();
+        let (code, out) = run_captured(&["explain", &path, "--finding", &fp[..8]]);
+        assert_eq!(code, Ok(0), "{out}");
+        assert!(out.contains(&fp), "{out}");
+        let (code, _) = run_captured(&["explain", &path, "--finding", "zzzzzz"]);
+        assert!(code.is_err(), "unmatched fingerprint prefix is an error");
+    }
+
+    #[test]
+    fn diff_identical_reports_is_empty_and_exits_zero() {
+        let p = small_image_path();
+        let (_, json) = run_captured(&["scan", &p, "--json"]);
+        let a = tmpdir().join("diff-base.json");
+        let b = tmpdir().join("diff-cur.json");
+        std::fs::write(&a, &json).unwrap();
+        std::fs::write(&b, &json).unwrap();
+        let (code, out) = run_captured(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert_eq!(code, Ok(0), "{out}");
+        assert!(out.contains("no finding differences"), "{out}");
+        assert!(out.contains("no regressions"), "{out}");
+    }
+
+    #[test]
+    fn diff_flags_new_vulnerable_findings_as_regressions() {
+        let p = small_image_path();
+        // Baseline: the scan restricted to a non-existent function, so
+        // nothing is analyzed; current: the full scan. Every vulnerable
+        // finding is new — a regression, exit 2. Reversed, the findings
+        // are all "fixed": reportable, but not a regression.
+        let (_, base_json) = run_captured(&["scan", &p, "--json", "--filter", "no-such-fn"]);
+        let (_, cur_json) = run_captured(&["scan", &p, "--json"]);
+        let a = tmpdir().join("reg-base.json");
+        let b = tmpdir().join("reg-cur.json");
+        std::fs::write(&a, &base_json).unwrap();
+        std::fs::write(&b, &cur_json).unwrap();
+        let (code, out) = run_captured(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert_eq!(code, Ok(2), "{out}");
+        assert!(out.contains("new finding(s):"), "{out}");
+        assert!(out.contains("  + "), "{out}");
+        assert!(out.contains("regression(s)"), "{out}");
+        assert!(out.contains("counter delta(s):"), "counters differ too: {out}");
+        let (code, out) = run_captured(&["diff", b.to_str().unwrap(), a.to_str().unwrap()]);
+        assert_eq!(code, Ok(0), "disappearing findings are fixes: {out}");
+        assert!(out.contains("fixed finding(s):"), "{out}");
+        let (code, _) = run_captured(&["diff", a.to_str().unwrap()]);
+        assert!(code.is_err(), "missing current path is a usage error");
     }
 
     #[test]

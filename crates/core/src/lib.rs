@@ -49,18 +49,22 @@
 //! # Ok::<(), dtaint_fwbin::Error>(())
 //! ```
 
+pub mod evidence;
 pub mod report;
+pub mod sarif;
 pub mod score;
 pub mod sinks;
 pub mod taint;
 
 mod pipeline;
 
+pub use evidence::{EvidenceStep, SanitizeVerdict};
 pub use pipeline::{Dtaint, DtaintConfig};
 pub use report::{
     AnalysisReport, Finding, FnCost, FunctionOutcome, FunctionRecord, SourceRef, StageTimings,
     TelemetrySection, VulnKindRepr,
 };
+pub use sarif::to_sarif;
 pub use score::{score, GroundTruthFlow, Score};
 pub use sinks::{
     default_sink_names, default_sources, sink_spec, SinkSpec, TaintedVar, VulnKind, CMD_SEPARATORS,
@@ -110,6 +114,14 @@ mod tests {
         assert_eq!(v.kind, VulnKindRepr::BufferOverflow);
         assert_eq!(v.sink, "memcpy");
         assert_eq!(v.sources[0].name, "recv");
+        // Every finding carries a typed provenance chain: at least the
+        // source observation, terminated by the sanitization verdict.
+        assert!(!v.fingerprint.is_empty());
+        assert!(v.evidence.iter().any(|s| matches!(s, EvidenceStep::Source { .. })));
+        assert!(matches!(
+            v.evidence.last(),
+            Some(EvidenceStep::Verdict(SanitizeVerdict::UncheckedFlow))
+        ));
     }
 
     /// The same flow guarded by `if (n < 64)`: sanitized, no vuln.
@@ -140,8 +152,14 @@ mod tests {
 
         let r = analyze(&bin);
         assert_eq!(r.vulnerabilities(), 0, "guarded path is not a vulnerability");
-        // The path is still found, but judged sanitized.
-        assert!(r.findings.iter().any(|f| f.sanitized));
+        // The path is still found, but judged sanitized — by a typed
+        // constant-bound verdict carrying the guard's numbers.
+        let sane = r.findings.iter().find(|f| f.sanitized()).expect("sanitized finding");
+        assert!(
+            matches!(sane.verdict, SanitizeVerdict::ConstGuard { bound: 64, fits: true, .. }),
+            "expected a const-guard verdict, got {:?}",
+            sane.verdict
+        );
     }
 
     /// getenv → strcpy: the Table IV CVE-2016-5681 shape.
@@ -196,9 +214,15 @@ mod tests {
 
         let r = analyze(&bin);
         assert_eq!(r.vulnerabilities(), 0);
+        let sane = r
+            .findings
+            .iter()
+            .find(|f| f.sanitized() && f.kind == VulnKindRepr::CommandInjection)
+            .expect("the guarded injection path must be found and judged sanitized");
         assert!(
-            r.findings.iter().any(|f| f.sanitized && f.kind == VulnKindRepr::CommandInjection),
-            "the guarded injection path must be found and judged sanitized"
+            matches!(&sane.verdict, SanitizeVerdict::SeparatorCheck { chars } if chars.contains(';')),
+            "expected a separator-check verdict, got {:?}",
+            sane.verdict
         );
     }
 
@@ -260,6 +284,18 @@ mod tests {
         assert_eq!(v.sink_fn, "do_copy");
         assert_eq!(v.observed_in, "main");
         assert_eq!(v.call_chain.len(), 1);
+        // The interprocedural hop shows up as a typed callsite
+        // substitution naming both ends.
+        assert!(
+            v.evidence.iter().any(|s| matches!(
+                s,
+                EvidenceStep::CallsiteSubstitution { caller, callee, .. }
+                    if caller == "main" && callee == "do_copy"
+            )),
+            "missing callsite evidence: {:?}",
+            v.evidence
+        );
+        assert!(v.to_string().contains("[chain: main →("), "{v}");
     }
 
     /// No sources at all → no findings, even with sinks present.

@@ -4,6 +4,7 @@
 //! pointer aliasing → layout similarity → bottom-up data flow →
 //! sink/source matching → findings`.
 
+use crate::report;
 use crate::report::{
     AnalysisReport, FnCost, FunctionOutcome, FunctionRecord, StageTimings, TelemetrySection,
 };
@@ -300,7 +301,13 @@ impl Dtaint {
         } else {
             taint::BoundsMode::Paper
         };
-        let outcome = taint::detect_full(&df, Some(bin), &self.config.sources, &fn_names, mode);
+        let mut outcome = taint::detect_full(&df, Some(bin), &self.config.sources, &fn_names, mode);
+        // Insert-time dedup: detect_full already collapses same-path
+        // observations from different holders; this catches findings
+        // that are identical in every field (usually zero). Both counts
+        // feed the `detect.duplicates_suppressed` counter.
+        let duplicates_suppressed =
+            outcome.duplicates_suppressed + report::dedup_findings(&mut outcome.findings);
         for &addr in &outcome.failed_holders {
             if self.config.fail_fast {
                 return Err(dtaint_fwbin::Error::BadFormat(format!(
@@ -402,6 +409,7 @@ impl Dtaint {
         metrics.inc("detect.infeasible_suppressed", outcome.infeasible_suppressed as u64);
         metrics.inc("absint.solver_passes", outcome.absint_passes);
         metrics.inc("detect.findings", outcome.findings.len() as u64);
+        metrics.inc("detect.duplicates_suppressed", duplicates_suppressed as u64);
         tel.metrics.merge(&metrics);
 
         // Root span last: it closes after everything it contains. The

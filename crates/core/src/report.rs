@@ -1,5 +1,6 @@
 //! Findings and analysis reports.
 
+use crate::evidence::{EvidenceStep, SanitizeVerdict};
 use crate::sinks::VulnKind;
 use dtaint_telemetry::MetricsRegistry;
 use serde::{Deserialize, Serialize};
@@ -17,7 +18,7 @@ pub struct SourceRef {
 }
 
 /// One `(source, path, sink)` tuple the detector judged.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Finding {
     /// Weakness class.
     pub kind: VulnKindRepr,
@@ -36,18 +37,70 @@ pub struct Finding {
     pub call_chain: Vec<u32>,
     /// The tainted variable, rendered in the paper's notation.
     pub tainted_expr: String,
-    /// True when a sanitising constraint guards the path — a guarded
-    /// finding is *not* reported as a vulnerability.
-    pub sanitized: bool,
-    /// The backward sink-to-source trace over the data-dependency graph,
-    /// rendered source-first (may be empty for object-granular taint
-    /// with no single def chain).
+    /// Content-addressed identity: a hash of the finding's semantics
+    /// (kind, sink, sink function, address-normalized tainted
+    /// expression, source names) that is stable across relinks and
+    /// verdict changes. See [`crate::evidence::fingerprint`].
     #[serde(default)]
-    pub trace: Vec<String>,
+    pub fingerprint: String,
+    /// The typed sanitization decision. A sanitised finding is *not*
+    /// reported as a vulnerability; see [`Finding::sanitized`].
+    #[serde(default)]
+    pub verdict: SanitizeVerdict,
+    /// The typed provenance chain, rendered source-first and terminated
+    /// by an [`EvidenceStep::Verdict`] (empty only in hand-built or
+    /// legacy reports).
+    #[serde(default)]
+    pub evidence: Vec<EvidenceStep>,
+}
+
+impl Finding {
+    /// True when a sanitising constraint guards the path — the derived
+    /// view of [`Finding::verdict`] that replaces the old stored bool.
+    pub fn sanitized(&self) -> bool {
+        self.verdict.sanitized()
+    }
+
+    /// Renders the interprocedural call chain as
+    /// `f1 →(0xADDR) f2 →(0xADDR) sink_fn`, preferring the callee names
+    /// recorded in [`EvidenceStep::CallsiteSubstitution`] evidence and
+    /// falling back to raw addresses between `observed_in` and
+    /// `sink_fn` when the chain carries no evidence. Empty when the
+    /// flow never crossed a call site.
+    pub fn call_chain_display(&self) -> String {
+        if self.call_chain.is_empty() {
+            return String::new();
+        }
+        let subs: Vec<(&u32, &str, &str)> = self
+            .evidence
+            .iter()
+            .filter_map(|s| match s {
+                EvidenceStep::CallsiteSubstitution { ins_addr, caller, callee } => {
+                    Some((ins_addr, caller.as_str(), callee.as_str()))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut parts: Vec<String> = Vec::new();
+        if subs.len() == self.call_chain.len() {
+            parts.push(subs[0].1.to_owned());
+            for (addr, _, callee) in subs {
+                parts.push(format!("→({addr:#x})"));
+                parts.push(callee.to_owned());
+            }
+        } else {
+            parts.push(self.observed_in.clone());
+            for addr in &self.call_chain {
+                parts.push(format!("→({addr:#x})"));
+            }
+            parts.push(self.sink_fn.clone());
+        }
+        parts.join(" ")
+    }
 }
 
 /// Serializable mirror of [`VulnKind`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum VulnKindRepr {
     /// See [`VulnKind::BufferOverflow`].
     BufferOverflow,
@@ -75,7 +128,7 @@ impl fmt::Display for VulnKindRepr {
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let status = if self.sanitized { "sanitized" } else { "VULNERABLE" };
+        let status = if self.sanitized() { "sanitized" } else { "VULNERABLE" };
         write!(
             f,
             "[{status}] {} via {} at {:#x} in {} (sources: {}; tainted: {})",
@@ -89,8 +142,41 @@ impl fmt::Display for Finding {
                 .collect::<Vec<_>>()
                 .join(", "),
             self.tainted_expr,
-        )
+        )?;
+        let chain = self.call_chain_display();
+        if !chain.is_empty() {
+            write!(f, " [chain: {chain}]")?;
+        }
+        Ok(())
     }
+}
+
+/// Sorts findings into the canonical report order: vulnerable before
+/// sanitised, then by kind, fingerprint, and the remaining identity
+/// fields as tie-breakers. The key is a pure function of deterministic
+/// finding fields, so the order is stable across runs and thread
+/// counts.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        a.sanitized()
+            .cmp(&b.sanitized())
+            .then_with(|| a.kind.cmp(&b.kind))
+            .then_with(|| a.fingerprint.cmp(&b.fingerprint))
+            .then_with(|| a.sink_ins.cmp(&b.sink_ins))
+            .then_with(|| a.observed_in.cmp(&b.observed_in))
+            .then_with(|| a.call_chain.cmp(&b.call_chain))
+            .then_with(|| a.sources.cmp(&b.sources))
+    });
+}
+
+/// Drops findings that are identical in *every* field (full structural
+/// equality, not just the fingerprint), returning how many were
+/// suppressed. Expects the canonically sorted order produced by
+/// [`sort_findings`], under which identical findings are adjacent.
+pub fn dedup_findings(findings: &mut Vec<Finding>) -> usize {
+    let before = findings.len();
+    findings.dedup();
+    before - findings.len()
 }
 
 /// How the pipeline fared on one function — the fault-tolerance
@@ -145,7 +231,7 @@ pub struct FunctionRecord {
 }
 
 /// Wall-clock cost of each pipeline stage.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageTimings {
     /// Lifting + CFG + call-graph construction.
     pub lift_cfg: Duration,
@@ -262,7 +348,7 @@ impl FnCost {
 
 /// The observability section of a report: the per-image metrics
 /// registry plus per-function cost profiles.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TelemetrySection {
     /// Counters, gauges and histograms aggregated over the whole image.
     #[serde(default)]
@@ -285,7 +371,7 @@ impl TelemetrySection {
 }
 
 /// The complete result of analyzing one binary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnalysisReport {
     /// Name used for reporting (binary or firmware component).
     pub binary_name: String,
@@ -342,7 +428,7 @@ impl AnalysisReport {
     /// Unsafe paths: findings with taint and no sanitisation
     /// (Table III "Vulnerable paths").
     pub fn vulnerable_paths(&self) -> Vec<&Finding> {
-        self.findings.iter().filter(|f| !f.sanitized).collect()
+        self.findings.iter().filter(|f| !f.sanitized()).collect()
     }
 
     /// Distinct vulnerable sink sites (Table III "Vulnerability").
@@ -445,23 +531,30 @@ impl AnalysisReport {
                 let _ = writeln!(md, "- sources: {}", srcs.join(", "));
                 let _ = writeln!(md, "- tainted variable: `{}`", f.tainted_expr);
                 let _ = writeln!(md, "- observed from: `{}`", f.observed_in);
-                if !f.trace.is_empty() {
-                    let _ = writeln!(md, "- data-flow trace:");
-                    for step in &f.trace {
+                if !f.fingerprint.is_empty() {
+                    let _ = writeln!(md, "- fingerprint: `{}`", f.fingerprint);
+                }
+                let chain = f.call_chain_display();
+                if !chain.is_empty() {
+                    let _ = writeln!(md, "- call chain: {chain}");
+                }
+                if !f.evidence.is_empty() {
+                    let _ = writeln!(md, "- evidence:");
+                    for step in &f.evidence {
                         let _ = writeln!(md, "  - {step}");
                     }
                 }
                 let _ = writeln!(md);
             }
         }
-        let sanitized: Vec<&Finding> = self.findings.iter().filter(|f| f.sanitized).collect();
+        let sanitized: Vec<&Finding> = self.findings.iter().filter(|f| f.sanitized()).collect();
         if !sanitized.is_empty() {
             let _ = writeln!(md, "## Sanitised paths (not reported)\n");
             for f in sanitized {
                 let _ = writeln!(
                     md,
-                    "- {} via `{}` at `{:#x}` — guarded by a path constraint",
-                    f.kind, f.sink, f.sink_ins
+                    "- {} via `{}` at `{:#x}` — {}",
+                    f.kind, f.sink, f.sink_ins, f.verdict
                 );
             }
         }
@@ -508,17 +601,38 @@ mod tests {
     use super::*;
 
     fn finding(sink_ins: u32, sanitized: bool) -> Finding {
+        let verdict = if sanitized {
+            SanitizeVerdict::ConstGuard { bound: 64, capacity: Some(256), fits: true }
+        } else {
+            SanitizeVerdict::UncheckedFlow
+        };
+        let sources = vec![SourceRef { name: "recv".into(), ins_addr: 0x100 }];
         Finding {
             kind: VulnKindRepr::BufferOverflow,
             sink: "memcpy".into(),
             sink_ins,
             sink_fn: "f".into(),
             observed_in: "main".into(),
-            sources: vec![SourceRef { name: "recv".into(), ins_addr: 0x100 }],
+            fingerprint: crate::evidence::fingerprint(
+                VulnKindRepr::BufferOverflow,
+                "memcpy",
+                "f",
+                "ret_0x100",
+                &sources,
+            ),
+            evidence: vec![
+                EvidenceStep::Source { name: "recv".into(), ins_addr: 0x100 },
+                EvidenceStep::CallsiteSubstitution {
+                    ins_addr: 0x200,
+                    caller: "main".into(),
+                    callee: "f".into(),
+                },
+                EvidenceStep::Verdict(verdict.clone()),
+            ],
+            sources,
             call_chain: vec![0x200],
             tainted_expr: "ret_0x100".into(),
-            sanitized,
-            trace: vec!["source recv@0x100".into()],
+            verdict,
         }
     }
 
@@ -557,6 +671,25 @@ mod tests {
         let back = AnalysisReport::from_json(&s).unwrap();
         assert_eq!(back.findings.len(), 3);
         assert_eq!(back.binary_name, "t");
+        assert_eq!(back, r, "round-trip must preserve every field");
+    }
+
+    #[test]
+    fn legacy_json_without_provenance_fields_still_parses() {
+        // A PR-4-era finding: `sanitized`/`trace` instead of
+        // `verdict`/`evidence`/`fingerprint`. Unknown members are
+        // ignored; the new fields default (verdict = UncheckedFlow).
+        let legacy = r#"{
+            "kind": "BufferOverflow", "sink": "memcpy", "sink_ins": 16,
+            "sink_fn": "f", "observed_in": "main",
+            "sources": [{"name": "recv", "ins_addr": 256}],
+            "call_chain": [], "tainted_expr": "ret_0x100",
+            "sanitized": true, "trace": ["source recv@0x100"]
+        }"#;
+        let f: Finding = serde_json::from_str(legacy).unwrap();
+        assert!(!f.sanitized(), "legacy bool is not carried over; verdict defaults unchecked");
+        assert!(f.evidence.is_empty());
+        assert!(f.fingerprint.is_empty());
     }
 
     #[test]
@@ -663,5 +796,40 @@ mod tests {
         assert!(s.contains("recv@0x100"));
         let s = finding(0x10, true).to_string();
         assert!(s.contains("sanitized"));
+    }
+
+    #[test]
+    fn display_renders_call_chain_from_evidence() {
+        let s = finding(0x10, false).to_string();
+        assert!(s.contains("[chain: main →(0x200) f]"), "{s}");
+        // Without callsite evidence the chain falls back to raw
+        // addresses between the observing function and the sink.
+        let mut f = finding(0x10, false);
+        f.evidence.clear();
+        assert_eq!(f.call_chain_display(), "main →(0x200) f");
+        f.call_chain.clear();
+        assert_eq!(f.call_chain_display(), "");
+        assert!(!f.to_string().contains("[chain:"));
+    }
+
+    #[test]
+    fn findings_sort_canonically_and_dedup_counts_duplicates() {
+        let mut sane = finding(0x30, true);
+        sane.fingerprint = "ffff".into();
+        let mut vuln_b = finding(0x20, false);
+        vuln_b.fingerprint = "bbbb".into();
+        let mut vuln_a = finding(0x10, false);
+        vuln_a.fingerprint = "aaaa".into();
+        let mut v = vec![sane.clone(), vuln_b.clone(), vuln_a.clone(), vuln_a.clone()];
+        sort_findings(&mut v);
+        // Vulnerable first, then fingerprint order; identical findings
+        // are adjacent and collapse in dedup.
+        assert_eq!(
+            v.iter().map(|f| f.fingerprint.as_str()).collect::<Vec<_>>(),
+            ["aaaa", "aaaa", "bbbb", "ffff"]
+        );
+        assert_eq!(dedup_findings(&mut v), 1);
+        assert_eq!(v.len(), 3);
+        assert!(!v[0].sanitized() && v[2].sanitized());
     }
 }

@@ -118,8 +118,17 @@ mod tests {
             sources: vec![SourceRef { name: source.into(), ins_addr: 1 }],
             call_chain: vec![],
             tainted_expr: String::new(),
-            sanitized,
-            trace: vec![],
+            fingerprint: String::new(),
+            verdict: if sanitized {
+                crate::evidence::SanitizeVerdict::ConstGuard {
+                    bound: 64,
+                    capacity: None,
+                    fits: true,
+                }
+            } else {
+                crate::evidence::SanitizeVerdict::UncheckedFlow
+            },
+            evidence: vec![],
         }
     }
 

@@ -25,10 +25,11 @@
 //! evaluated over an interval abstract domain, so symbolic guards are
 //! judged too and contradictory paths are suppressed).
 
+use crate::evidence::{self, EvidenceStep, SanitizeVerdict};
 use crate::report::{Finding, SourceRef};
 use crate::sinks::{sink_spec, TaintedVar, VulnKind, CMD_SEPARATORS};
 use dtaint_absint::IntervalAnalysis;
-use dtaint_dataflow::{FinalSummary, ProgramDataflow, SinkKind, SinkObservation};
+use dtaint_dataflow::{FinalSummary, ProgramDataflow, SinkKind, SinkObservation, TraceStep};
 use dtaint_fwbin::{Binary, SymbolKind};
 use dtaint_symex::pool::{CmpOp, SymNode};
 use dtaint_symex::{ExprId, ExprPool};
@@ -74,6 +75,10 @@ pub struct TaintOutcome {
     /// Observing functions whose judgement panicked and was caught —
     /// their sink observations yielded no findings. Sorted by address.
     pub failed_holders: Vec<u32>,
+    /// Candidate findings dropped by cross-holder deduplication (same
+    /// sink instruction, call chain, source set and sink name observed
+    /// from more than one holder).
+    pub duplicates_suppressed: usize,
 }
 
 /// Object-granular taint knowledge for one observing function.
@@ -233,19 +238,23 @@ pub fn detect_full(
 ) -> TaintOutcome {
     let mut findings = Vec::new();
     let mut infeasible_suppressed = 0usize;
+    let mut duplicates_suppressed = 0usize;
     let mut absint = Duration::ZERO;
     let mut absint_passes = 0u64;
     let mut seen: HashSet<(u32, Vec<u32>, Vec<SourceRef>, String)> = HashSet::new();
     let mut failed_holders: Vec<u32> = Vec::new();
     let mut holders: Vec<&FinalSummary> = df.finals.values().collect();
     holders.sort_by_key(|f| f.summary.addr);
+    // Caller/callee names per call instruction, shared by every
+    // holder's evidence assembly.
+    let callsites = df.callsite_index();
     for holder in holders {
         // Judge each observing function behind a panic boundary: the
         // pool is only read here, so a caught panic loses that holder's
         // findings and nothing else. Cross-holder deduplication stays
         // out here, applied in the same holder order as a clean run.
         let judged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            judge_holder(df, bin, sources, fn_names, mode, holder)
+            judge_holder(df, bin, sources, fn_names, mode, holder, &callsites)
         }));
         let Ok(judged) = judged else {
             failed_holders.push(holder.summary.addr);
@@ -258,13 +267,20 @@ pub fn detect_full(
             let key = (f.sink_ins, f.call_chain.clone(), f.sources.clone(), f.sink.clone());
             if seen.insert(key) {
                 findings.push(f);
+            } else {
+                duplicates_suppressed += 1;
             }
         }
     }
-    findings.sort_by(|a, b| {
-        (a.sink_ins, &a.observed_in, &a.sources).cmp(&(b.sink_ins, &b.observed_in, &b.sources))
-    });
-    TaintOutcome { findings, infeasible_suppressed, absint, absint_passes, failed_holders }
+    crate::report::sort_findings(&mut findings);
+    TaintOutcome {
+        findings,
+        infeasible_suppressed,
+        absint,
+        absint_passes,
+        failed_holders,
+        duplicates_suppressed,
+    }
 }
 
 /// Per-holder result of [`judge_holder`], before cross-holder
@@ -286,6 +302,7 @@ fn judge_holder(
     fn_names: &HashMap<u32, String>,
     mode: BoundsMode,
     holder: &FinalSummary,
+    callsites: &HashMap<u32, (String, String)>,
 ) -> HolderJudgement {
     let mut findings = Vec::new();
     let mut infeasible_suppressed = 0usize;
@@ -383,46 +400,111 @@ fn judge_holder(
                 BoundsMode::Strict => obs.args.first().and_then(|&d| stack_capacity(&df.pool, d)),
                 BoundsMode::Interval => dest_capacity(df, bin, obs),
             };
-            let sanitized = match kind {
+            let verdict = match kind {
                 VulnKind::BufferOverflow => match &obs.kind {
-                    SinkKind::LoopCopy => loop_copy_sanitized(df, obs, capacity, mode),
+                    SinkKind::LoopCopy => loop_copy_verdict(df, obs, capacity, mode),
                     SinkKind::Import(name) => {
                         let spec = sink_spec(name).expect("checked above");
                         match (&ranges, spec.tainted) {
-                            (Some(a), TaintedVar::Arg(i)) => obs.args.get(i).is_some_and(|&len| {
-                                interval_upper_bound(&index, a, obs, len, capacity)
-                            }),
-                            _ => has_upper_bound(&index, obs, capacity),
+                            (Some(a), TaintedVar::Arg(i)) => obs
+                                .args
+                                .get(i)
+                                .map(|&len| interval_upper_bound(&index, a, obs, len, capacity))
+                                .unwrap_or_default(),
+                            _ => upper_bound_verdict(&index, obs, capacity),
                         }
                     }
                 },
-                VulnKind::CommandInjection => has_separator_check(df, &index, obs),
+                VulnKind::CommandInjection => separator_verdict(df, &index, obs),
             };
 
             let srcs: Vec<SourceRef> = source_refs.into_iter().collect();
-            // Backward DFS over the dependency graph for a printable trace.
-            let trace: Vec<String> = tainted_rendered
-                .map(|e| {
-                    dtaint_dataflow::backward_trace(df, holder.summary.addr, e, sources, 12)
-                        .iter()
-                        .map(|s| s.to_string())
-                        .collect()
-                })
-                .unwrap_or_default();
             let unknown = "<unknown>".to_owned();
+            let observed_name = fn_names.get(&holder.summary.addr).unwrap_or(&unknown).clone();
+            let sink_fn_name = fn_names.get(&obs.sink_fn).unwrap_or(&unknown).clone();
+
+            // Typed provenance chain, source-first: the backward DDG
+            // walk, then the transformations that carried the
+            // observation (alias rewrites, callsite substitutions), the
+            // interval refinement when it ran, and the verdict last.
+            let mut chain: Vec<EvidenceStep> = Vec::new();
+            if let Some(e) = tainted_rendered {
+                for step in dtaint_dataflow::backward_trace(df, holder.summary.addr, e, sources, 12)
+                {
+                    match step {
+                        TraceStep::Source { name, ins_addr } => {
+                            chain.push(EvidenceStep::Source { name, ins_addr });
+                        }
+                        TraceStep::Def { ins_addr, location, value } => {
+                            chain.push(EvidenceStep::DefUse {
+                                ins_addr,
+                                location,
+                                value,
+                                function: observed_name.clone(),
+                            });
+                        }
+                        // The finding itself records the sink; the
+                        // chain ends at the verdict instead.
+                        TraceStep::Sink { .. } => {}
+                    }
+                }
+            }
+            // Object-granular taint can have no single def chain; the
+            // source set is still known, so lead with it.
+            if !chain.iter().any(|s| matches!(s, EvidenceStep::Source { .. })) {
+                let mut pre: Vec<EvidenceStep> = srcs
+                    .iter()
+                    .map(|s| EvidenceStep::Source { name: s.name.clone(), ins_addr: s.ins_addr })
+                    .collect();
+                pre.append(&mut chain);
+                chain = pre;
+            }
+            if holder.summary.alias_rewrites > 0 {
+                chain.push(EvidenceStep::AliasRewrite {
+                    function: observed_name.clone(),
+                    rewrites: u64::from(holder.summary.alias_rewrites),
+                });
+            }
+            for &cs in &obs.call_chain {
+                let (caller, callee) = callsites
+                    .get(&cs)
+                    .cloned()
+                    .unwrap_or_else(|| (observed_name.clone(), sink_fn_name.clone()));
+                chain.push(EvidenceStep::CallsiteSubstitution { ins_addr: cs, caller, callee });
+            }
+            if kind == VulnKind::BufferOverflow {
+                if let (Some(a), SinkKind::Import(name)) = (&ranges, &obs.kind) {
+                    let spec = sink_spec(name).expect("checked above");
+                    if let TaintedVar::Arg(i) = spec.tainted {
+                        if let Some(&len) = obs.args.get(i) {
+                            let r = a.range_of(len);
+                            chain.push(EvidenceStep::IntervalGuard {
+                                expr: df.pool.display(len).to_string(),
+                                lower: r.lower(),
+                                upper: r.upper(),
+                            });
+                        }
+                    }
+                }
+            }
+            chain.push(EvidenceStep::Verdict(verdict.clone()));
+
+            let tainted_expr =
+                tainted_rendered.map(|e| df.pool.display(e).to_string()).unwrap_or_default();
+            let fingerprint =
+                evidence::fingerprint(kind.into(), &sink_name, &sink_fn_name, &tainted_expr, &srcs);
             findings.push(Finding {
                 kind: kind.into(),
                 sink: sink_name,
                 sink_ins: obs.sink_ins,
-                sink_fn: fn_names.get(&obs.sink_fn).unwrap_or(&unknown).clone(),
-                observed_in: fn_names.get(&holder.summary.addr).unwrap_or(&unknown).clone(),
+                sink_fn: sink_fn_name,
+                observed_in: observed_name,
                 sources: srcs,
                 call_chain: obs.call_chain.clone(),
-                tainted_expr: tainted_rendered
-                    .map(|e| df.pool.display(e).to_string())
-                    .unwrap_or_default(),
-                sanitized,
-                trace,
+                tainted_expr,
+                fingerprint,
+                verdict,
+                evidence: chain,
             });
         }
     }
@@ -434,30 +516,60 @@ fn judge_holder(
     }
 }
 
-/// True when a bounding constraint covers the tainted data:
+/// Judges bounding constraints covering the tainted data:
 /// `T < c` / `T <= y` (taken), or `c > T` style checks. When `capacity`
 /// is known (strict mode, stack destination), a constant bound must
-/// actually fit it.
-fn has_upper_bound(index: &TaintIndex<'_>, obs: &SinkObservation, capacity: Option<i64>) -> bool {
-    obs.constraints.iter().any(|(op, l, r)| {
+/// actually fit it. Returns the first sanitising guard as its typed
+/// verdict; when every covering guard is a too-large constant, the
+/// first such failed guard is reported (so the finding shows *which*
+/// bound was insufficient); with no covering guard at all the flow is
+/// unchecked.
+fn upper_bound_verdict(
+    index: &TaintIndex<'_>,
+    obs: &SinkObservation,
+    capacity: Option<i64>,
+) -> SanitizeVerdict {
+    let mut failed: Option<SanitizeVerdict> = None;
+    for (op, l, r) in &obs.constraints {
         let (tainted_side, bound_side) = match op {
             CmpOp::Lt | CmpOp::Le => (*l, *r),
             CmpOp::Gt | CmpOp::Ge => (*r, *l),
-            _ => return false,
+            _ => continue,
         };
         if index.atoms_in(tainted_side).is_empty() {
-            return false;
+            continue;
         }
         match (capacity, index.df.pool.as_const(bound_side)) {
             (Some(cap), Some(bound)) => {
                 let effective = if matches!(op, CmpOp::Le | CmpOp::Ge) { bound + 1 } else { bound };
-                effective <= cap
+                let v = SanitizeVerdict::ConstGuard {
+                    bound,
+                    capacity: Some(cap),
+                    fits: effective <= cap,
+                };
+                if effective <= cap {
+                    return v;
+                }
+                failed.get_or_insert(v);
             }
-            // Symbolic bound or unknown capacity: the paper's syntactic
-            // judgement.
-            _ => true,
+            // Constant bound, unknown capacity: the paper's syntactic
+            // judgement accepts it.
+            (None, Some(bound)) => {
+                return SanitizeVerdict::ConstGuard { bound, capacity: None, fits: true };
+            }
+            // Symbolic bound: syntactic judgement accepts it too (the
+            // interval mode is where symbolic bounds get resolved).
+            (_, None) => {
+                return SanitizeVerdict::SymbolicGuard {
+                    expr: index.df.pool.display(bound_side).to_string(),
+                    resolved_upper: None,
+                    capacity,
+                    fits: true,
+                };
+            }
         }
-    })
+    }
+    failed.unwrap_or(SanitizeVerdict::UncheckedFlow)
 }
 
 /// Interval-mode bound judgement for a length argument. A bounding
@@ -474,7 +586,7 @@ fn interval_upper_bound(
     obs: &SinkObservation,
     len: ExprId,
     capacity: Option<i64>,
-) -> bool {
+) -> SanitizeVerdict {
     let guarded = obs.constraints.iter().any(|(op, l, r)| {
         let tainted_side = match op {
             CmpOp::Lt | CmpOp::Le => *l,
@@ -484,9 +596,10 @@ fn interval_upper_bound(
         !index.atoms_in(tainted_side).is_empty()
     });
     if !guarded {
-        return false;
+        return SanitizeVerdict::UncheckedFlow;
     }
-    match (analysis.range_of(len).upper(), capacity) {
+    let resolved_upper = analysis.range_of(len).upper();
+    let fits = match (resolved_upper, capacity) {
         (Some(hi), Some(cap)) => hi <= cap,
         // Unknown capacity: a provably finite length is the best
         // obtainable judgement (matches the strict-mode fallback).
@@ -494,6 +607,12 @@ fn interval_upper_bound(
         // Guarded, but the bound never resolves to a finite range:
         // refuse to trust the guard.
         (None, _) => false,
+    };
+    SanitizeVerdict::SymbolicGuard {
+        expr: index.df.pool.display(len).to_string(),
+        resolved_upper,
+        capacity,
+        fits,
     }
 }
 
@@ -552,21 +671,23 @@ pub(crate) fn stack_capacity(pool: &ExprPool, dst: ExprId) -> Option<i64> {
 /// between the two compared pointers when they share a base — must
 /// additionally fit the destination's capacity, so an oversized counted
 /// copy is judged exactly like a weak constant `memcpy` bound.
-fn loop_copy_sanitized(
+fn loop_copy_verdict(
     df: &ProgramDataflow,
     obs: &SinkObservation,
     capacity: Option<i64>,
     mode: BoundsMode,
-) -> bool {
+) -> SanitizeVerdict {
     let bounding: Vec<&(CmpOp, ExprId, ExprId)> =
         obs.constraints.iter().filter(|(op, _, _)| op.is_bounding()).collect();
     if bounding.is_empty() {
-        return false;
+        return SanitizeVerdict::UncheckedFlow;
     }
     if mode == BoundsMode::Paper {
-        return true;
+        return SanitizeVerdict::LoopTripCount { trips: None, capacity: None, fits: true };
     }
-    let Some(cap) = capacity else { return true };
+    let Some(cap) = capacity else {
+        return SanitizeVerdict::LoopTripCount { trips: None, capacity: None, fits: true };
+    };
     let trips: Vec<i64> = bounding
         .iter()
         .filter_map(|(_, l, r)| {
@@ -576,30 +697,49 @@ fn loop_copy_sanitized(
         })
         .collect();
     // Symbolic loop bound (no extractable trip count): syntactic verdict.
-    trips.is_empty() || trips.iter().any(|&t| t <= cap)
+    match trips.iter().min() {
+        None => SanitizeVerdict::LoopTripCount { trips: None, capacity: Some(cap), fits: true },
+        Some(&best) => SanitizeVerdict::LoopTripCount {
+            trips: Some(best),
+            capacity: Some(cap),
+            fits: best <= cap,
+        },
+    }
 }
 
-/// True when the path compares a tainted byte against one of the shell
-/// separators in [`CMD_SEPARATORS`].
-fn has_separator_check(
+/// Judges separator checks on command-injection paths: the path must
+/// compare a tainted byte against one of the shell separators in
+/// [`CMD_SEPARATORS`]. The verdict collects every separator character
+/// actually checked.
+fn separator_verdict(
     df: &ProgramDataflow,
     index: &TaintIndex<'_>,
     obs: &SinkObservation,
-) -> bool {
-    let is_sep = |e: ExprId| df.pool.as_const(e).is_some_and(|c| CMD_SEPARATORS.contains(&c));
-    obs.constraints.iter().any(|(op, l, r)| {
+) -> SanitizeVerdict {
+    let sep_const = |e: ExprId| df.pool.as_const(e).filter(|c| CMD_SEPARATORS.contains(c));
+    let mut chars: BTreeSet<char> = BTreeSet::new();
+    for (op, l, r) in &obs.constraints {
         if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
-            return false;
+            continue;
         }
-        let data = if is_sep(*r) {
-            *l
-        } else if is_sep(*l) {
-            *r
+        let (data, sep) = if let Some(c) = sep_const(*r) {
+            (*l, c)
+        } else if let Some(c) = sep_const(*l) {
+            (*r, c)
         } else {
-            return false;
+            continue;
         };
-        !index.atoms_in(data).is_empty()
-    })
+        if !index.atoms_in(data).is_empty() {
+            if let Ok(b) = u8::try_from(sep) {
+                chars.insert(char::from(b));
+            }
+        }
+    }
+    if chars.is_empty() {
+        SanitizeVerdict::UncheckedFlow
+    } else {
+        SanitizeVerdict::SeparatorCheck { chars: chars.into_iter().collect() }
+    }
 }
 
 #[cfg(test)]

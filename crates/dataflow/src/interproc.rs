@@ -267,6 +267,35 @@ impl ProgramDataflow {
         self.finals.values().flat_map(|f| f.sinks.iter().map(move |s| (f, s)))
     }
 
+    /// Caller/callee names for every call site in the program, keyed by
+    /// the call instruction address. Direct callees resolve through
+    /// their final summaries, imports keep their import name, and
+    /// indirect calls resolve through the layout-similarity matches
+    /// (falling back to `"<indirect>"` when unresolved). Feeds the
+    /// per-finding provenance chain: each `call_chain` entry becomes a
+    /// named callsite-substitution evidence step.
+    pub fn callsite_index(&self) -> HashMap<u32, (String, String)> {
+        let resolved: HashMap<u32, u32> =
+            self.resolved_indirect.iter().map(|r| (r.ins_addr, r.callee)).collect();
+        let name_of = |addr: u32| {
+            self.finals.get(&addr).map_or_else(|| format!("{addr:#x}"), |f| f.summary.name.clone())
+        };
+        let mut out = HashMap::new();
+        for f in self.finals.values() {
+            for cs in &f.summary.callsites {
+                let callee = match &cs.callee {
+                    CalleeRef::Direct(a) => name_of(*a),
+                    CalleeRef::Import(n) => n.clone(),
+                    CalleeRef::Indirect(_) => resolved
+                        .get(&cs.ins_addr)
+                        .map_or_else(|| "<indirect>".to_owned(), |&a| name_of(a)),
+                };
+                out.insert(cs.ins_addr, (f.summary.name.clone(), callee));
+            }
+        }
+        out
+    }
+
     /// Values known to be stored at the pointee of `ptr` within the given
     /// function's final definition pairs (any access width).
     ///

@@ -592,7 +592,7 @@ mod tests {
             let bin = compile(&p, arch).unwrap();
             let r = Dtaint::new().analyze(&bin, "t").unwrap();
             assert_eq!(r.vulnerabilities(), 0, "{arch}: guarded memcpy is sanitized");
-            assert!(r.findings.iter().any(|f| f.sanitized), "{arch}: path still observed");
+            assert!(r.findings.iter().any(|f| f.sanitized()), "{arch}: path still observed");
         }
     }
 

@@ -25,7 +25,7 @@ fn config_threads(threads: usize) -> DtaintConfig {
 }
 
 /// The fields of a finding that are stable across pool layouts — the
-/// rendered `tainted_expr`/`trace` strings may embed pool-global
+/// rendered `tainted_expr`/evidence strings may embed pool-global
 /// unknown indices, which legitimately shift when an *earlier* function
 /// is skipped, so pristine-vs-mutant comparisons key on these.
 fn stable_key(f: &Finding) -> (String, u32, String, String, Vec<String>, Vec<u32>, bool) {
@@ -36,7 +36,7 @@ fn stable_key(f: &Finding) -> (String, u32, String, String, Vec<String>, Vec<u32
         f.observed_in.clone(),
         f.sources.iter().map(|s| s.name.clone()).collect(),
         f.call_chain.clone(),
-        f.sanitized,
+        f.sanitized(),
     )
 }
 

@@ -46,7 +46,7 @@ fn interval_mode_resolves_symbolic_guards() {
         let fitting = build(PlantKind::BofSymbolicBound, true, arch);
         let r = analyze(&fitting, true, false);
         assert_eq!(r.vulnerabilities(), 0, "{arch}: fitting symbolic bound is sanitisation");
-        assert!(r.findings.iter().any(|f| f.sanitized), "{arch}: the flow is seen");
+        assert!(r.findings.iter().any(|f| f.sanitized()), "{arch}: the flow is seen");
     }
 }
 

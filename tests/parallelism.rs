@@ -23,8 +23,8 @@ fn report(fw: &GeneratedFirmware, threads: usize) -> AnalysisReport {
 }
 
 /// Order-insensitive finding keys, including the rendered tainted
-/// expression (pool translation must be structure-preserving) and the
-/// full sink-to-source trace.
+/// expression (pool translation must be structure-preserving), the
+/// fingerprint, and the full typed evidence chain down to the verdict.
 fn finding_keys(r: &AnalysisReport) -> Vec<(u32, String, bool, String, Vec<u32>, String)> {
     let mut keys: Vec<_> = r
         .findings
@@ -33,10 +33,10 @@ fn finding_keys(r: &AnalysisReport) -> Vec<(u32, String, bool, String, Vec<u32>,
             (
                 f.sink_ins,
                 f.sink.clone(),
-                f.sanitized,
+                f.sanitized(),
                 f.tainted_expr.clone(),
                 f.call_chain.clone(),
-                format!("{:?}{:?}", f.sources, f.trace),
+                format!("{}{:?}{:?}{:?}", f.fingerprint, f.sources, f.verdict, f.evidence),
             )
         })
         .collect();
@@ -129,6 +129,39 @@ fn dataflow_stage_is_deterministic_across_thread_counts() {
         match &base {
             None => base = Some(fp),
             Some(b) => assert_eq!(&fp, b, "threads={threads} diverged from sequential DDG"),
+        }
+    }
+}
+
+/// Reports round-trip through JSON losslessly — full `PartialEq`,
+/// including the typed evidence chains and the telemetry section — and
+/// the provenance (fingerprints, verdicts, evidence) is bit-identical
+/// across thread counts, on every Table II profile.
+#[test]
+fn report_json_round_trips_and_evidence_is_thread_invariant() {
+    for index in 0..6 {
+        let fw = capped_firmware(index, 120);
+        let label = fw.profile.binary_name;
+        let seq = report(&fw, 1);
+        let par = report(&fw, 4);
+        for r in [&seq, &par] {
+            let back = AnalysisReport::from_json(&r.to_json().unwrap())
+                .unwrap_or_else(|e| panic!("{label}: reparse failed: {e}"));
+            assert_eq!(&back, r, "{label}: JSON round-trip must be lossless");
+        }
+        let provenance = |r: &AnalysisReport| {
+            r.findings
+                .iter()
+                .map(|f| (f.fingerprint.clone(), f.verdict.clone(), f.evidence.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(provenance(&seq), provenance(&par), "{label}: evidence differs at 4 threads");
+        for f in seq.findings.iter().filter(|f| !f.evidence.is_empty()) {
+            assert!(
+                matches!(f.evidence.last(), Some(dtaint_core::EvidenceStep::Verdict(_))),
+                "{label}: evidence chain must end in a verdict"
+            );
+            assert!(!f.fingerprint.is_empty(), "{label}: fingerprint populated");
         }
     }
 }

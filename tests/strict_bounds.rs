@@ -29,7 +29,7 @@ fn paper_faithful_mode_trusts_the_weak_bound() {
         0,
         "the syntactic check accepts any bounding constraint — a documented gap"
     );
-    assert!(r.findings.iter().any(|f| f.sanitized), "the flow is seen, judged sanitized");
+    assert!(r.findings.iter().any(|f| f.sanitized()), "the flow is seen, judged sanitized");
 }
 
 #[test]
