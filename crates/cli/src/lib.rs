@@ -12,6 +12,12 @@
 //! * `diff <baseline.json> <current.json>` — compare two scans by
 //!   content-addressed fingerprint: new/fixed/changed-verdict findings
 //!   plus metrics-counter deltas; exits 2 when regressions appeared,
+//! * `batch <dir>` — scan every `.fwi` image in a directory (images
+//!   distributed over `--jobs` worker threads, each scan using the
+//!   incremental summary cache persisted in the store), write one
+//!   report per image plus `corpus.json`, and track finding lifecycles
+//!   in the store's database; exits 2 on new/re-opened vulnerable
+//!   findings in non-baseline images, 4 when an image failed to scan,
 //! * `unpack <image> [--out dir]` — extract the root filesystem,
 //! * `info <image|binary>` — metadata, sections, symbols, signatures,
 //! * `disasm <binary> [function]` — objdump-style listing,
@@ -26,7 +32,7 @@
 //! The command logic lives in [`run`] (writes to any `io::Write`), so
 //! every subcommand is unit-testable; `main.rs` is a thin wrapper.
 
-use dtaint_core::{AnalysisReport, Dtaint, DtaintConfig, Finding};
+use dtaint_core::{AnalysisReport, CacheRef, Dtaint, DtaintConfig, Finding, SummaryCache};
 use dtaint_emu::{poison_all_rodata_names, validate as emu_validate, AttackConfig, Verdict};
 use dtaint_fwbin::{disasm, Binary};
 use dtaint_fwimage::{
@@ -45,6 +51,7 @@ commands:
                       [--trace-out FILE] [--trace-chrome FILE] [--metrics-out FILE]
   explain <report.json> [--finding PREFIX]
   diff <baseline.json> <current.json>
+  batch <dir> [--store DIR] [--out DIR] [--jobs N] [--threads N] [--no-cache]
   unpack <image> [--out DIR]
   info <image|binary>
   disasm <binary> [FUNCTION]
@@ -90,6 +97,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         "scan" => cmd_scan(&rest, out),
         "explain" => cmd_explain(&rest, out),
         "diff" => cmd_diff(&rest, out),
+        "batch" => cmd_batch(&rest, out),
         "unpack" => cmd_unpack(&rest, out),
         "info" => cmd_info(&rest, out),
         "disasm" => cmd_disasm(&rest, out),
@@ -140,6 +148,8 @@ fn positional(rest: &[String]) -> Vec<&String> {
                     | "--metrics-out"
                     | "--sarif-out"
                     | "--finding"
+                    | "--store"
+                    | "--jobs"
             ) {
                 skip = true;
             }
@@ -449,6 +459,9 @@ fn cmd_diff(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let pos = positional(rest);
     let base_path = pos.first().ok_or("diff: missing baseline report path")?;
     let cur_path = pos.get(1).ok_or("diff: missing current report path")?;
+    if base_path == cur_path {
+        write_out(out, "note: baseline and current are the same file\n")?;
+    }
     let base = load_report(base_path)?;
     let cur = load_report(cur_path)?;
 
@@ -478,6 +491,24 @@ fn cmd_diff(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             cur.findings.len(),
         ),
     )?;
+
+    // Fast path: identical fingerprint sets with identical verdicts
+    // need no section-by-section walk — the common case when diffing a
+    // re-scan of an unchanged image (e.g. out of the batch cache).
+    if before.len() == after.len()
+        && before.iter().all(|(fp, f)| after.get(fp).is_some_and(|g| g.verdict == f.verdict))
+    {
+        write_out(
+            out,
+            &format!(
+                "no finding differences: {} fingerprint(s) match with identical verdicts\n",
+                after.len()
+            ),
+        )?;
+        write_counter_deltas(&base, &cur, out)?;
+        write_out(out, "no regressions\n")?;
+        return Ok(0);
+    }
 
     let mut regressions = 0usize;
     let mut new_lines = Vec::new();
@@ -517,12 +548,27 @@ fn cmd_diff(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             }
         }
     }
-    if new_lines.is_empty() && fixed_lines.is_empty() && changed_lines.is_empty() {
-        write_out(out, "no finding differences\n")?;
-    }
+    write_counter_deltas(&base, &cur, out)?;
 
-    // Telemetry counter deltas (the counters are deterministic, so a
-    // non-zero delta means the analysis itself changed shape).
+    if regressions > 0 {
+        write_out(
+            out,
+            &format!("{regressions} regression(s): new or re-opened vulnerable finding(s)\n"),
+        )?;
+        Ok(2)
+    } else {
+        write_out(out, "no regressions\n")?;
+        Ok(0)
+    }
+}
+
+/// Telemetry counter deltas (the counters are deterministic, so a
+/// non-zero delta means the analysis itself changed shape).
+fn write_counter_deltas(
+    base: &AnalysisReport,
+    cur: &AnalysisReport,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     let mut names: std::collections::BTreeSet<&String> =
         base.telemetry.metrics.counters.keys().collect();
     names.extend(cur.telemetry.metrics.counters.keys());
@@ -540,17 +586,313 @@ fn cmd_diff(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             write_out(out, &l)?;
         }
     }
+    Ok(())
+}
 
-    if regressions > 0 {
+/// One image's worth of work inside `batch`: every binary scanned, or
+/// the error that stopped the image (other images are unaffected).
+struct ImageOutcome {
+    /// Image file stem (the store's image key).
+    name: String,
+    /// One report per executable in the image.
+    reports: Vec<AnalysisReport>,
+    /// The cache scan labels used, one per report.
+    labels: Vec<String>,
+    /// Set when the image could not be scanned at all.
+    error: Option<String>,
+}
+
+/// Per-image entry of `corpus.json`.
+#[derive(serde::Serialize)]
+struct CorpusImage {
+    name: String,
+    binaries: usize,
+    findings: usize,
+    vulnerable: usize,
+    baseline: bool,
+    new: usize,
+    reopened: usize,
+    resolved: usize,
+    regression: bool,
+    sym_hits: u64,
+    sym_misses: u64,
+    ddg_hits: u64,
+    ddg_misses: u64,
+    error: Option<String>,
+}
+
+/// The corpus-level summary written next to the per-image reports.
+#[derive(serde::Serialize)]
+struct CorpusSummary {
+    generation: u64,
+    images: Vec<CorpusImage>,
+    failures: usize,
+    regressions: usize,
+    vulnerable: usize,
+    sym_hits: u64,
+    sym_misses: u64,
+    ddg_hits: u64,
+    ddg_misses: u64,
+    cache_entries: usize,
+}
+
+fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let dir = pos.first().ok_or("batch: missing corpus directory")?;
+    let store_root = flag_value(rest, "--store")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(dir.as_str()).join(".dtaint-store"));
+    let store = dtaint_store::StoreDir::open(&store_root)
+        .map_err(|e| format!("batch: open store {}: {e}", store_root.display()))?;
+    let reports_dir = flag_value(rest, "--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| store.reports_dir());
+    std::fs::create_dir_all(&reports_dir)
+        .map_err(|e| format!("batch: create {}: {e}", reports_dir.display()))?;
+    let jobs: usize = match flag_value(rest, "--jobs") {
+        Some(v) => v.parse().map_err(|_| "batch: --jobs expects a number".to_owned())?,
+        None => 1,
+    };
+    let threads: usize = match flag_value(rest, "--threads") {
+        Some(v) => v.parse().map_err(|_| "batch: --threads expects a number".to_owned())?,
+        None => 0,
+    };
+    let no_cache = has_flag(rest, "--no-cache");
+
+    let mut images: Vec<std::path::PathBuf> = std::fs::read_dir(dir.as_str())
+        .map_err(|e| format!("batch: read {dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "fwi"))
+        .collect();
+    images.sort();
+    if images.is_empty() {
+        return Err(format!("batch: no .fwi images in {dir}"));
+    }
+
+    // The summary cache persists in the store across runs; `--no-cache`
+    // scans cold and leaves the persisted cache untouched.
+    let cache = (!no_cache).then(|| std::sync::Arc::new(SummaryCache::load(&store.cache_path())));
+
+    // Work-stealing across images: workers pull the next un-scanned
+    // index; results land in per-image slots so output order (and the
+    // findings database fold) stays deterministic regardless of which
+    // worker finished first.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<ImageOutcome>>> =
+        images.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let scan_one = |path: &std::path::Path| -> ImageOutcome {
+        let name = path
+            .file_stem()
+            .map_or_else(|| path.display().to_string(), |s| s.to_string_lossy().into_owned());
+        let mut outcome = ImageOutcome {
+            name: name.clone(),
+            reports: Vec::new(),
+            labels: Vec::new(),
+            error: None,
+        };
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<(Vec<AnalysisReport>, Vec<String>), String> {
+                let mut reports = Vec::new();
+                let mut labels = Vec::new();
+                for (bin_name, bin) in load_binaries(&path.to_string_lossy())? {
+                    let label = format!("{name}/{bin_name}");
+                    let config = DtaintConfig {
+                        threads,
+                        cache: cache.as_ref().map(|c| CacheRef::new(c.clone(), &label)),
+                        ..Default::default()
+                    };
+                    let report = Dtaint::with_config(config)
+                        .analyze(&bin, &bin_name)
+                        .map_err(|e| e.to_string())?;
+                    reports.push(report);
+                    labels.push(label);
+                }
+                Ok((reports, labels))
+            },
+        ));
+        match attempt {
+            Ok(Ok((reports, labels))) => {
+                outcome.reports = reports;
+                outcome.labels = labels;
+            }
+            Ok(Err(e)) => outcome.error = Some(e),
+            Err(_) => outcome.error = Some("scan panicked".into()),
+        }
+        outcome
+    };
+    std::thread::scope(|s| {
+        for _ in 0..jobs.clamp(1, images.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let Some(path) = images.get(i) else { break };
+                *slots[i].lock().unwrap() = Some(scan_one(path));
+            });
+        }
+    });
+
+    // Deterministic fold, in sorted-image order: write reports, record
+    // findings, aggregate the corpus summary.
+    let mut db = store.load_db();
+    let mut summary = CorpusSummary {
+        generation: 0,
+        images: Vec::new(),
+        failures: 0,
+        regressions: 0,
+        vulnerable: 0,
+        sym_hits: 0,
+        sym_misses: 0,
+        ddg_hits: 0,
+        ddg_misses: 0,
+        cache_entries: 0,
+    };
+    for slot in slots {
+        let oc = slot.into_inner().unwrap().expect("every image slot filled");
+        if let Some(err) = oc.error {
+            summary.failures += 1;
+            write_out(out, &format!("!! {}: {err}\n", oc.name))?;
+            summary.images.push(CorpusImage {
+                name: oc.name,
+                binaries: 0,
+                findings: 0,
+                vulnerable: 0,
+                baseline: false,
+                new: 0,
+                reopened: 0,
+                resolved: 0,
+                regression: false,
+                sym_hits: 0,
+                sym_misses: 0,
+                ddg_hits: 0,
+                ddg_misses: 0,
+                error: Some(err.clone()),
+            });
+            continue;
+        }
+        // One report file per image: a single JSON object when the
+        // image holds one executable (the common case, `diff`-able
+        // as-is), else a JSON array.
+        let texts: Result<Vec<String>, String> =
+            oc.reports.iter().map(|r| r.to_json().map_err(|e| e.to_string())).collect();
+        let texts = texts?;
+        let doc = if texts.len() == 1 {
+            texts[0].clone()
+        } else {
+            format!("[\n{}\n]", texts.join(",\n"))
+        };
+        let report_path = reports_dir.join(format!("{}.json", oc.name));
+        std::fs::write(&report_path, &doc)
+            .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+
+        // One exemplar per fingerprint, vulnerable winning over
+        // sanitized (the `diff` convention), before the store fold.
+        let mut by_fp: std::collections::BTreeMap<&str, dtaint_store::ScanFinding> =
+            std::collections::BTreeMap::new();
+        for f in oc.reports.iter().flat_map(|r| &r.findings) {
+            let entry =
+                by_fp.entry(f.fingerprint.as_str()).or_insert_with(|| dtaint_store::ScanFinding {
+                    fingerprint: f.fingerprint.clone(),
+                    vulnerable: false,
+                    sink: f.sink.clone(),
+                    sink_fn: f.sink_fn.clone(),
+                });
+            entry.vulnerable |= !f.sanitized();
+        }
+        let findings: Vec<dtaint_store::ScanFinding> = by_fp.into_values().collect();
+        let delta = db.record_scan(&oc.name, &findings);
+
+        let mut img = CorpusImage {
+            name: oc.name,
+            binaries: oc.reports.len(),
+            findings: findings.len(),
+            vulnerable: findings.iter().filter(|f| f.vulnerable).count(),
+            baseline: delta.is_baseline,
+            new: delta.new.len(),
+            reopened: delta.reopened.len(),
+            resolved: delta.resolved.len(),
+            regression: delta.is_regression(),
+            sym_hits: 0,
+            sym_misses: 0,
+            ddg_hits: 0,
+            ddg_misses: 0,
+            error: None,
+        };
+        if let Some(c) = &cache {
+            for label in &oc.labels {
+                let st = c.scan_stats(label);
+                img.sym_hits += st.sym_hits;
+                img.sym_misses += st.sym_misses;
+                img.ddg_hits += st.ddg_hits;
+                img.ddg_misses += st.ddg_misses;
+            }
+        }
+        let status = if delta.is_baseline {
+            "baseline".to_owned()
+        } else if delta.is_regression() {
+            format!("REGRESSION: {} new, {} reopened", delta.new.len(), delta.reopened.len())
+        } else {
+            format!(
+                "{} new, {} reopened, {} resolved",
+                delta.new.len(),
+                delta.reopened.len(),
+                delta.resolved.len()
+            )
+        };
         write_out(
             out,
-            &format!("{regressions} regression(s): new or re-opened vulnerable finding(s)\n"),
+            &format!(
+                "== {}: {} binarie(s), {} finding(s), {} vulnerable, cache sym {}/{} ddg {}/{} [{}]\n",
+                img.name,
+                img.binaries,
+                img.findings,
+                img.vulnerable,
+                img.sym_hits,
+                img.sym_hits + img.sym_misses,
+                img.ddg_hits,
+                img.ddg_hits + img.ddg_misses,
+                status,
+            ),
         )?;
-        Ok(2)
-    } else {
-        write_out(out, "no regressions\n")?;
-        Ok(0)
+        summary.vulnerable += img.vulnerable;
+        summary.regressions += usize::from(img.regression);
+        summary.sym_hits += img.sym_hits;
+        summary.sym_misses += img.sym_misses;
+        summary.ddg_hits += img.ddg_hits;
+        summary.ddg_misses += img.ddg_misses;
+        summary.images.push(img);
     }
+    summary.generation = db.generation;
+    if let Some(c) = &cache {
+        summary.cache_entries = c.totals().entries;
+        c.save(&store.cache_path())
+            .map_err(|e| format!("write {}: {e}", store.cache_path().display()))?;
+    }
+    store.save_db(&db).map_err(|e| format!("write {}: {e}", store.findings_path().display()))?;
+    let corpus_path = reports_dir.join("corpus.json");
+    let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+    std::fs::write(&corpus_path, json)
+        .map_err(|e| format!("write {}: {e}", corpus_path.display()))?;
+    write_out(
+        out,
+        &format!(
+            "corpus: {} image(s), {} vulnerable finding(s), {} regression(s), {} failure(s); cache sym {}/{} ddg {}/{} ({} entries)\n",
+            summary.images.len(),
+            summary.vulnerable,
+            summary.regressions,
+            summary.failures,
+            summary.sym_hits,
+            summary.sym_hits + summary.sym_misses,
+            summary.ddg_hits,
+            summary.ddg_hits + summary.ddg_misses,
+            summary.cache_entries,
+        ),
+    )?;
+    Ok(if summary.regressions > 0 {
+        2
+    } else if summary.failures > 0 {
+        4
+    } else {
+        0
+    })
 }
 
 fn cmd_unpack(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
@@ -895,6 +1237,117 @@ mod tests {
         assert_eq!(code, Ok(0), "{out}");
         assert!(out.contains("no finding differences"), "{out}");
         assert!(out.contains("no regressions"), "{out}");
+    }
+
+    #[test]
+    fn diff_same_file_fast_path_notes_and_counts_fingerprints() {
+        let p = small_image_path();
+        let (_, json) = run_captured(&["scan", &p, "--json"]);
+        let a = tmpdir().join("diff-self.json");
+        std::fs::write(&a, &json).unwrap();
+        let path = a.to_str().unwrap();
+        let (code, out) = run_captured(&["diff", path, path]);
+        assert_eq!(code, Ok(0), "{out}");
+        assert!(out.contains("note: baseline and current are the same file"), "{out}");
+        assert!(out.contains("no finding differences:"), "{out}");
+        assert!(out.contains("fingerprint(s) match with identical verdicts"), "{out}");
+        assert!(out.contains("no regressions"), "{out}");
+    }
+
+    /// Builds a small corpus directory holding the profile-1 image and
+    /// a findings-free variant of it (same binary name, no plants) for
+    /// regression testing.
+    fn corpus_dir(tag: &str) -> (std::path::PathBuf, Vec<u8>, Vec<u8>) {
+        let dir = tmpdir().join(format!("corpus-{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut profile = dtaint_fwgen::table2_profiles().remove(0);
+        profile.total_functions = 50;
+        let full = dtaint_fwgen::build_firmware(&profile).image.pack(false);
+        profile.plants.clear();
+        profile.extra_paths = 0;
+        let benign = dtaint_fwgen::build_firmware(&profile).image.pack(false);
+        (dir, full, benign)
+    }
+
+    #[test]
+    fn batch_cold_then_warm_reuses_the_cache_and_stays_quiet() {
+        let (dir, full, _) = corpus_dir("warm");
+        std::fs::write(dir.join("router.fwi"), &full).unwrap();
+        let d = dir.to_str().unwrap().to_owned();
+        let (code, out) = run_captured(&["batch", &d, "--jobs", "2"]);
+        assert_eq!(code, Ok(0), "baseline run never regresses: {out}");
+        assert!(out.contains("[baseline]"), "{out}");
+        assert!(out.contains("corpus: 1 image(s)"), "{out}");
+        let report = dir.join(".dtaint-store/reports/router.json");
+        assert!(report.exists(), "per-image report written");
+        let corpus = dir.join(".dtaint-store/reports/corpus.json");
+        assert!(corpus.exists(), "corpus summary written");
+        // Warm re-run: no finding churn, and the cache serves summaries.
+        let (code, out) = run_captured(&["batch", &d, "--jobs", "2"]);
+        assert_eq!(code, Ok(0), "{out}");
+        assert!(out.contains("0 new, 0 reopened, 0 resolved"), "{out}");
+        let text = std::fs::read_to_string(&corpus).unwrap();
+        assert!(text.contains("\"sym_misses\": 0"), "warm run misses nothing: {text}");
+        assert!(text.contains("\"ddg_misses\": 0"), "warm run misses nothing: {text}");
+        assert!(!text.contains("\"sym_hits\": 0,"), "warm run hits the cache: {text}");
+    }
+
+    #[test]
+    fn batch_no_cache_scans_cold() {
+        let (dir, full, _) = corpus_dir("nocache");
+        std::fs::write(dir.join("router.fwi"), &full).unwrap();
+        let d = dir.to_str().unwrap().to_owned();
+        let _ = run_captured(&["batch", &d, "--no-cache"]);
+        let (code, out) = run_captured(&["batch", &d, "--no-cache"]);
+        assert_eq!(code, Ok(0), "{out}");
+        assert!(out.contains("cache sym 0/0 ddg 0/0"), "no probes at all: {out}");
+        assert!(out.contains("(0 entries)"), "nothing persisted: {out}");
+    }
+
+    #[test]
+    fn batch_tracks_regressions_across_versions() {
+        let (dir, full, benign) = corpus_dir("reg");
+        let img = dir.join("router.fwi");
+        let d = dir.to_str().unwrap().to_owned();
+        // Baseline: the benign build of the image.
+        std::fs::write(&img, &benign).unwrap();
+        let (code, out) = run_captured(&["batch", &d]);
+        assert_eq!(code, Ok(0), "{out}");
+        // The vendor ships a vulnerable update: every planted finding
+        // is new — a regression, exit 2.
+        std::fs::write(&img, &full).unwrap();
+        let (code, out) = run_captured(&["batch", &d]);
+        assert_eq!(code, Ok(2), "{out}");
+        assert!(out.contains("REGRESSION"), "{out}");
+        // Re-scanning the same version is quiet again.
+        let (code, out) = run_captured(&["batch", &d]);
+        assert_eq!(code, Ok(0), "{out}");
+        assert!(out.contains("0 new, 0 reopened"), "{out}");
+        // Reverting resolves findings (not a regression), and shipping
+        // the vulnerable build again re-opens them.
+        std::fs::write(&img, &benign).unwrap();
+        let (code, out) = run_captured(&["batch", &d]);
+        assert_eq!(code, Ok(0), "fixes are not regressions: {out}");
+        assert!(out.contains("resolved"), "{out}");
+        std::fs::write(&img, &full).unwrap();
+        let (code, out) = run_captured(&["batch", &d]);
+        assert_eq!(code, Ok(2), "re-opened findings regress: {out}");
+        assert!(out.contains("reopened"), "{out}");
+    }
+
+    #[test]
+    fn batch_isolates_a_broken_image_and_exits_4() {
+        let (dir, full, _) = corpus_dir("broken");
+        std::fs::write(dir.join("good.fwi"), &full).unwrap();
+        std::fs::write(dir.join("bad.fwi"), b"this is not a firmware image").unwrap();
+        let d = dir.to_str().unwrap().to_owned();
+        let (code, out) = run_captured(&["batch", &d, "--jobs", "2"]);
+        assert_eq!(code, Ok(4), "failures exit 4: {out}");
+        assert!(out.contains("!! bad:"), "{out}");
+        assert!(out.contains("== good:"), "the good image still scanned: {out}");
+        assert!(out.contains("1 failure(s)"), "{out}");
+        let (code, _) = run_captured(&["batch", dir.join("empty").to_str().unwrap()]);
+        assert!(code.is_err(), "unreadable/empty corpus is a usage error");
     }
 
     #[test]

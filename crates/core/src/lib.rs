@@ -58,6 +58,7 @@ pub mod taint;
 
 mod pipeline;
 
+pub use dtaint_dataflow::{CacheRef, CacheTotals, ScanStats, SummaryCache};
 pub use evidence::{EvidenceStep, SanitizeVerdict};
 pub use pipeline::{Dtaint, DtaintConfig};
 pub use report::{

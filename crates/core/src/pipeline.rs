@@ -11,9 +11,11 @@ use crate::report::{
 use crate::sinks::{default_sink_names, default_sources};
 use crate::taint;
 use dtaint_cfg::{build_function_cfg, CallGraph, FunctionCfg};
-use dtaint_dataflow::{build_dataflow, DataflowConfig, SinkKind};
+use dtaint_dataflow::cache::{env_digest, function_content_hash, sym_salt, Level};
+use dtaint_dataflow::{build_dataflow, CacheRef, DataflowConfig, SinkKind};
 use dtaint_fwbin::Binary;
-use dtaint_symex::{analyze_function, ExprPool, FuncSummary, SymexConfig};
+use dtaint_symex::{analyze_function, canonical_encode, SummaryDecoder};
+use dtaint_symex::{ExprPool, FuncSummary, SymexConfig};
 use dtaint_telemetry::{Collector, MetricsRegistry, SpanEvent, TraceBuffer, TraceSpec};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -52,6 +54,13 @@ pub struct DtaintConfig {
     /// whole-image scans; `true` is the old behaviour, useful when a
     /// clean corpus is expected and any failure is a bug.
     pub fail_fast: bool,
+    /// Incremental summary cache: when set, per-function symbolic
+    /// summaries and final DDG summaries are keyed by content hash and
+    /// reused across scans (see [`dtaint_dataflow::cache`]). Findings
+    /// and all report fields except wall-clock timings are identical
+    /// with or without it; hit/miss counters land in the *collector's*
+    /// metrics, never in the report. `None` (the default) scans cold.
+    pub cache: Option<CacheRef>,
 }
 
 impl Default for DtaintConfig {
@@ -65,6 +74,7 @@ impl Default for DtaintConfig {
             interval_guards: false,
             function_filter: None,
             fail_fast: false,
+            cache: None,
         }
     }
 }
@@ -139,6 +149,9 @@ impl Dtaint {
         // Only events this scan appends matter for the per-function
         // duration lookup below (one collector may span many binaries).
         let watermark = tel.events().len();
+        if let Some(cref) = &self.config.cache {
+            cref.cache.begin_scan(&cref.scan);
+        }
         // Per-function outcome records, keyed by entry address; only
         // non-Analyzed outcomes are stored, and a later stage may
         // overwrite with a more severe outcome.
@@ -197,7 +210,11 @@ impl Dtaint {
         // summary; a fuel-exhausted one is retried once degraded.
         let stage_t0 = tel.start();
         let t = Instant::now();
-        let stage = self.run_symex(bin, &cfgs, tel);
+        let sym_cache = self.config.cache.as_ref().map(|cref| SymexCacheCtx {
+            cref: cref.clone(),
+            salt: sym_salt(env_digest(bin), &self.config.symex),
+        });
+        let stage = self.run_symex(bin, &cfgs, tel, sym_cache.as_ref());
         let SymexStage { summaries, pool, records: symex_records, retried, retry_time } = stage;
         for (addr, name, outcome, detail) in symex_records {
             if self.config.fail_fast && outcome == FunctionOutcome::Panicked {
@@ -219,6 +236,26 @@ impl Dtaint {
         df_config.threads = self.effective_threads(cfgs.len());
         df_config.interval_guards |= self.config.interval_guards;
         df_config.trace = tel.is_enabled().then(|| TraceSpec { clock: tel.clock(), base_lane: 1 });
+        // Quarantine every function with a non-Analyzed outcome so far
+        // (lift failures, symex panics/degradations): the DDG stage must
+        // never store their summaries — a faulted artefact in the cache
+        // would masquerade as a healthy one on the next scan.
+        df_config.cache = self.config.cache.as_ref().map(|cref| CacheRef {
+            cache: cref.cache.clone(),
+            scan: cref.scan.clone(),
+            uncacheable: std::sync::Arc::new(
+                cref.uncacheable
+                    .iter()
+                    .copied()
+                    .chain(
+                        records
+                            .values()
+                            .filter(|r| r.outcome != FunctionOutcome::Analyzed)
+                            .map(|r| r.addr),
+                    )
+                    .collect(),
+            ),
+        });
         let mut df = build_dataflow(bin, &mut callgraph, summaries, pool, &df_config);
         tel.absorb(std::mem::take(&mut df.trace_events));
         let df = df;
@@ -411,6 +448,19 @@ impl Dtaint {
         metrics.inc("detect.findings", outcome.findings.len() as u64);
         metrics.inc("detect.duplicates_suppressed", duplicates_suppressed as u64);
         tel.metrics.merge(&metrics);
+        // Cache traffic is a property of the *session* (what was warm),
+        // not of the analysis result, so it goes only into the
+        // collector's registry — after the merge above — keeping the
+        // report itself byte-identical between cold and warm scans.
+        if let Some(cref) = &self.config.cache {
+            let st = cref.cache.scan_stats(&cref.scan);
+            tel.metrics.inc("cache.symex.hits", st.sym_hits);
+            tel.metrics.inc("cache.symex.misses", st.sym_misses);
+            tel.metrics.inc("cache.ddg.hits", st.ddg_hits);
+            tel.metrics.inc("cache.ddg.misses", st.ddg_misses);
+            tel.metrics.inc("cache.invalidations", st.invalidations);
+            tel.metrics.inc("cache.stores", st.stores);
+        }
 
         // Root span last: it closes after everything it contains. The
         // pool size rides here rather than in the registry: the parallel
@@ -478,7 +528,13 @@ impl Dtaint {
     /// that is translated into the global pool at the end. Per-function
     /// panics are caught and rolled back out of the pool; fuel
     /// exhaustion triggers one degraded retry (see [`symex_one`]).
-    fn run_symex(&self, bin: &Binary, cfgs: &[FunctionCfg], tel: &mut Collector) -> SymexStage {
+    fn run_symex(
+        &self,
+        bin: &Binary,
+        cfgs: &[FunctionCfg],
+        tel: &mut Collector,
+        cache: Option<&SymexCacheCtx>,
+    ) -> SymexStage {
         let threads = self.effective_threads(cfgs.len());
         let mut stage = SymexStage {
             summaries: Vec::with_capacity(cfgs.len()),
@@ -503,8 +559,25 @@ impl Dtaint {
             let mut buf = tel.buffer(1);
             for c in cfgs {
                 let t0 = buf.start();
-                let one = symex_one(bin, c, &mut stage.pool, &self.config.symex);
+                let key = cache.and_then(|cc| cc.key(bin, c));
+                let hit = match (cache, key) {
+                    (Some(cc), Some(k)) => cc.probe(k, &mut stage.pool),
+                    _ => None,
+                };
+                let was_hit = hit.is_some();
+                let one = match hit {
+                    Some(summary) => SymexOne {
+                        summary,
+                        record: None,
+                        retried: false,
+                        retry_time: Duration::ZERO,
+                    },
+                    None => symex_one(bin, c, &mut stage.pool, &self.config.symex),
+                };
                 span(&mut buf, c, &one, t0);
+                if let Some(cc) = cache {
+                    cc.settle(&stage.pool, &one, key, was_hit);
+                }
                 stage.absorb(one, None);
             }
             tel.absorb(buf.into_events());
@@ -513,7 +586,8 @@ impl Dtaint {
         let chunk = cfgs.len().div_ceil(threads);
         let clock = tel.clock();
         let on = tel.is_enabled();
-        let parts: Vec<(Vec<SymexOne>, ExprPool, Vec<SpanEvent>)> =
+        type SymexItem = (SymexOne, Option<u64>, bool);
+        let parts: Vec<(Vec<SymexItem>, ExprPool, Vec<SpanEvent>)> =
             crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (widx, slice) in cfgs.chunks(chunk).enumerate() {
@@ -521,13 +595,30 @@ impl Dtaint {
                     handles.push(scope.spawn(move |_| {
                         let mut pool = ExprPool::new();
                         let mut buf = TraceBuffer::new(clock, 1 + widx as u32, on);
-                        let out: Vec<SymexOne> = slice
+                        let out: Vec<SymexItem> = slice
                             .iter()
                             .map(|c| {
                                 let t0 = buf.start();
-                                let one = symex_one(bin, c, &mut pool, &symex);
+                                // Cache probe in the private pool; local
+                                // summaries are unknown-free, so decoded
+                                // ids translate like any cold result.
+                                let key = cache.and_then(|cc| cc.key(bin, c));
+                                let hit = match (cache, key) {
+                                    (Some(cc), Some(k)) => cc.probe(k, &mut pool),
+                                    _ => None,
+                                };
+                                let was_hit = hit.is_some();
+                                let one = match hit {
+                                    Some(summary) => SymexOne {
+                                        summary,
+                                        record: None,
+                                        retried: false,
+                                        retry_time: Duration::ZERO,
+                                    },
+                                    None => symex_one(bin, c, &mut pool, &symex),
+                                };
                                 span(&mut buf, c, &one, t0);
-                                one
+                                (one, key, was_hit)
                             })
                             .collect();
                         (out, pool, buf.into_events())
@@ -537,14 +628,75 @@ impl Dtaint {
             })
             .expect("crossbeam scope");
         // Absorbed in chunk (spawn) order, so the merged event stream is
-        // deterministic for a given thread count.
+        // deterministic for a given thread count. Cache stats and stores
+        // settle here, master-side, for the same reason; the canonical
+        // encoding is pool-independent, so encoding from the worker's
+        // pool stores byte-identical blobs to a sequential run.
         for (ones, local, events) in parts {
             tel.absorb(events);
-            for one in ones {
+            for (one, key, was_hit) in ones {
+                if let Some(cc) = cache {
+                    cc.settle(&local, &one, key, was_hit);
+                }
                 stage.absorb(one, Some(&local));
             }
         }
         stage
+    }
+}
+
+/// Per-scan context for the symex-level summary cache: the config salt
+/// plus the shared store handle.
+struct SymexCacheCtx {
+    cref: CacheRef,
+    salt: u64,
+}
+
+impl SymexCacheCtx {
+    /// Content key for one function: salt + address + name + raw bytes.
+    fn key(&self, bin: &Binary, cfg: &FunctionCfg) -> Option<u64> {
+        let sym = bin.function_at(cfg.addr)?;
+        let bytes = bin.bytes_at(sym.addr, sym.size)?;
+        Some(function_content_hash(self.salt, cfg.addr, &cfg.name, &bytes))
+    }
+
+    /// Attempts to rehydrate a cached local summary into `pool`. Local
+    /// summaries never contain unknowns (only the DDG stage mints
+    /// them), so the unknown-unmapper refuses everything; a malformed
+    /// blob rolls the pool back and falls through to a cold run.
+    fn probe(&self, key: u64, pool: &mut ExprPool) -> Option<FuncSummary> {
+        let blob = self.cref.cache.lookup_blob(Level::Symex, key)?;
+        let mark = pool.mark();
+        let r = (|| {
+            let mut dec = SummaryDecoder::new(&blob, pool, &mut |_, _| None)?;
+            let s = dec.summary()?;
+            dec.at_end().then_some(s)
+        })();
+        if r.is_none() {
+            pool.rollback(mark);
+        }
+        r
+    }
+
+    /// Hit/miss bookkeeping plus the store on an eligible miss: only
+    /// cleanly analyzed summaries (no outcome record, not degraded, no
+    /// fuel exhaustion) are cached.
+    fn settle(&self, pool: &ExprPool, one: &SymexOne, key: Option<u64>, was_hit: bool) {
+        let s = &one.summary;
+        if was_hit {
+            if let Some(k) = key {
+                self.cref.cache.note_hit(Level::Symex, &self.cref.scan, s.addr, k);
+            }
+            return;
+        }
+        self.cref.cache.note_miss(Level::Symex, &self.cref.scan, &s.name, s.addr, key);
+        let Some(k) = key else { return };
+        if one.record.is_some() || s.degraded || s.fuel_exhausted {
+            return;
+        }
+        if let Some(blob) = canonical_encode(pool, s) {
+            self.cref.cache.store(Level::Symex, &self.cref.scan, k, blob);
+        }
     }
 }
 

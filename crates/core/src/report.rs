@@ -431,6 +431,22 @@ impl AnalysisReport {
         self.findings.iter().filter(|f| !f.sanitized()).collect()
     }
 
+    /// The report with every wall-clock field zeroed: stage timings and
+    /// the per-function `symex_us`/`ddg_us` display costs. Everything
+    /// left is a deterministic logical quantity, so two reports of the
+    /// same image compare equal under `==` regardless of machine load,
+    /// thread count, or whether an incremental cache served the scan —
+    /// the comparison the differential cold-vs-warm harness performs.
+    #[must_use]
+    pub fn with_zeroed_wall_clock(mut self) -> AnalysisReport {
+        self.timings = StageTimings::default();
+        for f in &mut self.telemetry.functions {
+            f.symex_us = 0;
+            f.ddg_us = 0;
+        }
+        self
+    }
+
     /// Distinct vulnerable sink sites (Table III "Vulnerability").
     pub fn vulnerabilities(&self) -> usize {
         self.vulnerable_paths().iter().map(|f| f.sink_ins).collect::<BTreeSet<_>>().len()

@@ -1,0 +1,726 @@
+//! The incremental summary cache (content-addressed, two-level).
+//!
+//! Algorithm 2 makes a function's final summary a pure function of
+//! (a) its own post-alias local summary, (b) the final summaries of its
+//! out-of-component callees, (c) the indirect-call resolution at its
+//! call sites, and (d) the analysis configuration. That purity is what
+//! makes summary reuse across scans sound: key each serialized summary
+//! by an FNV content hash of exactly those inputs, composed bottom-up
+//! over the SCC condensation, and a re-scan of a modified image misses
+//! only on the changed functions and their transitive callers.
+//!
+//! Two levels share one store:
+//!
+//! * **symex** — the per-function local summary, keyed by the function's
+//!   raw bytes under a config salt. A hit skips symbolic execution.
+//! * **ddg** — the final (post-propagation) summary plus its sink
+//!   observations, keyed by the local summary's canonical encoding
+//!   composed with every callee's final key (whole-SCC granularity for
+//!   recursive components: members treat each other as opaque, so the
+//!   sorted member hashes stand in for the cycle). A hit skips the
+//!   Algorithm 2 inner loop for that function.
+//!
+//! Keys bake in an **environment digest** (sections, symbols, imports)
+//! and a **config salt** — including the fault-drill `panic_on` knobs,
+//! so a drilled scan never hits entries produced by a healthy one — but
+//! never thread counts or trace settings, which are observationally
+//! irrelevant. Blobs are pool-free ([`dtaint_symex::encode`]); unknowns
+//! rehydrate through per-scan ownership tables, renumbered onto the
+//! destination pool exactly like a fork merge.
+//!
+//! Functions whose symex stage reported any non-`Analyzed` outcome are
+//! listed in [`CacheRef::uncacheable`] and are never stored (their keys
+//! still exist, so callers above them can hit).
+
+use dtaint_fwbin::Binary;
+use dtaint_symex::encode::Fnv64;
+use dtaint_symex::SymexConfig;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::interproc::DataflowConfig;
+
+/// Which cache level an entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Local (pre-interprocedural) function summaries.
+    Symex,
+    /// Final summaries with sink observations.
+    Ddg,
+}
+
+/// Per-scan hit/miss accounting, queryable by scan label.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScanStats {
+    /// Symex-level hits.
+    pub sym_hits: u64,
+    /// Symex-level misses.
+    pub sym_misses: u64,
+    /// DDG-level hits.
+    pub ddg_hits: u64,
+    /// DDG-level misses.
+    pub ddg_misses: u64,
+    /// Misses where the same scan label previously recorded a
+    /// *different* key for the same function — i.e. the function (or
+    /// something below it) changed between scans.
+    pub invalidations: u64,
+    /// Blobs written by this scan.
+    pub stores: u64,
+    /// Names of the functions that missed at the symex level.
+    pub sym_miss_fns: BTreeSet<String>,
+    /// Names of the functions that missed at the DDG level.
+    pub ddg_miss_fns: BTreeSet<String>,
+}
+
+/// Whole-cache totals across every scan since load.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheTotals {
+    /// Hits across both levels.
+    pub hits: u64,
+    /// Misses across both levels.
+    pub misses: u64,
+    /// Key-changed misses.
+    pub invalidations: u64,
+    /// Blobs written.
+    pub stores: u64,
+    /// Entries currently held (both levels).
+    pub entries: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    sym: HashMap<u64, Vec<u8>>,
+    ddg: HashMap<u64, Vec<u8>>,
+    /// `(scan label, level, function addr) → last key`, across scans —
+    /// how a re-scan's key changes are classified as invalidations.
+    seen: HashMap<(String, u8, u32), u64>,
+    stats: HashMap<String, ScanStats>,
+    totals: CacheTotals,
+}
+
+/// The shared blob store. All methods take `&self`; one instance serves
+/// every worker thread of every concurrent scan.
+#[derive(Debug, Default)]
+pub struct SummaryCache {
+    inner: Mutex<Inner>,
+}
+
+/// Magic bytes opening the on-disk cache file.
+pub const CACHE_MAGIC: [u8; 4] = *b"DTC1";
+
+impl SummaryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the per-scan statistics for `scan` (the seen-key table
+    /// survives, so invalidations across repeated scans keep counting).
+    pub fn begin_scan(&self, scan: &str) {
+        let mut g = self.inner.lock().unwrap();
+        g.stats.insert(scan.to_owned(), ScanStats::default());
+    }
+
+    /// The blob stored under `key`, if any. Pure lookup — call
+    /// [`Self::note_hit`] or [`Self::note_miss`] after the decode
+    /// attempt settles what actually happened.
+    pub fn lookup_blob(&self, level: Level, key: u64) -> Option<Vec<u8>> {
+        let g = self.inner.lock().unwrap();
+        match level {
+            Level::Symex => g.sym.get(&key).cloned(),
+            Level::Ddg => g.ddg.get(&key).cloned(),
+        }
+    }
+
+    /// Records a served hit for `scan`.
+    pub fn note_hit(&self, level: Level, scan: &str, addr: u32, key: u64) {
+        let mut g = self.inner.lock().unwrap();
+        g.seen.insert((scan.to_owned(), level_tag(level), addr), key);
+        let st = g.stats.entry(scan.to_owned()).or_default();
+        match level {
+            Level::Symex => st.sym_hits += 1,
+            Level::Ddg => st.ddg_hits += 1,
+        }
+        g.totals.hits += 1;
+    }
+
+    /// Records a miss for `scan`; a previously-seen different key for
+    /// the same `(scan, level, addr)` also counts as an invalidation.
+    pub fn note_miss(&self, level: Level, scan: &str, fn_name: &str, addr: u32, key: Option<u64>) {
+        let mut g = self.inner.lock().unwrap();
+        let mut invalidated = false;
+        if let Some(k) = key {
+            let prev = g.seen.insert((scan.to_owned(), level_tag(level), addr), k);
+            invalidated = prev.is_some_and(|p| p != k);
+        }
+        let st = g.stats.entry(scan.to_owned()).or_default();
+        match level {
+            Level::Symex => {
+                st.sym_misses += 1;
+                st.sym_miss_fns.insert(fn_name.to_owned());
+            }
+            Level::Ddg => {
+                st.ddg_misses += 1;
+                st.ddg_miss_fns.insert(fn_name.to_owned());
+            }
+        }
+        if invalidated {
+            st.invalidations += 1;
+        }
+        g.totals.misses += 1;
+        if invalidated {
+            g.totals.invalidations += 1;
+        }
+    }
+
+    /// Stores a blob under `key`, crediting `scan`.
+    pub fn store(&self, level: Level, scan: &str, key: u64, blob: Vec<u8>) {
+        let mut g = self.inner.lock().unwrap();
+        match level {
+            Level::Symex => g.sym.insert(key, blob),
+            Level::Ddg => g.ddg.insert(key, blob),
+        };
+        g.stats.entry(scan.to_owned()).or_default().stores += 1;
+        g.totals.stores += 1;
+    }
+
+    /// The statistics accumulated for `scan` since its last
+    /// [`Self::begin_scan`].
+    pub fn scan_stats(&self, scan: &str) -> ScanStats {
+        self.inner.lock().unwrap().stats.get(scan).cloned().unwrap_or_default()
+    }
+
+    /// Whole-cache totals.
+    pub fn totals(&self) -> CacheTotals {
+        let g = self.inner.lock().unwrap();
+        CacheTotals { entries: g.sym.len() + g.ddg.len(), ..g.totals }
+    }
+
+    /// Serialises both levels to `path` (`DTC1` format: per level a
+    /// count then `key, len, bytes` entries, key-sorted). Statistics and
+    /// the seen-key table are per-process and not persisted.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let g = self.inner.lock().unwrap();
+        let mut out = Vec::new();
+        out.extend_from_slice(&CACHE_MAGIC);
+        for map in [&g.sym, &g.ddg] {
+            let sorted: BTreeMap<&u64, &Vec<u8>> = map.iter().collect();
+            out.extend_from_slice(&(sorted.len() as u32).to_le_bytes());
+            for (k, v) in sorted {
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Loads a cache saved by [`Self::save`]. A missing file yields an
+    /// empty cache; a malformed one is discarded (an unreadable cache is
+    /// a cold start, never an error).
+    pub fn load(path: &Path) -> Self {
+        let cache = Self::new();
+        let Ok(bytes) = std::fs::read(path) else { return cache };
+        let Some(inner) = parse_cache(&bytes) else { return cache };
+        *cache.inner.lock().unwrap() = inner;
+        cache
+    }
+}
+
+fn level_tag(level: Level) -> u8 {
+    match level {
+        Level::Symex => 0,
+        Level::Ddg => 1,
+    }
+}
+
+fn parse_cache(bytes: &[u8]) -> Option<Inner> {
+    let mut pos = 0usize;
+    if bytes.get(..4)? != CACHE_MAGIC {
+        return None;
+    }
+    pos += 4;
+    let mut maps: Vec<HashMap<u64, Vec<u8>>> = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let n = get_u32(bytes, &mut pos)? as usize;
+        let mut map = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let key = get_u64(bytes, &mut pos)?;
+            let len = get_u32(bytes, &mut pos)? as usize;
+            let blob = bytes.get(pos..pos.checked_add(len)?)?.to_vec();
+            pos += len;
+            map.insert(key, blob);
+        }
+        maps.push(map);
+    }
+    let ddg = maps.pop()?;
+    let sym = maps.pop()?;
+    Some(Inner { sym, ddg, ..Inner::default() })
+}
+
+fn get_u32(b: &[u8], pos: &mut usize) -> Option<u32> {
+    let s = b.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_le_bytes(s.try_into().ok()?))
+}
+
+fn get_u64(b: &[u8], pos: &mut usize) -> Option<u64> {
+    let s = b.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(s.try_into().ok()?))
+}
+
+/// A scan's handle on the shared cache, carried inside the stage
+/// configs. Cloning shares the underlying store.
+#[derive(Debug, Clone)]
+pub struct CacheRef {
+    /// The shared blob store.
+    pub cache: Arc<SummaryCache>,
+    /// Scan label (usually the image name) for statistics and
+    /// invalidation tracking.
+    pub scan: String,
+    /// Entry addresses of functions whose symex stage reported a
+    /// non-`Analyzed` outcome this scan; their summaries are never
+    /// stored (a degraded artefact must not masquerade as an analyzed
+    /// one), though their content keys still participate in callers'
+    /// key composition.
+    pub uncacheable: Arc<BTreeSet<u32>>,
+}
+
+impl CacheRef {
+    /// A handle on `cache` for the scan labelled `scan`, with an empty
+    /// uncacheable set.
+    pub fn new(cache: Arc<SummaryCache>, scan: impl Into<String>) -> Self {
+        CacheRef { cache, scan: scan.into(), uncacheable: Arc::new(BTreeSet::new()) }
+    }
+}
+
+// --- Key derivation -------------------------------------------------
+
+/// Digest of everything about the binary that is not one function's own
+/// bytes: architecture, entry point, section layout (with the data of
+/// every non-text section — rodata literals and globals feed the
+/// analysis), the symbol table, and the import table.
+pub fn env_digest(bin: &Binary) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("dtaint-env/v1");
+    h.write_u8(bin.arch as u8);
+    h.write_u32(bin.entry);
+    h.write_u32(bin.sections.len() as u32);
+    for s in &bin.sections {
+        h.write_str(&s.name);
+        h.write_u8(section_kind_tag(s.kind));
+        h.write_u32(s.addr);
+        h.write_u32(s.size);
+        if s.kind != dtaint_fwbin::SectionKind::Text {
+            h.write(&s.data);
+        }
+    }
+    h.write_u32(bin.symbols.len() as u32);
+    for s in &bin.symbols {
+        h.write_str(&s.name);
+        h.write_u32(s.addr);
+        h.write_u32(s.size);
+        h.write_u8(matches!(s.kind, dtaint_fwbin::SymbolKind::Function) as u8);
+    }
+    h.write_u32(bin.imports.len() as u32);
+    for i in &bin.imports {
+        h.write_str(&i.name);
+        h.write_u32(i.stub_addr);
+    }
+    h.finish()
+}
+
+fn section_kind_tag(k: dtaint_fwbin::SectionKind) -> u8 {
+    use dtaint_fwbin::SectionKind::*;
+    match k {
+        Text => 0,
+        Plt => 1,
+        RoData => 2,
+        Data => 3,
+        Bss => 4,
+    }
+}
+
+/// Salt for symex-level keys: environment digest plus every
+/// [`SymexConfig`] knob that can change a local summary. `panic_on` is
+/// included so fault-drilled scans never hit healthy entries.
+pub fn sym_salt(env: u64, cfg: &SymexConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("dtaint-symex/v1");
+    h.write_u64(env);
+    h.write_u32(cfg.max_paths);
+    h.write_u32(cfg.max_blocks_per_path);
+    h.write_u8(cfg.stack_args);
+    h.write_u32(cfg.max_fuel);
+    write_opt_u32(&mut h, cfg.panic_on);
+    h.finish()
+}
+
+/// Salt for DDG-level keys: environment digest plus every
+/// [`DataflowConfig`] knob that can change a final summary. Thread
+/// count and tracing are observationally irrelevant and excluded.
+pub fn ddg_salt(env: u64, cfg: &DataflowConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("dtaint-ddg/v1");
+    h.write_u64(env);
+    h.write_u8(cfg.enable_alias as u8);
+    h.write_u8(cfg.enable_indirect as u8);
+    let mut sinks: Vec<&str> = cfg.sink_names.iter().map(String::as_str).collect();
+    sinks.sort_unstable();
+    h.write_u32(sinks.len() as u32);
+    for s in sinks {
+        h.write_str(s);
+    }
+    h.write_u8(cfg.loop_copy_sinks as u8);
+    h.write_u64(cfg.max_sinks_per_fn as u64);
+    h.write_u8(cfg.interval_guards as u8);
+    h.write_u64(cfg.max_fuel);
+    write_opt_u32(&mut h, cfg.panic_on);
+    h.finish()
+}
+
+fn write_opt_u32(h: &mut Fnv64, v: Option<u32>) {
+    match v {
+        Some(x) => {
+            h.write_u8(1);
+            h.write_u32(x);
+        }
+        None => h.write_u8(0),
+    }
+}
+
+/// Content hash of one function: salt, identity, and raw machine bytes
+/// only. Deliberately *not* any rendering of the symbolic summary: the
+/// local summary is a deterministic function of the bytes plus the
+/// config (in the salt) and the rest-of-image context (in the
+/// environment digest), while its pool *structure* varies with the
+/// merge path that absorbed it (the parallel merge rebuilds expressions
+/// through normalizing constructors), so hashing it would make keys
+/// thread-count-dependent.
+pub fn function_content_hash(salt: u64, addr: u32, name: &str, bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(salt);
+    h.write_u32(addr);
+    h.write_str(name);
+    h.write_u32(bytes.len() as u32);
+    h.write(bytes);
+    h.finish()
+}
+
+/// Per-call-site marker kinds for [`compose_final_key`]. Encoded into
+/// the key in call-site order, so the key captures exactly what
+/// Algorithm 2's inner loop will consume at each site.
+pub mod marker {
+    use super::Fnv64;
+
+    /// A call to an import (sink or benign) — keyed by name.
+    pub fn import(name: &str) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u8(1);
+        h.write_str(name);
+        h.finish()
+    }
+
+    /// A callee inside the caller's own SCC (treated as opaque).
+    pub fn same_scc() -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u8(2);
+        h.finish()
+    }
+
+    /// An indirect call the resolver left unresolved this scan.
+    pub fn unresolved() -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u8(3);
+        h.finish()
+    }
+
+    /// A direct callee with no final summary (call into no known
+    /// function) — keyed by target address.
+    pub fn absent(addr: u32) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u8(4);
+        h.write_u32(addr);
+        h.finish()
+    }
+}
+
+/// Composes a function's final scan key from its own content hash, the
+/// combined hash of its SCC (multi-member components only: the sorted
+/// member hashes, because members consume each other only as opaque
+/// boundaries), and the per-call-site markers in call-site order.
+pub fn compose_final_key(salt: u64, own: u64, scc_combined: Option<u64>, markers: &[u64]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("dtaint-final/v1");
+    h.write_u64(salt);
+    h.write_u64(own);
+    match scc_combined {
+        Some(c) => {
+            h.write_u8(1);
+            h.write_u64(c);
+        }
+        None => h.write_u8(0),
+    }
+    h.write_u32(markers.len() as u32);
+    for &m in markers {
+        h.write_u64(m);
+    }
+    h.finish()
+}
+
+/// Combined hash of a multi-member SCC: the sorted `(addr, own hash)`
+/// pairs of its members.
+pub fn combine_scc(members: &[(u32, u64)]) -> u64 {
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+    let mut h = Fnv64::new();
+    h.write_str("dtaint-scc/v1");
+    h.write_u32(sorted.len() as u32);
+    for (addr, own) in sorted {
+        h.write_u32(addr);
+        h.write_u64(own);
+    }
+    h.finish()
+}
+
+// --- Final-summary blob codec ---------------------------------------
+
+use crate::interproc::{FinalSummary, SinkKind, SinkObservation};
+use dtaint_symex::encode::{SummaryDecoder, SummaryEncoder};
+use dtaint_symex::ExprPool;
+
+/// Encodes a final summary (plus the per-function infeasible-pruned
+/// count a hit must re-credit) into a pool-free blob. `k_unknowns` is
+/// the number of unknowns this function's propagation created;
+/// rehydration re-allocates exactly that many up front.
+pub fn encode_final(
+    pool: &ExprPool,
+    fin: &FinalSummary,
+    pruned: u32,
+    k_unknowns: u32,
+    map_unknown: &mut dyn FnMut(u32) -> Option<(u32, u32)>,
+) -> Option<Vec<u8>> {
+    let mut enc = SummaryEncoder::new(pool, map_unknown);
+    enc.u32(k_unknowns);
+    enc.summary(&fin.summary);
+    enc.u64(fin.local_constraints as u64);
+    enc.u64(fin.fuel_used);
+    enc.u32(pruned);
+    enc.u32(fin.sinks.len() as u32);
+    for sk in &fin.sinks {
+        match &sk.kind {
+            SinkKind::Import(n) => {
+                enc.u8(0);
+                enc.str(n);
+            }
+            SinkKind::LoopCopy => enc.u8(1),
+        }
+        enc.u32(sk.sink_ins);
+        enc.u32(sk.sink_fn);
+        enc.u32(sk.args.len() as u32);
+        for &a in &sk.args {
+            enc.expr(a);
+        }
+        enc.u32(sk.call_chain.len() as u32);
+        for &c in &sk.call_chain {
+            enc.u32(c);
+        }
+        enc.u32(sk.constraints.len() as u32);
+        for &(op, l, r) in &sk.constraints {
+            enc.u8(cmp_op_tag(op));
+            enc.expr(l);
+            enc.expr(r);
+        }
+    }
+    let mut blob = enc.finish()?;
+    // Trailer duplicate of k: the caller must allocate the function's
+    // unknowns (to build the unmapper) *before* the node table can be
+    // parsed, so k has to be readable without decoding anything.
+    blob.extend_from_slice(&k_unknowns.to_le_bytes());
+    Some(blob)
+}
+
+/// The number of unknowns a blob's function created, from the trailer —
+/// readable before any decode, because the caller allocates them to
+/// build the unknown unmapper the decoder needs.
+pub fn blob_k_unknowns(blob: &[u8]) -> Option<u32> {
+    blob.len()
+        .checked_sub(4)
+        .and_then(|s| blob.get(s..).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+}
+
+fn cmp_op_tag(op: dtaint_symex::CmpOp) -> u8 {
+    use dtaint_symex::CmpOp::*;
+    match op {
+        Eq => 0,
+        Ne => 1,
+        Lt => 2,
+        Ge => 3,
+        Le => 4,
+        Gt => 5,
+    }
+}
+
+fn cmp_op_untag(t: u8) -> Option<dtaint_symex::CmpOp> {
+    use dtaint_symex::CmpOp::*;
+    Some(match t {
+        0 => Eq,
+        1 => Ne,
+        2 => Lt,
+        3 => Ge,
+        4 => Le,
+        5 => Gt,
+        _ => return None,
+    })
+}
+
+/// Decodes a blob written by [`encode_final`] into `pool`. Returns the
+/// summary plus the stored infeasible-pruned count.
+pub fn decode_final(
+    blob: &[u8],
+    pool: &mut ExprPool,
+    unmap: &mut dyn FnMut(u32, u32) -> Option<u32>,
+) -> Option<(FinalSummary, u32)> {
+    let body = blob.get(..blob.len().checked_sub(4)?)?;
+    let mut dec = SummaryDecoder::new(body, pool, unmap)?;
+    let _k = dec.u32()?;
+    let summary = dec.summary()?;
+    let local_constraints = dec.u64()? as usize;
+    let fuel_used = dec.u64()?;
+    let pruned = dec.u32()?;
+    let nsinks = dec.u32()?;
+    let mut sinks = Vec::with_capacity(nsinks as usize);
+    for _ in 0..nsinks {
+        let kind = match dec.u8()? {
+            0 => SinkKind::Import(dec.str()?),
+            1 => SinkKind::LoopCopy,
+            _ => return None,
+        };
+        let sink_ins = dec.u32()?;
+        let sink_fn = dec.u32()?;
+        let mut args = Vec::new();
+        for _ in 0..dec.u32()? {
+            args.push(dec.expr()?);
+        }
+        let mut call_chain = Vec::new();
+        for _ in 0..dec.u32()? {
+            call_chain.push(dec.u32()?);
+        }
+        let mut constraints = Vec::new();
+        for _ in 0..dec.u32()? {
+            let op = cmp_op_untag(dec.u8()?)?;
+            let l = dec.expr()?;
+            let r = dec.expr()?;
+            constraints.push((op, l, r));
+        }
+        sinks.push(SinkObservation { kind, sink_ins, sink_fn, args, call_chain, constraints });
+    }
+    if !dec.at_end() {
+        return None;
+    }
+    Some((
+        FinalSummary {
+            summary,
+            sinks,
+            local_constraints,
+            panicked: false,
+            budget_exhausted: false,
+            fuel_used,
+        },
+        pruned,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_lookup_and_stats() {
+        let c = SummaryCache::new();
+        c.begin_scan("img");
+        assert!(c.lookup_blob(Level::Symex, 7).is_none());
+        c.note_miss(Level::Symex, "img", "f", 0x100, Some(7));
+        c.store(Level::Symex, "img", 7, vec![1, 2, 3]);
+        assert_eq!(c.lookup_blob(Level::Symex, 7).as_deref(), Some(&[1u8, 2, 3][..]));
+        c.note_hit(Level::Symex, "img", 0x100, 7);
+        let st = c.scan_stats("img");
+        assert_eq!((st.sym_hits, st.sym_misses, st.stores), (1, 1, 1));
+        assert!(st.sym_miss_fns.contains("f"));
+        assert_eq!(c.totals().entries, 1);
+    }
+
+    #[test]
+    fn key_change_counts_as_invalidation() {
+        let c = SummaryCache::new();
+        c.begin_scan("img");
+        c.note_miss(Level::Ddg, "img", "f", 0x100, Some(1));
+        c.begin_scan("img");
+        c.note_miss(Level::Ddg, "img", "f", 0x100, Some(2));
+        let st = c.scan_stats("img");
+        assert_eq!(st.invalidations, 1);
+        // Same key again is a plain miss, not an invalidation.
+        c.begin_scan("img");
+        c.note_miss(Level::Ddg, "img", "f", 0x100, Some(2));
+        assert_eq!(c.scan_stats("img").invalidations, 0);
+    }
+
+    #[test]
+    fn begin_scan_resets_stats_not_entries() {
+        let c = SummaryCache::new();
+        c.begin_scan("a");
+        c.store(Level::Ddg, "a", 9, vec![0]);
+        c.begin_scan("a");
+        assert_eq!(c.scan_stats("a"), ScanStats::default());
+        assert!(c.lookup_blob(Level::Ddg, 9).is_some());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dtc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        let c = SummaryCache::new();
+        c.store(Level::Symex, "s", 1, vec![10, 11]);
+        c.store(Level::Ddg, "s", 2, vec![20]);
+        c.save(&path).unwrap();
+        let back = SummaryCache::load(&path);
+        assert_eq!(back.lookup_blob(Level::Symex, 1).as_deref(), Some(&[10u8, 11][..]));
+        assert_eq!(back.lookup_blob(Level::Ddg, 2).as_deref(), Some(&[20u8][..]));
+        assert_eq!(back.totals().entries, 2);
+        // Corrupt file → cold start, no panic.
+        std::fs::write(&path, b"garbage").unwrap();
+        assert_eq!(SummaryCache::load(&path).totals().entries, 0);
+        // Missing file → cold start.
+        assert_eq!(SummaryCache::load(&dir.join("nope.bin")).totals().entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salts_separate_configs_and_drills() {
+        let env = 42u64;
+        let base = SymexConfig::default();
+        let drilled = SymexConfig { panic_on: Some(0x8000), ..SymexConfig::default() };
+        assert_ne!(sym_salt(env, &base), sym_salt(env, &drilled));
+        assert_ne!(sym_salt(env, &base), sym_salt(env + 1, &base));
+        let d = DataflowConfig::default();
+        let d2 = DataflowConfig { interval_guards: true, ..DataflowConfig::default() };
+        assert_ne!(ddg_salt(env, &d), ddg_salt(env, &d2));
+        // Thread count must NOT separate keys.
+        let d3 = DataflowConfig { threads: 8, ..DataflowConfig::default() };
+        assert_eq!(ddg_salt(env, &d), ddg_salt(env, &d3));
+    }
+
+    #[test]
+    fn final_key_composition_is_sensitive() {
+        let k = compose_final_key(1, 2, None, &[marker::import("recv")]);
+        assert_ne!(k, compose_final_key(1, 3, None, &[marker::import("recv")]));
+        assert_ne!(k, compose_final_key(1, 2, None, &[marker::import("read")]));
+        assert_ne!(k, compose_final_key(1, 2, Some(9), &[marker::import("recv")]));
+        assert_ne!(k, compose_final_key(1, 2, None, &[]));
+        assert_ne!(marker::same_scc(), marker::unresolved());
+        assert_ne!(marker::absent(4), marker::absent(5));
+    }
+}

@@ -37,6 +37,7 @@
 //! single-threaded run regardless of thread count or scheduling.
 
 use crate::alias::alias_replace;
+use crate::cache::{self, CacheRef, Level};
 use crate::indirect::{resolve_indirect_calls, ResolvedCall};
 use dtaint_cfg::CallGraph;
 use dtaint_fwbin::Binary;
@@ -95,6 +96,12 @@ pub struct DataflowConfig {
     /// downstream reads them, so `None` vs `Some` never changes
     /// findings. `None` (the default) records nothing.
     pub trace: Option<TraceSpec>,
+    /// Incremental summary cache handle. When set, each function's final
+    /// summary is looked up by content key before Algorithm 2's inner
+    /// loop runs, and stored after (see [`crate::cache`]). `None` (the
+    /// default) analyzes everything cold. Hits and misses never change
+    /// results — only whether they are recomputed or rehydrated.
+    pub cache: Option<crate::cache::CacheRef>,
 }
 
 impl Default for DataflowConfig {
@@ -115,6 +122,7 @@ impl Default for DataflowConfig {
             max_fuel: 1 << 24,
             panic_on: None,
             trace: None,
+            cache: None,
         }
     }
 }
@@ -414,6 +422,11 @@ pub fn build_dataflow(
         .flat_map(|(i, c)| c.into_iter().map(move |f| (f, i)))
         .collect();
     let threads = config.threads.max(1);
+    // Incremental-cache context: content hashes over the *post-alias*
+    // local summaries (so Algorithm 1's rewrites are part of the key),
+    // computed while `by_addr` is still fully populated — the stratum
+    // loop below drains it.
+    let mut cache_ctx = DdgCacheCtx::build(bin, config, &by_addr, callgraph);
     let mut finals: BTreeMap<u32, FinalSummary> = BTreeMap::new();
     // Copy the trace spec out so worker closures capture a `Copy` value
     // rather than borrowing `config` through the scope.
@@ -432,26 +445,62 @@ pub fn build_dataflow(
             continue;
         }
 
+        // Final scan keys compose bottom-up: a function's key folds its
+        // own content hash with the keys of its out-of-component callees,
+        // all of which live in earlier strata and are already keyed.
+        // Computed before dispatch so parallel workers read a frozen map.
+        if let Some(ctx) = cache_ctx.as_mut() {
+            for (faddr, summary) in &work {
+                let key = ctx.key_for(*faddr, summary, &comp_of, &resolution);
+                ctx.final_keys.insert(*faddr, key);
+            }
+        }
+
         if threads <= 1 || work.len() < PAR_STRATUM_MIN {
             let mut buf = mk_buf(0);
             for (faddr, summary) in work {
                 let t0 = buf.start();
-                let fs = process_function_caught(
-                    bin,
-                    faddr,
-                    summary,
-                    &finals,
-                    &comp_of,
-                    &resolution,
-                    &mut pool,
-                    config,
-                    &mut absint,
-                );
+                let key =
+                    cache_ctx.as_ref().and_then(|c| c.final_keys.get(&faddr).copied().flatten());
+                let before_unknowns = pool.next_unknown_index();
+                let pruned_before = absint.pruned;
+                let mut hit: Option<(FinalSummary, u32)> = None;
+                if let (Some(ctx), Some(k)) = (cache_ctx.as_ref(), key) {
+                    if let Some(blob) = ctx.cref.cache.lookup_blob(Level::Ddg, k) {
+                        hit = ctx.rehydrate(&blob, faddr, &mut pool);
+                    }
+                }
+                let was_hit = hit.is_some();
+                let fs = match hit {
+                    Some((fs, blob_pruned)) => {
+                        // Re-credit the pruning the cold run performed so
+                        // `pruned_infeasible` matches a cold scan exactly.
+                        absint.pruned += blob_pruned as usize;
+                        fs
+                    }
+                    None => process_function_caught(
+                        bin,
+                        faddr,
+                        summary,
+                        &finals,
+                        &comp_of,
+                        &resolution,
+                        &mut pool,
+                        config,
+                        &mut absint,
+                    ),
+                };
                 if buf.is_enabled() {
                     let mut args = BTreeMap::new();
                     args.insert("addr".to_owned(), faddr as u64);
                     args.insert("fuel".to_owned(), fs.fuel_used);
                     buf.record(&fs.summary.name, "ddg_fn", t0, args);
+                }
+                let created_k = pool.next_unknown_index() - before_unknowns;
+                let fn_pruned = (absint.pruned - pruned_before) as u32;
+                if let Some(ctx) = cache_ctx.as_mut() {
+                    ctx.push_base(before_unknowns, created_k, faddr);
+                    ctx.settle(&pool, faddr, &fs, key, was_hit, fn_pruned, created_k);
                 }
                 finals.insert(faddr, fs);
             }
@@ -473,14 +522,15 @@ pub fn build_dataflow(
             }
             out
         };
-        type WorkerOut =
-            (ExprPool, Vec<(u32, FinalSummary, std::ops::Range<u32>)>, AbsintStats, Vec<SpanEvent>);
+        type WorkerItem = (u32, FinalSummary, std::ops::Range<u32>, bool, u32);
+        type WorkerOut = (ExprPool, Vec<WorkerItem>, AbsintStats, Vec<SpanEvent>);
         let fork_base = pool.len();
         let results: Vec<WorkerOut> = {
             let pool_ref = &pool;
             let finals_ref = &finals;
             let comp_ref = &comp_of;
             let res_ref = &resolution;
+            let ctx_ref = cache_ctx.as_ref();
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
@@ -498,18 +548,40 @@ pub fn build_dataflow(
                             };
                             for (faddr, summary) in chunk {
                                 let before = fork.next_unknown_index();
+                                let pruned_before = absint.pruned;
                                 let t0 = buf.start();
-                                let fs = process_function_caught(
-                                    bin,
-                                    faddr,
-                                    summary,
-                                    finals_ref,
-                                    comp_ref,
-                                    res_ref,
-                                    &mut fork,
-                                    config,
-                                    &mut absint,
-                                );
+                                // Cache probe: decode into the fork — the
+                                // fork inherits the master numbering for
+                                // every earlier stratum, so recorded
+                                // owner bases stay valid; the merge
+                                // renumbers this function's own unknowns
+                                // exactly as it would a cold result.
+                                let key = ctx_ref
+                                    .and_then(|c| c.final_keys.get(&faddr).copied().flatten());
+                                let mut hit: Option<(FinalSummary, u32)> = None;
+                                if let (Some(ctx), Some(k)) = (ctx_ref, key) {
+                                    if let Some(blob) = ctx.cref.cache.lookup_blob(Level::Ddg, k) {
+                                        hit = ctx.rehydrate(&blob, faddr, &mut fork);
+                                    }
+                                }
+                                let was_hit = hit.is_some();
+                                let fs = match hit {
+                                    Some((fs, blob_pruned)) => {
+                                        absint.pruned += blob_pruned as usize;
+                                        fs
+                                    }
+                                    None => process_function_caught(
+                                        bin,
+                                        faddr,
+                                        summary,
+                                        finals_ref,
+                                        comp_ref,
+                                        res_ref,
+                                        &mut fork,
+                                        config,
+                                        &mut absint,
+                                    ),
+                                };
                                 if buf.is_enabled() {
                                     let mut args = BTreeMap::new();
                                     args.insert("addr".to_owned(), faddr as u64);
@@ -517,7 +589,8 @@ pub fn build_dataflow(
                                     buf.record(&fs.summary.name, "ddg_fn", t0, args);
                                 }
                                 let created = before..fork.next_unknown_index();
-                                out.push((faddr, fs, created));
+                                let fn_pruned = (absint.pruned - pruned_before) as u32;
+                                out.push((faddr, fs, created, was_hit, fn_pruned));
                             }
                             (fork, out, absint, buf.into_events())
                         })
@@ -538,7 +611,9 @@ pub fn build_dataflow(
             absint.time += worker_absint.time;
             absint.pruned += worker_absint.pruned;
             trace_events.extend(events);
-            for (faddr, fs, created) in items {
+            for (faddr, fs, created, was_hit, fn_pruned) in items {
+                let base = pool.next_unknown_index();
+                let created_k = created.end - created.start;
                 let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
                 for k in created {
                     let src_id = fork.intern(SymNode::Unknown(k));
@@ -584,6 +659,16 @@ pub fn build_dataflow(
                         fuel_used: fs.fuel_used,
                     },
                 );
+                // Stats and stores run master-side in drain order (which
+                // is address order), so counters and cache contents are
+                // deterministic for every thread count. Blobs encode in
+                // the master numbering, identical to a sequential store.
+                if let Some(ctx) = cache_ctx.as_mut() {
+                    ctx.push_base(base, created_k, faddr);
+                    let key = ctx.final_keys.get(&faddr).copied().flatten();
+                    let merged = finals.get(&faddr).expect("just inserted");
+                    ctx.settle(&pool, faddr, merged, key, was_hit, fn_pruned, created_k);
+                }
             }
         }
     }
@@ -600,6 +685,219 @@ pub fn build_dataflow(
         pruned_infeasible: absint.pruned,
         alias_panics,
         trace_events,
+    }
+}
+
+/// Per-scan state for the incremental DDG cache (see [`crate::cache`]).
+///
+/// Holds the content hashes computed up front, the per-stratum final
+/// scan keys, and the unknown-ownership table that makes cached blobs
+/// relocatable: every `Unknown(n)` serializes as `(owner_addr, n −
+/// base_owner)` and rehydrates against *this* scan's bases.
+struct DdgCacheCtx {
+    cref: CacheRef,
+    salt: u64,
+    /// Per-function content hash over raw bytes + post-alias canonical
+    /// summary encoding. `None` when the function has no binary symbol
+    /// or its summary refuses canonical encoding (then it can never hit
+    /// or be stored, and neither can its callers).
+    own: HashMap<u32, Option<u64>>,
+    /// For members of multi-function SCCs: the combined component hash
+    /// (all members fold into every member's key — a change anywhere in
+    /// a recursive component invalidates the whole component).
+    combined: HashMap<u32, Option<u64>>,
+    /// Final scan key per function, filled stratum by stratum.
+    final_keys: HashMap<u32, Option<u64>>,
+    /// `(base, k, addr)` unknown-ownership ranges in master numbering,
+    /// sorted by base (strictly increasing; zero-width ranges omitted).
+    /// Backs the abs→(owner, rel) lookup when encoding blobs.
+    owner_of: Vec<(u32, u32, u32)>,
+    /// `addr → (base, k)` — the inverse, for decoding.
+    base_of: HashMap<u32, (u32, u32)>,
+}
+
+impl DdgCacheCtx {
+    fn build(
+        bin: &Binary,
+        config: &DataflowConfig,
+        by_addr: &BTreeMap<u32, FuncSummary>,
+        callgraph: &CallGraph,
+    ) -> Option<DdgCacheCtx> {
+        let cref = config.cache.clone()?;
+        let env = cache::env_digest(bin);
+        let salt = cache::ddg_salt(env, config);
+        // The own hash covers the function's raw bytes only — not its
+        // local summary. The summary is a deterministic function of
+        // those bytes plus the config (in the salt) plus the rest of the
+        // image's data sections, symbols, and imports (in the env
+        // digest), and deliberately NOT of its structural encoding: the
+        // parallel merge rebuilds expressions through normalising
+        // constructors, so structurally distinct but observationally
+        // equal forms exist across thread counts, and keying on them
+        // would make warmth thread-dependent.
+        let mut own: HashMap<u32, Option<u64>> = HashMap::new();
+        for (&addr, s) in by_addr {
+            let h = (|| {
+                let sym = bin.function_at(addr)?;
+                let bytes = bin.bytes_at(sym.addr, sym.size)?;
+                Some(cache::function_content_hash(salt, addr, &s.name, &bytes))
+            })();
+            own.insert(addr, h);
+        }
+        let mut combined: HashMap<u32, Option<u64>> = HashMap::new();
+        for comp in callgraph.sccs() {
+            if comp.len() < 2 {
+                continue;
+            }
+            let members: Option<Vec<(u32, u64)>> =
+                comp.iter().map(|&a| Some((a, own.get(&a).copied().flatten()?))).collect();
+            let c = members.as_deref().map(cache::combine_scc);
+            for &a in &comp {
+                combined.insert(a, c);
+            }
+        }
+        Some(DdgCacheCtx {
+            cref,
+            salt,
+            own,
+            combined,
+            final_keys: HashMap::new(),
+            owner_of: Vec::new(),
+            base_of: HashMap::new(),
+        })
+    }
+
+    /// The final scan key for one function: the own hash, the
+    /// SCC-combined hash, and one marker per call site in local-summary
+    /// order. Resolution outcomes and callee keys flow in through the
+    /// markers, so a change in any transitive out-of-component callee —
+    /// or in how an indirect site resolves — changes the key. `None`
+    /// poisons callers too.
+    fn key_for(
+        &self,
+        faddr: u32,
+        summary: &FuncSummary,
+        comp_of: &HashMap<u32, usize>,
+        resolution: &HashMap<u32, u32>,
+    ) -> Option<u64> {
+        let own = self.own.get(&faddr).copied().flatten()?;
+        let combined = match self.combined.get(&faddr) {
+            Some(c) => Some((*c)?),
+            None => None,
+        };
+        let mut markers = Vec::with_capacity(summary.callsites.len());
+        for cs in &summary.callsites {
+            let callee_addr = match &cs.callee {
+                CalleeRef::Import(name) => {
+                    markers.push(cache::marker::import(name));
+                    continue;
+                }
+                CalleeRef::Direct(a) => Some(*a),
+                CalleeRef::Indirect(_) => resolution.get(&cs.ins_addr).copied(),
+            };
+            let Some(a) = callee_addr else {
+                markers.push(cache::marker::unresolved());
+                continue;
+            };
+            if comp_of.get(&a) == comp_of.get(&faddr) {
+                markers.push(cache::marker::same_scc());
+                continue;
+            }
+            match self.final_keys.get(&a) {
+                Some(Some(k)) => markers.push(*k),
+                Some(None) => return None,
+                // Callee never summarised (no CFG): propagation will
+                // skip the site, deterministically — mark its absence.
+                None => markers.push(cache::marker::absent(a)),
+            }
+        }
+        Some(cache::compose_final_key(self.salt, own, combined, &markers))
+    }
+
+    /// Records a function's unknown-ownership range for this scan.
+    /// Called for every function, hit or miss, in processing order, so
+    /// bases are identical to a cold scan's lazily-created numbering.
+    fn push_base(&mut self, base: u32, k: u32, addr: u32) {
+        if k == 0 {
+            return;
+        }
+        self.owner_of.push((base, k, addr));
+        self.base_of.insert(addr, (base, k));
+    }
+
+    /// abs unknown index → (owner addr, index relative to owner's base).
+    fn map_abs(&self, abs: u32) -> Option<(u32, u32)> {
+        let i = self.owner_of.partition_point(|&(b, _, _)| b <= abs);
+        let (b, k, a) = *self.owner_of.get(i.checked_sub(1)?)?;
+        (abs < b + k).then_some((a, abs - b))
+    }
+
+    /// Attempts to rehydrate a cached blob: allocates the blob's `k`
+    /// unknowns up front (rel `j` → `base + j`, matching the cold run's
+    /// creation order), then decodes. Failure rolls the pool back — node
+    /// count *and* unknown counter — and falls through to a recompute.
+    fn rehydrate(
+        &self,
+        blob: &[u8],
+        faddr: u32,
+        pool: &mut ExprPool,
+    ) -> Option<(FinalSummary, u32)> {
+        let k = cache::blob_k_unknowns(blob)?;
+        let mark = pool.mark();
+        let base = pool.next_unknown_index();
+        for _ in 0..k {
+            pool.fresh_unknown();
+        }
+        let r = cache::decode_final(blob, pool, &mut |owner, rel| {
+            if owner == faddr {
+                (rel < k).then_some(base + rel)
+            } else {
+                self.base_of.get(&owner).and_then(|&(b, bk)| (rel < bk).then_some(b + rel))
+            }
+        });
+        if r.is_none() {
+            pool.rollback(mark);
+        }
+        r
+    }
+
+    /// Post-processing bookkeeping for one function: hit/miss counters
+    /// and, on an eligible miss, the store. Faulted results — panicked,
+    /// budget-exhausted, degraded, or symex-quarantined (`uncacheable`)
+    /// — are never stored: a cache must not launder a partial summary
+    /// into a healthy-looking one.
+    #[allow(clippy::too_many_arguments)]
+    fn settle(
+        &self,
+        pool: &ExprPool,
+        faddr: u32,
+        fs: &FinalSummary,
+        key: Option<u64>,
+        was_hit: bool,
+        fn_pruned: u32,
+        created_k: u32,
+    ) {
+        let cache_store = &self.cref.cache;
+        if was_hit {
+            if let Some(k) = key {
+                cache_store.note_hit(Level::Ddg, &self.cref.scan, faddr, k);
+            }
+            return;
+        }
+        cache_store.note_miss(Level::Ddg, &self.cref.scan, &fs.summary.name, faddr, key);
+        let Some(k) = key else { return };
+        if fs.panicked
+            || fs.budget_exhausted
+            || fs.summary.degraded
+            || self.cref.uncacheable.contains(&faddr)
+        {
+            return;
+        }
+        let blob =
+            cache::encode_final(pool, fs, fn_pruned, created_k, &mut |abs| self.map_abs(abs));
+        if let Some(b) = blob {
+            cache_store.store(Level::Ddg, &self.cref.scan, k, b);
+        }
     }
 }
 

@@ -24,12 +24,14 @@
 //! versions.
 
 pub mod alias;
+pub mod cache;
 pub mod ddg;
 pub mod indirect;
 pub mod interproc;
 pub mod layout;
 
 pub use alias::{alias_replace, AliasEntry};
+pub use cache::{CacheRef, CacheTotals, Level, ScanStats, SummaryCache};
 pub use ddg::{backward_trace, Ddg, DdgNode, DdgNodeKind, TraceStep};
 pub use indirect::{resolve_indirect_calls, Installer, ResolvedCall};
 pub use interproc::{

@@ -22,12 +22,15 @@ pub mod mutate;
 pub mod profiles;
 pub mod spec;
 pub mod templates;
+pub mod versions;
 
 pub use codegen::compile;
 pub use mutate::{
     corrupt_binary, corrupt_bytes, fbf_fault_corpus, fwi_fault_corpus, BinFault, ByteFault, Rng64,
 };
 pub use profiles::{
-    build_firmware, table2_profiles, table7_programs, FirmwareProfile, GeneratedFirmware,
+    build_firmware, build_spec, package_image, table2_profiles, table7_programs, FirmwareProfile,
+    GeneratedFirmware,
 };
 pub use templates::{PlantKind, PlantSpec, PlantedVuln};
+pub use versions::{build_version_pair, VersionPair};

@@ -302,6 +302,17 @@ pub fn add_heartbleed(spec: &mut ProgramSpec) {
 /// Panics when code generation fails — profile definitions are static,
 /// so a failure is a generator bug.
 pub fn build_firmware(profile: &FirmwareProfile) -> GeneratedFirmware {
+    let (spec, ground_truth) = build_spec(profile);
+    let binary = compile(&spec, profile.arch).expect("profile compiles");
+    let image = package_image(profile, &binary);
+    GeneratedFirmware { profile: profile.clone(), binary, image, ground_truth }
+}
+
+/// Builds the program spec for a profile, without compiling or packing
+/// it. Fully determined by the profile (seeded RNG), so two calls yield
+/// identical specs — the basis for [`crate::versions`]' controlled
+/// version pairs, which edit a spec before compiling.
+pub fn build_spec(profile: &FirmwareProfile) -> (ProgramSpec, Vec<PlantedVuln>) {
     let mut rng = StdRng::seed_from_u64(profile.seed);
     let mut spec = ProgramSpec::new(profile.binary_name);
 
@@ -374,9 +385,14 @@ pub fn build_firmware(profile: &FirmwareProfile) -> GeneratedFirmware {
     main.push(Stmt::Return(None));
     spec.func(main);
 
-    let binary = compile(&spec, profile.arch).expect("profile compiles");
+    (spec, ground_truth)
+}
+
+/// Packs a compiled binary into the profile's firmware image layout
+/// (metadata plus `bin/` and `etc/` files).
+pub fn package_image(profile: &FirmwareProfile, binary: &Binary) -> FwImage {
     let is_camera = matches!(profile.manufacturer, "Hikvision" | "Uniview");
-    let image = FwImage {
+    FwImage {
         metadata: FwMetadata {
             vendor: profile.manufacturer.to_owned(),
             product: profile.firmware_version.split('_').next().unwrap_or("dev").to_owned(),
@@ -396,9 +412,7 @@ pub fn build_firmware(profile: &FirmwareProfile) -> GeneratedFirmware {
             FwFile { path: format!("bin/{}", profile.binary_name), data: binary.to_bytes() },
             FwFile { path: "etc/version".into(), data: profile.firmware_version.into() },
         ],
-    };
-
-    GeneratedFirmware { profile: profile.clone(), binary, image, ground_truth }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,117 @@
+//! Seeded firmware *version pairs* for incremental-cache testing.
+//!
+//! [`build_version_pair`] builds a profile's spec twice (spec building
+//! is fully seeded, so both copies are identical), then applies a
+//! **size-preserving** edit to `k` seed-chosen filler functions in the
+//! second copy: the constant in the function's leading
+//! `Set { src: Const(c) }` statement is replaced by a different value
+//! in the same range. Every instruction keeps its width, so unchanged
+//! functions keep their addresses and raw bytes — exactly the situation
+//! a warm incremental re-scan exploits. The pair records which
+//! functions changed, letting tests assert that cache misses cover
+//! *only* the changed functions plus their transitive callers.
+
+use crate::codegen::compile;
+use crate::profiles::{build_firmware, build_spec, package_image, FirmwareProfile};
+use crate::spec::{Stmt, Val};
+use crate::GeneratedFirmware;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two builds of the same profile differing only in the bodies of
+/// `changed` functions.
+#[derive(Debug, Clone)]
+pub struct VersionPair {
+    /// The unedited build.
+    pub base: GeneratedFirmware,
+    /// The build with `changed` function bodies edited.
+    pub updated: GeneratedFirmware,
+    /// Names of the functions whose bytes differ, sorted.
+    pub changed: Vec<String>,
+}
+
+/// Builds a base/updated pair for `profile`, editing up to `k` filler
+/// functions chosen by `edit_seed`.
+///
+/// # Panics
+///
+/// Panics when the edited spec fails to compile — edits are
+/// size-preserving constant swaps, so a failure is a generator bug.
+pub fn build_version_pair(profile: &FirmwareProfile, edit_seed: u64, k: usize) -> VersionPair {
+    let base = build_firmware(profile);
+    let (mut spec, ground_truth) = build_spec(profile);
+
+    // Fillers all start with `Set { dst, src: Const(c) }` (see
+    // `filler::gen_function`); planted functions never do, so matching
+    // on that leading statement selects exactly the filler population.
+    let mut candidates: Vec<usize> = spec
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| matches!(f.body.first(), Some(Stmt::Set { src: Val::Const(_), .. })))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(edit_seed);
+    let mut changed = Vec::new();
+    for _ in 0..k.min(candidates.len()) {
+        let pick = rng.gen_range(0..candidates.len());
+        let fi = candidates.swap_remove(pick);
+        let f = &mut spec.functions[fi];
+        if let Some(Stmt::Set { src: Val::Const(c), .. }) = f.body.first_mut() {
+            // New constant in the generator's own 1..=99 range: same
+            // immediate width, so the function's size cannot change.
+            let mut next = rng.gen_range(1..100u32);
+            if next == *c {
+                next = if *c == 99 { 1 } else { *c + 1 };
+            }
+            *c = next;
+            changed.push(f.name.clone());
+        }
+    }
+    changed.sort();
+
+    let binary = compile(&spec, profile.arch).expect("edited profile compiles");
+    let image = package_image(profile, &binary);
+    let updated = GeneratedFirmware { profile: profile.clone(), binary, image, ground_truth };
+    VersionPair { base, updated, changed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::table2_profiles;
+
+    #[test]
+    fn pair_differs_only_in_changed_functions() {
+        let mut p = table2_profiles().remove(0);
+        p.total_functions = p.total_functions.min(60);
+        let pair = build_version_pair(&p, 7, 3);
+        assert_eq!(pair.changed.len(), 3);
+
+        let base = &pair.base.binary;
+        let upd = &pair.updated.binary;
+        assert_eq!(base.functions().len(), upd.functions().len());
+        for (a, b) in base.functions().iter().zip(upd.functions()) {
+            assert_eq!(a.name, b.name, "function order changed");
+            assert_eq!(a.addr, b.addr, "{}: address moved", a.name);
+            assert_eq!(a.size, b.size, "{}: size changed", a.name);
+            let ba = base.bytes_at(a.addr, a.size).unwrap();
+            let bb = upd.bytes_at(b.addr, b.size).unwrap();
+            if pair.changed.contains(&a.name) {
+                assert_ne!(ba, bb, "{}: marked changed but bytes equal", a.name);
+            } else {
+                assert_eq!(ba, bb, "{}: unchanged function's bytes differ", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_edits_reproduce_the_base_image() {
+        let mut p = table2_profiles().remove(2);
+        p.total_functions = p.total_functions.min(40);
+        let pair = build_version_pair(&p, 1, 0);
+        assert!(pair.changed.is_empty());
+        assert_eq!(pair.base.binary.to_bytes(), pair.updated.binary.to_bytes());
+    }
+}

@@ -1,0 +1,324 @@
+//! Persistent corpus store for `dtaint batch`.
+//!
+//! A [`StoreDir`] is a directory holding everything a corpus scan wants
+//! to keep between runs:
+//!
+//! * `findings.json` — the [`FindingsDb`]: per image, every finding
+//!   ever seen, keyed by its content-addressed fingerprint, with a
+//!   lifecycle status (`Open`/`Resolved`) and first/last-seen
+//!   generation numbers,
+//! * `summaries.dtc` — the incremental summary cache (written by the
+//!   caller via `SummaryCache::save`; this crate only names the path),
+//! * `reports/` — one `scan --json` report per image per run.
+//!
+//! [`FindingsDb::record_scan`] folds one image's scan results into the
+//! database and returns a [`ScanDelta`] in `dtaint diff` terms: new,
+//! re-opened, and resolved fingerprints. The first scan of an image is
+//! its *baseline* and can never regress; afterwards a new vulnerable
+//! finding or a re-opened one makes [`ScanDelta::is_regression`] true,
+//! which `dtaint batch` turns into exit code 2.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lifecycle of a stored finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FindingStatus {
+    /// Present in the image's latest scan.
+    Open,
+    /// Present in some earlier scan, absent from the latest.
+    Resolved,
+}
+
+/// One finding's history within one image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredFinding {
+    /// Whether the latest sighting was vulnerable (vs sanitized).
+    pub vulnerable: bool,
+    /// Present in the latest scan, or resolved earlier.
+    pub status: FindingStatus,
+    /// Generation of the scan that first reported this fingerprint.
+    pub first_seen: u64,
+    /// Generation of the most recent scan that reported it.
+    pub last_seen: u64,
+    /// Sink name (`memcpy`, `system`, …).
+    pub sink: String,
+    /// Function containing the sink.
+    pub sink_fn: String,
+}
+
+/// Every finding ever recorded for one image, keyed by fingerprint.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageRecord {
+    /// Fingerprint → finding history.
+    pub findings: BTreeMap<String, StoredFinding>,
+}
+
+/// The whole corpus database.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FindingsDb {
+    /// Monotone scan counter; each `record_scan` call is one generation.
+    pub generation: u64,
+    /// Image name → record. An image scanned with zero findings still
+    /// has an (empty) record, so its next scan is not a baseline.
+    pub images: BTreeMap<String, ImageRecord>,
+}
+
+/// One finding as fed into [`FindingsDb::record_scan`] — the projection
+/// of a report finding that the store tracks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanFinding {
+    /// Content-addressed fingerprint (16 hex digits).
+    pub fingerprint: String,
+    /// Unsanitized flow?
+    pub vulnerable: bool,
+    /// Sink name.
+    pub sink: String,
+    /// Function containing the sink.
+    pub sink_fn: String,
+}
+
+/// What changed for one image in one scan, relative to the store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanDelta {
+    /// First scan of this image — everything is new by definition.
+    pub is_baseline: bool,
+    /// Fingerprints never seen before in this image.
+    pub new: Vec<String>,
+    /// Fingerprints that were resolved (or sanitized) and came back
+    /// vulnerable.
+    pub reopened: Vec<String>,
+    /// Previously open fingerprints absent from this scan.
+    pub resolved: Vec<String>,
+    /// New **vulnerable** fingerprints (subset of `new`).
+    pub new_vulnerable: usize,
+}
+
+impl ScanDelta {
+    /// A regression is a new vulnerable finding or a re-opened one in a
+    /// non-baseline scan; baselines establish the ledger, they never
+    /// regress.
+    #[must_use]
+    pub fn is_regression(&self) -> bool {
+        !self.is_baseline && (self.new_vulnerable > 0 || !self.reopened.is_empty())
+    }
+}
+
+impl FindingsDb {
+    /// Folds one image's scan into the database.
+    pub fn record_scan(&mut self, image: &str, findings: &[ScanFinding]) -> ScanDelta {
+        self.generation += 1;
+        let generation = self.generation;
+        let is_baseline = !self.images.contains_key(image);
+        let rec = self.images.entry(image.to_owned()).or_default();
+
+        let mut delta = ScanDelta { is_baseline, ..ScanDelta::default() };
+        let mut present: BTreeMap<&str, ()> = BTreeMap::new();
+        for f in findings {
+            present.insert(&f.fingerprint, ());
+            match rec.findings.get_mut(&f.fingerprint) {
+                Some(old) => {
+                    // A fingerprint counts as re-opened when it becomes
+                    // vulnerable after having been resolved *or* after
+                    // having been seen only sanitized — both are the
+                    // `diff` regression cases.
+                    let was_gone = old.status == FindingStatus::Resolved;
+                    if f.vulnerable && (was_gone || !old.vulnerable) {
+                        delta.reopened.push(f.fingerprint.clone());
+                    }
+                    old.status = FindingStatus::Open;
+                    old.vulnerable = f.vulnerable;
+                    old.last_seen = generation;
+                }
+                None => {
+                    rec.findings.insert(
+                        f.fingerprint.clone(),
+                        StoredFinding {
+                            vulnerable: f.vulnerable,
+                            status: FindingStatus::Open,
+                            first_seen: generation,
+                            last_seen: generation,
+                            sink: f.sink.clone(),
+                            sink_fn: f.sink_fn.clone(),
+                        },
+                    );
+                    if f.vulnerable {
+                        delta.new_vulnerable += 1;
+                    }
+                    delta.new.push(f.fingerprint.clone());
+                }
+            }
+        }
+        for (fp, stored) in &mut rec.findings {
+            if stored.status == FindingStatus::Open && !present.contains_key(fp.as_str()) {
+                stored.status = FindingStatus::Resolved;
+                delta.resolved.push(fp.clone());
+            }
+        }
+        delta
+    }
+
+    /// Open **vulnerable** findings across the whole corpus.
+    #[must_use]
+    pub fn open_vulnerable(&self) -> usize {
+        self.images
+            .values()
+            .flat_map(|r| r.findings.values())
+            .filter(|f| f.status == FindingStatus::Open && f.vulnerable)
+            .count()
+    }
+}
+
+/// The on-disk layout of a corpus store.
+#[derive(Debug, Clone)]
+pub struct StoreDir {
+    root: PathBuf,
+}
+
+impl StoreDir {
+    /// Opens (creating if necessary) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: &Path) -> io::Result<StoreDir> {
+        std::fs::create_dir_all(root)?;
+        let s = StoreDir { root: root.to_path_buf() };
+        std::fs::create_dir_all(s.reports_dir())?;
+        Ok(s)
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the findings database.
+    #[must_use]
+    pub fn findings_path(&self) -> PathBuf {
+        self.root.join("findings.json")
+    }
+
+    /// Path of the persisted summary cache.
+    #[must_use]
+    pub fn cache_path(&self) -> PathBuf {
+        self.root.join("summaries.dtc")
+    }
+
+    /// Directory of per-image reports.
+    #[must_use]
+    pub fn reports_dir(&self) -> PathBuf {
+        self.root.join("reports")
+    }
+
+    /// Loads the findings database; a missing or unparseable file is an
+    /// empty database (the store is advisory, never a scan blocker).
+    #[must_use]
+    pub fn load_db(&self) -> FindingsDb {
+        std::fs::read_to_string(self.findings_path())
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or_default()
+    }
+
+    /// Saves the findings database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and write failures.
+    pub fn save_db(&self, db: &FindingsDb) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(db).map_err(|e| io::Error::other(e.to_string()))?;
+        std::fs::write(self.findings_path(), json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(fp: &str, vulnerable: bool) -> ScanFinding {
+        ScanFinding {
+            fingerprint: fp.to_owned(),
+            vulnerable,
+            sink: "memcpy".into(),
+            sink_fn: "parse".into(),
+        }
+    }
+
+    #[test]
+    fn baseline_never_regresses() {
+        let mut db = FindingsDb::default();
+        let d = db.record_scan("img", &[f("aa", true), f("bb", false)]);
+        assert!(d.is_baseline);
+        assert_eq!(d.new.len(), 2);
+        assert_eq!(d.new_vulnerable, 1);
+        assert!(!d.is_regression());
+        assert_eq!(db.open_vulnerable(), 1);
+    }
+
+    #[test]
+    fn repeat_scan_is_quiet_and_new_vulnerable_regresses() {
+        let mut db = FindingsDb::default();
+        db.record_scan("img", &[f("aa", true)]);
+        let d = db.record_scan("img", &[f("aa", true)]);
+        assert!(!d.is_baseline);
+        assert!(d.new.is_empty() && d.reopened.is_empty() && d.resolved.is_empty());
+        assert!(!d.is_regression());
+        let d = db.record_scan("img", &[f("aa", true), f("cc", true)]);
+        assert_eq!(d.new, vec!["cc".to_owned()]);
+        assert!(d.is_regression());
+    }
+
+    #[test]
+    fn resolve_then_reopen_regresses() {
+        let mut db = FindingsDb::default();
+        db.record_scan("img", &[f("aa", true)]);
+        let d = db.record_scan("img", &[]);
+        assert_eq!(d.resolved, vec!["aa".to_owned()]);
+        assert!(!d.is_regression(), "a fix is not a regression");
+        assert_eq!(db.open_vulnerable(), 0);
+        let d = db.record_scan("img", &[f("aa", true)]);
+        assert_eq!(d.reopened, vec!["aa".to_owned()]);
+        assert!(d.is_regression());
+    }
+
+    #[test]
+    fn sanitized_to_vulnerable_is_a_reopen() {
+        let mut db = FindingsDb::default();
+        db.record_scan("img", &[f("aa", false)]);
+        let d = db.record_scan("img", &[f("aa", true)]);
+        assert_eq!(d.reopened, vec!["aa".to_owned()]);
+        assert!(d.is_regression());
+    }
+
+    #[test]
+    fn images_are_independent() {
+        let mut db = FindingsDb::default();
+        db.record_scan("one", &[f("aa", true)]);
+        let d = db.record_scan("two", &[f("aa", true)]);
+        assert!(d.is_baseline, "same fingerprint in another image is that image's baseline");
+    }
+
+    #[test]
+    fn db_round_trips_through_the_store_dir() {
+        let root = std::env::temp_dir().join(format!("dtaint-store-{}", std::process::id()));
+        let store = StoreDir::open(&root).unwrap();
+        let mut db = FindingsDb::default();
+        db.record_scan("img", &[f("aa", true)]);
+        store.save_db(&db).unwrap();
+        assert_eq!(store.load_db(), db);
+        assert!(store.reports_dir().is_dir());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_db_loads_empty() {
+        let root = std::env::temp_dir().join(format!("dtaint-store-miss-{}", std::process::id()));
+        let store = StoreDir::open(&root).unwrap();
+        assert_eq!(store.load_db(), FindingsDb::default());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -66,6 +66,7 @@
 //! # Ok::<(), dtaint_fwbin::Error>(())
 //! ```
 
+pub mod encode;
 pub mod libsig;
 pub mod pool;
 pub mod summary;
@@ -73,6 +74,7 @@ pub mod types;
 
 mod exec;
 
+pub use encode::{canonical_encode, encode_summary, fnv64, Fnv64, SummaryDecoder, SummaryEncoder};
 pub use exec::{analyze_function, SymexConfig};
 pub use pool::{CmpOp, ExprId, ExprPool, PoolMark, SymNode};
 pub use summary::{CalleeRef, CallsiteInfo, Constraint, DefPair, FuncSummary, LoopCopy};

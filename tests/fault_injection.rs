@@ -243,6 +243,112 @@ fn tiny_fuel_budget_degrades_deterministically() {
     assert_eq!(snapshots[1], snapshots[2]);
 }
 
+/// The incremental cache must never serve a faulted function: a
+/// `Panicked` function is quarantined (re-missed on every scan, at both
+/// cache levels) rather than stored as an `Analyzed` summary, and the
+/// warm report stays byte-identical to the cold one.
+#[test]
+fn panicked_functions_are_never_cached() {
+    use dtaint_core::{CacheRef, SummaryCache};
+    use std::sync::Arc;
+    let fw = small_firmware();
+    let pristine = Dtaint::new().analyze(&fw.binary, "pristine").unwrap();
+    let victim = fw
+        .binary
+        .functions()
+        .into_iter()
+        .find(|s| !pristine.findings.iter().any(|f| mentions(f, &s.name, s.addr, s.size)))
+        .expect("some function is uninvolved in findings")
+        .clone();
+    let config = |cache: Option<CacheRef>| DtaintConfig {
+        symex: SymexConfig { panic_on: Some(victim.addr), ..Default::default() },
+        cache,
+        ..Default::default()
+    };
+    let cold = Dtaint::with_config(config(None))
+        .analyze(&fw.binary, "drilled")
+        .unwrap()
+        .with_zeroed_wall_clock();
+    assert_eq!(cold.skipped_functions[0].outcome, FunctionOutcome::Panicked);
+
+    let cache = Arc::new(SummaryCache::new());
+    Dtaint::with_config(config(Some(CacheRef::new(cache.clone(), "drill"))))
+        .analyze(&fw.binary, "drilled")
+        .unwrap();
+    let warm = Dtaint::with_config(config(Some(CacheRef::new(cache.clone(), "drill"))))
+        .analyze(&fw.binary, "drilled")
+        .unwrap()
+        .with_zeroed_wall_clock();
+    assert_eq!(warm, cold, "warm drilled scan must reproduce the cold report exactly");
+    let st = cache.scan_stats("drill");
+    assert!(st.sym_hits > 0, "healthy functions are served from the cache");
+    assert_eq!(
+        st.sym_miss_fns.iter().cloned().collect::<Vec<_>>(),
+        vec![victim.name.clone()],
+        "only the panicked function may re-miss at the symex level"
+    );
+    // The quarantine also covers the DDG level: the victim's
+    // placeholder summary is re-derived (re-missed) on every scan,
+    // never stored, and nothing else misses.
+    assert_eq!(
+        st.ddg_miss_fns.iter().cloned().collect::<Vec<_>>(),
+        vec![victim.name.clone()],
+        "only the panicked function may re-miss at the DDG level"
+    );
+}
+
+/// Same quarantine for `Degraded`/`BudgetExceeded` outcomes: a
+/// starvation-level fuel budget downgrades many functions, and none of
+/// them may ever be served from (or stored into) the cache as an
+/// `Analyzed` summary.
+#[test]
+fn degraded_functions_are_never_cached() {
+    use dtaint_core::{CacheRef, SummaryCache};
+    use std::sync::Arc;
+    let fw = small_firmware();
+    let config = |cache: Option<CacheRef>| DtaintConfig {
+        symex: SymexConfig { max_fuel: 2, ..Default::default() },
+        cache,
+        ..Default::default()
+    };
+    let cold = Dtaint::with_config(config(None))
+        .analyze(&fw.binary, "starved")
+        .unwrap()
+        .with_zeroed_wall_clock();
+    assert!(!cold.skipped_functions.is_empty(), "a 2-step budget must degrade something");
+
+    let cache = Arc::new(SummaryCache::new());
+    Dtaint::with_config(config(Some(CacheRef::new(cache.clone(), "starve"))))
+        .analyze(&fw.binary, "starved")
+        .unwrap();
+    let warm = Dtaint::with_config(config(Some(CacheRef::new(cache.clone(), "starve"))))
+        .analyze(&fw.binary, "starved")
+        .unwrap()
+        .with_zeroed_wall_clock();
+    assert_eq!(warm, cold, "warm starved scan must reproduce the cold report exactly");
+    let st = cache.scan_stats("starve");
+    for rec in &warm.skipped_functions {
+        assert!(
+            matches!(rec.outcome, FunctionOutcome::Degraded | FunctionOutcome::BudgetExceeded),
+            "unexpected outcome for {}: {:?}",
+            rec.name,
+            rec.outcome
+        );
+        assert!(
+            st.sym_miss_fns.contains(&rec.name),
+            "{} ({:?}) was served from the symex cache",
+            rec.name,
+            rec.outcome
+        );
+        assert!(
+            st.ddg_miss_fns.contains(&rec.name),
+            "{} ({:?}) was served from the DDG cache",
+            rec.name,
+            rec.outcome
+        );
+    }
+}
+
 /// fail-fast mode restores the old abort-on-first-failure behaviour.
 #[test]
 fn fail_fast_aborts_where_keep_going_reports() {

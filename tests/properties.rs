@@ -133,6 +133,84 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The incremental cache's content hash is a pure function of salt,
+    /// address, name, and raw bytes — it takes no pool, no thread count,
+    /// no scheduling state, so it is trivially stable across pool
+    /// layouts — and it moves whenever any of its inputs moves.
+    #[test]
+    fn summary_content_hash_is_pure_and_sensitive(
+        salt in any::<u64>(),
+        addr in any::<u32>(),
+        bytes in proptest::collection::vec(any::<u8>(), 1..64),
+        flip in 0usize..64,
+    ) {
+        use dtaint_dataflow::cache::function_content_hash;
+        let h = function_content_hash(salt, addr, "f", &bytes);
+        prop_assert_eq!(h, function_content_hash(salt, addr, "f", &bytes), "hash must be pure");
+        let mut flipped = bytes.clone();
+        let i = flip % bytes.len();
+        flipped[i] ^= 1;
+        prop_assert_ne!(h, function_content_hash(salt, addr, "f", &flipped), "byte flip ignored");
+        prop_assert_ne!(h, function_content_hash(salt ^ 1, addr, "f", &bytes), "salt ignored");
+        prop_assert_ne!(h, function_content_hash(salt, addr ^ 1, "f", &bytes), "address ignored");
+        prop_assert_ne!(h, function_content_hash(salt, addr, "g", &bytes), "name ignored");
+    }
+
+    /// A function's final DDG key moves whenever its own hash or any
+    /// callee's key moves, and never when neither does.
+    #[test]
+    fn final_key_tracks_own_hash_and_callee_keys(
+        salt in any::<u64>(),
+        own in any::<u64>(),
+        callees in proptest::collection::vec(any::<u64>(), 0..6),
+        bump in 0usize..6,
+    ) {
+        use dtaint_dataflow::cache::{combine_scc, compose_final_key};
+        let k = compose_final_key(salt, own, None, &callees);
+        prop_assert_eq!(k, compose_final_key(salt, own, None, &callees), "key must be pure");
+        prop_assert_ne!(k, compose_final_key(salt, own ^ 1, None, &callees), "own hash ignored");
+        prop_assert_ne!(k, compose_final_key(salt ^ 1, own, None, &callees), "salt ignored");
+        if !callees.is_empty() {
+            let mut moved = callees.clone();
+            let i = bump % moved.len();
+            moved[i] ^= 1;
+            prop_assert_ne!(k, compose_final_key(salt, own, None, &moved), "callee key ignored");
+        }
+        // Joining a recursive component changes the key even when the
+        // combined hash coincides with the own hash's inputs.
+        let scc = combine_scc(&[(1, own), (2, own ^ 7)]);
+        prop_assert_ne!(k, compose_final_key(salt, own, Some(scc), &callees));
+        // SCC combination is member-order-insensitive (whole-SCC
+        // granularity must not depend on traversal order).
+        let swapped = combine_scc(&[(2, own ^ 7), (1, own)]);
+        prop_assert_eq!(scc, swapped, "SCC combine must sort members");
+    }
+}
+
+/// Thread count and tracing knobs are *not* part of the cache salts —
+/// a cache populated at one `--threads` must serve any other — while
+/// semantic analysis knobs are.
+#[test]
+fn cache_salts_ignore_thread_count_but_track_semantics() {
+    use dtaint_dataflow::cache::{ddg_salt, sym_salt};
+    use dtaint_dataflow::DataflowConfig;
+    use dtaint_symex::SymexConfig;
+    let env = 0x1234_5678_9abc_def0;
+    let d1 = DataflowConfig { threads: 1, ..Default::default() };
+    let d8 = DataflowConfig { threads: 8, ..Default::default() };
+    assert_eq!(ddg_salt(env, &d1), ddg_salt(env, &d8), "threads must not salt DDG keys");
+    let guards = DataflowConfig { interval_guards: true, ..Default::default() };
+    assert_ne!(ddg_salt(env, &d1), ddg_salt(env, &guards), "interval guards change semantics");
+    let s = SymexConfig::default();
+    let starved = SymexConfig { max_fuel: 2, ..Default::default() };
+    assert_eq!(sym_salt(env, &s), sym_salt(env, &s));
+    assert_ne!(sym_salt(env, &s), sym_salt(env, &starved), "fuel budget changes summaries");
+    assert_ne!(sym_salt(env, &s), sym_salt(env ^ 1, &s), "environment digest must salt keys");
+}
+
 #[test]
 fn corpus_statistics_are_stable_across_seeds() {
     // The Figure 1 shape holds for any seed: unpack failures dominate,
