@@ -32,7 +32,7 @@
 //! The command logic lives in [`run`] (writes to any `io::Write`), so
 //! every subcommand is unit-testable; `main.rs` is a thin wrapper.
 
-use dtaint_core::{AnalysisReport, CacheRef, Dtaint, DtaintConfig, Finding, SummaryCache};
+use dtaint_core::{AliasMode, AnalysisReport, CacheRef, Dtaint, DtaintConfig, Finding, SummaryCache};
 use dtaint_emu::{poison_all_rodata_names, validate as emu_validate, AttackConfig, Verdict};
 use dtaint_fwbin::{disasm, Binary};
 use dtaint_fwimage::{
@@ -47,11 +47,11 @@ usage: dtaint [--quiet|-v] <command> [args]
 
 commands:
   scan <image|binary> [--json|--md] [--filter p1,p2] [--threads N] [--interval-guards] [--validate]
-                      [--keep-going|--fail-fast] [--profile] [--sarif-out FILE]
+                      [--alias store|sse] [--keep-going|--fail-fast] [--profile] [--sarif-out FILE]
                       [--trace-out FILE] [--trace-chrome FILE] [--metrics-out FILE]
   explain <report.json> [--finding PREFIX]
   diff <baseline.json> <current.json>
-  batch <dir> [--store DIR] [--out DIR] [--jobs N] [--threads N] [--no-cache]
+  batch <dir> [--store DIR] [--out DIR] [--jobs N] [--threads N] [--alias store|sse] [--no-cache]
   unpack <image> [--out DIR]
   info <image|binary>
   disasm <binary> [FUNCTION]
@@ -125,6 +125,14 @@ fn has_flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
 }
 
+/// Parses `--alias store|sse`; `None` keeps the built-in default.
+fn parse_alias_mode(rest: &[String], cmd: &str) -> Result<Option<AliasMode>, String> {
+    match flag_value(rest, "--alias") {
+        Some(v) => v.parse().map(Some).map_err(|e| format!("{cmd}: {e}")),
+        None => Ok(None),
+    }
+}
+
 fn positional(rest: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut skip = false;
@@ -150,6 +158,7 @@ fn positional(rest: &[String]) -> Vec<&String> {
                     | "--finding"
                     | "--store"
                     | "--jobs"
+                    | "--alias"
             ) {
                 skip = true;
             }
@@ -187,6 +196,7 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
         None => 0,
     };
     let interval_guards = has_flag(rest, "--interval-guards");
+    let alias_mode = parse_alias_mode(rest, "scan")?;
     let fail_fast = has_flag(rest, "--fail-fast");
     if fail_fast && has_flag(rest, "--keep-going") {
         return Err("scan: --keep-going and --fail-fast are mutually exclusive".into());
@@ -196,13 +206,16 @@ fn cmd_scan(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let metrics_out = flag_value(rest, "--metrics-out");
     let sarif_out = flag_value(rest, "--sarif-out");
     let profile = has_flag(rest, "--profile");
-    let config = DtaintConfig {
+    let mut config = DtaintConfig {
         function_filter: filter,
         threads,
         interval_guards,
         fail_fast,
         ..Default::default()
     };
+    if let Some(mode) = alias_mode {
+        config.dataflow.alias.mode = mode;
+    }
     let analyzer = Dtaint::with_config(config);
 
     // One collector for the whole invocation: spans from every binary
@@ -658,6 +671,7 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
         None => 0,
     };
     let no_cache = has_flag(rest, "--no-cache");
+    let alias_mode = parse_alias_mode(rest, "batch")?;
 
     let mut images: Vec<std::path::PathBuf> = std::fs::read_dir(dir.as_str())
         .map_err(|e| format!("batch: read {dir}: {e}"))?
@@ -696,11 +710,14 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                 let mut labels = Vec::new();
                 for (bin_name, bin) in load_binaries(&path.to_string_lossy())? {
                     let label = format!("{name}/{bin_name}");
-                    let config = DtaintConfig {
+                    let mut config = DtaintConfig {
                         threads,
                         cache: cache.as_ref().map(|c| CacheRef::new(c.clone(), &label)),
                         ..Default::default()
                     };
+                    if let Some(mode) = alias_mode {
+                        config.dataflow.alias.mode = mode;
+                    }
                     let report = Dtaint::with_config(config)
                         .analyze(&bin, &bin_name)
                         .map_err(|e| e.to_string())?;

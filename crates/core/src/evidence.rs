@@ -156,6 +156,13 @@ pub enum EvidenceStep {
         function: String,
         /// Number of definition pairs rewritten.
         rewrites: u64,
+        /// Fixpoint rounds the SSE pass ran in this function (0 when the
+        /// store-based single pass produced the rewrites).
+        #[serde(default)]
+        rounds: u64,
+        /// Deepest dereference chain connected by the rewrites.
+        #[serde(default)]
+        depth: u64,
     },
     /// Interprocedural argument substitution at a call site carried the
     /// observation across a function boundary (Algorithm 2).
@@ -188,8 +195,16 @@ impl fmt::Display for EvidenceStep {
             EvidenceStep::DefUse { ins_addr, location, value, function } => {
                 write!(f, "def @{ins_addr:#x}: {location} = {value} (in {function})")
             }
-            EvidenceStep::AliasRewrite { function, rewrites } => {
-                write!(f, "alias rewrite: {rewrites} definition pair(s) renamed in {function}")
+            EvidenceStep::AliasRewrite { function, rewrites, rounds, depth } => {
+                if *rounds > 0 {
+                    write!(
+                        f,
+                        "alias rewrite: {rewrites} definition pair(s) renamed in {function} \
+                         (sse fixpoint: {rounds} round(s), deref depth {depth})"
+                    )
+                } else {
+                    write!(f, "alias rewrite: {rewrites} definition pair(s) renamed in {function}")
+                }
             }
             EvidenceStep::CallsiteSubstitution { ins_addr, caller, callee } => {
                 write!(f, "call @{ins_addr:#x}: {caller} -> {callee} (argument substitution)")

@@ -441,6 +441,11 @@ impl Dtaint {
             metrics.observe("ddg.fuel_per_fn", f.ddg_fuel);
             metrics.observe("fn.sinks", f.sinks);
         }
+        for f in df.finals.values() {
+            metrics.inc("ddg.alias_sse_rounds", u64::from(f.summary.sse_rounds));
+            metrics.inc("ddg.alias_sse_rewrites", u64::from(f.summary.sse_rewrites));
+            metrics.inc("ddg.alias_sse_saturated", u64::from(f.summary.sse_saturated));
+        }
         metrics.inc("symex.functions_retried", retried as u64);
         metrics.inc("ddg.pruned_infeasible", df.pruned_infeasible as u64);
         metrics.inc("detect.infeasible_suppressed", outcome.infeasible_suppressed as u64);

@@ -463,6 +463,8 @@ fn judge_holder(
                 chain.push(EvidenceStep::AliasRewrite {
                     function: observed_name.clone(),
                     rewrites: u64::from(holder.summary.alias_rewrites),
+                    rounds: u64::from(holder.summary.sse_rounds),
+                    depth: u64::from(holder.summary.sse_depth),
                 });
             }
             for &cs in &obs.call_chain {

@@ -14,10 +14,11 @@
 
 use dtaint_symex::pool::{ExprPool, SymNode};
 use dtaint_symex::{DefPair, ExprId, FuncSummary};
+use std::collections::HashSet;
 
 /// One recognised alias: `name` (a `deref(…)` expression) holds the value
 /// `base + offset`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AliasEntry {
     /// The memory name holding the pointer (`deref(base1 + offset1)`).
     pub name: ExprId,
@@ -25,6 +26,94 @@ pub struct AliasEntry {
     pub base: ExprId,
     /// The pointer value's constant offset.
     pub offset: i64,
+}
+
+/// Which alias-recognition algorithm the dataflow stage runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AliasMode {
+    /// The paper's Algorithm 1: a single store-based rewrite pass per
+    /// local summary. Misses multi-level chains whose links are split
+    /// across callees or hidden behind another alias.
+    Store,
+    /// Structured-symbolic-expression matching (the same first author's
+    /// follow-up work): bidirectional substitution iterated to a
+    /// fixpoint with bounded deref depth, run both on local summaries
+    /// and again after callee substitution so chains composed at a call
+    /// site still connect.
+    #[default]
+    Sse,
+}
+
+impl AliasMode {
+    /// Stable one-byte tag for cache-salt hashing.
+    pub fn salt_tag(self) -> u8 {
+        match self {
+            AliasMode::Store => 0,
+            AliasMode::Sse => 1,
+        }
+    }
+}
+
+impl std::str::FromStr for AliasMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "store" => Ok(AliasMode::Store),
+            "sse" => Ok(AliasMode::Sse),
+            other => Err(format!("unknown alias mode `{other}` (expected `store` or `sse`)")),
+        }
+    }
+}
+
+impl std::fmt::Display for AliasMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AliasMode::Store => "store",
+            AliasMode::Sse => "sse",
+        })
+    }
+}
+
+/// Alias-analysis knobs. Every field is semantic (changes which
+/// definition pairs exist) and therefore enters the DDG cache salt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AliasConfig {
+    /// Which algorithm to run.
+    pub mode: AliasMode,
+    /// Maximum deref nesting allowed in an SSE-rewritten name; deeper
+    /// rewrites are discarded. Bounds the expression universe so the
+    /// fixpoint terminates.
+    pub max_depth: u32,
+    /// Maximum SSE fixpoint rounds per summary; a pass that still has
+    /// pending rewrites at the cap sets `FuncSummary::sse_saturated`.
+    pub max_rounds: u32,
+}
+
+impl Default for AliasConfig {
+    fn default() -> Self {
+        AliasConfig { mode: AliasMode::default(), max_depth: 4, max_rounds: 6 }
+    }
+}
+
+/// Mode-dispatched front for the alias stage: runs the configured
+/// algorithm over one summary. `global_base` maps a constant address to
+/// the base of the writable global object containing it — the SSE pass
+/// uses it to admit global structs as alias bases (store mode never
+/// does).
+pub fn alias_pass(
+    summary: &mut FuncSummary,
+    pool: &mut ExprPool,
+    cfg: &AliasConfig,
+    global_base: &dyn Fn(i64) -> Option<i64>,
+) {
+    match cfg.mode {
+        AliasMode::Store => {
+            alias_replace(summary, pool);
+        }
+        AliasMode::Sse => {
+            crate::sse::sse_replace(summary, pool, cfg, global_base);
+        }
+    }
 }
 
 /// Runs Algorithm 1 over a function summary, appending the rewritten
@@ -35,8 +124,10 @@ pub struct AliasEntry {
 /// used as a base elsewhere (the executor types load/store bases as
 /// pointers, so this covers the common cases).
 pub fn alias_replace(summary: &mut FuncSummary, pool: &mut ExprPool) -> Vec<AliasEntry> {
-    // Collect ALIAS: defs of Formula-(1) shape.
+    // Collect ALIAS: defs of Formula-(1) shape. Hashed dedup keeps
+    // collection linear; the Vec preserves deterministic discovery order.
     let mut aliases: Vec<AliasEntry> = Vec::new();
+    let mut alias_seen: HashSet<AliasEntry> = HashSet::new();
     for dp in &summary.def_pairs {
         if !matches!(pool.node(dp.d), SymNode::Deref { .. }) {
             continue;
@@ -49,7 +140,7 @@ pub fn alias_replace(summary: &mut FuncSummary, pool: &mut ExprPool) -> Vec<Alia
             continue;
         }
         let entry = AliasEntry { name: dp.d, base, offset };
-        if !aliases.contains(&entry) {
+        if alias_seen.insert(entry) {
             aliases.push(entry);
         }
     }
@@ -57,15 +148,23 @@ pub fn alias_replace(summary: &mut FuncSummary, pool: &mut ExprPool) -> Vec<Alia
     // Collect DOP: defs whose description contains base pointers, and
     // rewrite each matching base with its alias name.
     let mut new_pairs: Vec<DefPair> = Vec::new();
+    let mut ptrs: Vec<ExprId> = Vec::new();
     for dp in &summary.def_pairs {
         if !matches!(pool.node(dp.d), SymNode::Deref { .. }) {
             continue;
         }
-        let ptrs = pool.ptrs_in(dp.d);
-        for ptr in ptrs {
+        pool.ptrs_in_into(dp.d, &mut ptrs);
+        for &ptr in &ptrs {
             for alias in &aliases {
-                // Do not rewrite a name with itself.
-                if alias.base != ptr || alias.name == dp.d {
+                // Do not rewrite a name with itself, and — the occurs
+                // check — never rewrite a def that already mentions the
+                // alias name: substituting `base → name - offset` there
+                // nests the name inside itself, and under fixpoint
+                // iteration the reverse substitution would ping-pong.
+                if alias.base != ptr
+                    || alias.name == dp.d
+                    || pool.contains(dp.d, alias.name)
+                {
                     continue;
                 }
                 let replacement = pool.add_const(alias.name, -alias.offset);
@@ -81,11 +180,11 @@ pub fn alias_replace(summary: &mut FuncSummary, pool: &mut ExprPool) -> Vec<Alia
             }
         }
     }
-    let existing: std::collections::HashSet<(ExprId, ExprId)> =
+    let mut existing: HashSet<(ExprId, ExprId)> =
         summary.def_pairs.iter().map(|p| (p.d, p.u)).collect();
     let mut appended = 0u32;
     for p in new_pairs {
-        if !existing.contains(&(p.d, p.u)) {
+        if existing.insert((p.d, p.u)) {
             summary.def_pairs.push(p);
             appended += 1;
         }

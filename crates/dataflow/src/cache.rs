@@ -348,7 +348,8 @@ fn section_kind_tag(k: dtaint_fwbin::SectionKind) -> u8 {
 /// included so fault-drilled scans never hit healthy entries.
 pub fn sym_salt(env: u64, cfg: &SymexConfig) -> u64 {
     let mut h = Fnv64::new();
-    h.write_str("dtaint-symex/v1");
+    // v2: the summary blob encoding gained the SSE counters.
+    h.write_str("dtaint-symex/v2");
     h.write_u64(env);
     h.write_u32(cfg.max_paths);
     h.write_u32(cfg.max_blocks_per_path);
@@ -363,9 +364,14 @@ pub fn sym_salt(env: u64, cfg: &SymexConfig) -> u64 {
 /// count and tracing are observationally irrelevant and excluded.
 pub fn ddg_salt(env: u64, cfg: &DataflowConfig) -> u64 {
     let mut h = Fnv64::new();
-    h.write_str("dtaint-ddg/v1");
+    // v2: alias mode/budget knobs joined the salt and the summary blob
+    // encoding gained the SSE counters; v1 blobs must never match.
+    h.write_str("dtaint-ddg/v2");
     h.write_u64(env);
     h.write_u8(cfg.enable_alias as u8);
+    h.write_u8(cfg.alias.mode.salt_tag());
+    h.write_u32(cfg.alias.max_depth);
+    h.write_u32(cfg.alias.max_rounds);
     h.write_u8(cfg.enable_indirect as u8);
     let mut sinks: Vec<&str> = cfg.sink_names.iter().map(String::as_str).collect();
     sinks.sort_unstable();

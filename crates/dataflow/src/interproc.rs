@@ -36,7 +36,6 @@
 //! creation order, which makes the result bit-identical to a
 //! single-threaded run regardless of thread count or scheduling.
 
-use crate::alias::alias_replace;
 use crate::cache::{self, CacheRef, Level};
 use crate::indirect::{resolve_indirect_calls, ResolvedCall};
 use dtaint_cfg::CallGraph;
@@ -55,8 +54,12 @@ const PAR_STRATUM_MIN: usize = 8;
 /// Switches for the pipeline stages (used by the ablation benches).
 #[derive(Debug, Clone)]
 pub struct DataflowConfig {
-    /// Run pointer-aliasing recognition (Algorithm 1).
+    /// Run pointer-aliasing recognition (Algorithm 1 or its SSE
+    /// successor, per [`AliasConfig::mode`]).
     pub enable_alias: bool,
+    /// Alias-analysis algorithm and budgets. Every field is semantic
+    /// and enters the DDG cache salt.
+    pub alias: crate::alias::AliasConfig,
     /// Resolve indirect calls by layout similarity (§III-D).
     pub enable_indirect: bool,
     /// Import names treated as sensitive sinks (bubbled up the call
@@ -108,6 +111,7 @@ impl Default for DataflowConfig {
     fn default() -> Self {
         DataflowConfig {
             enable_alias: true,
+            alias: crate::alias::AliasConfig::default(),
             enable_indirect: true,
             sink_names: [
                 "strcpy", "strncpy", "sprintf", "memcpy", "strcat", "sscanf", "system", "popen",
@@ -358,12 +362,14 @@ pub fn build_dataflow(
     // order regardless of how `locals` arrived.
     let mut by_addr: BTreeMap<u32, FuncSummary> = locals.into_iter().map(|s| (s.addr, s)).collect();
 
-    // Stage 1: pointer aliasing per function (Algorithm 1). Degraded
-    // summaries skip it (that is what "degraded" means: optional
-    // refinements off); a panic inside it downgrades just that function
-    // — the pristine summary is restored, the pool rolled back, and the
-    // scan continues.
+    // Stage 1: pointer aliasing per function (Algorithm 1 in store
+    // mode, the SSE fixpoint in sse mode). Degraded summaries skip it
+    // (that is what "degraded" means: optional refinements off); a
+    // panic inside it downgrades just that function — the pristine
+    // summary is restored, the pool rolled back, and the scan
+    // continues.
     let t = Instant::now();
+    let globals = crate::sse::GlobalMap::build(bin);
     let mut alias_panics: Vec<u32> = Vec::new();
     if config.enable_alias {
         for s in by_addr.values_mut() {
@@ -373,7 +379,7 @@ pub fn build_dataflow(
             let mark = pool.mark();
             let saved = s.clone();
             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                alias_replace(s, &mut pool)
+                crate::alias::alias_pass(s, &mut pool, &config.alias, &|c| globals.base_of(c))
             }));
             if r.is_err() {
                 pool.rollback(mark);
@@ -485,6 +491,7 @@ pub fn build_dataflow(
                         &finals,
                         &comp_of,
                         &resolution,
+                        &globals,
                         &mut pool,
                         config,
                         &mut absint,
@@ -530,6 +537,7 @@ pub fn build_dataflow(
             let finals_ref = &finals;
             let comp_ref = &comp_of;
             let res_ref = &resolution;
+            let globals_ref = &globals;
             let ctx_ref = cache_ctx.as_ref();
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
@@ -577,6 +585,7 @@ pub fn build_dataflow(
                                         finals_ref,
                                         comp_ref,
                                         res_ref,
+                                        globals_ref,
                                         &mut fork,
                                         config,
                                         &mut absint,
@@ -914,6 +923,7 @@ fn process_function_caught(
     finals: &BTreeMap<u32, FinalSummary>,
     comp_of: &HashMap<u32, usize>,
     resolution: &HashMap<u32, u32>,
+    globals: &crate::sse::GlobalMap,
     pool: &mut ExprPool,
     config: &DataflowConfig,
     absint: &mut AbsintStats,
@@ -922,7 +932,9 @@ fn process_function_caught(
     let mark = pool.mark();
     let saved_absint = *absint;
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        process_function(bin, faddr, summary, finals, comp_of, resolution, pool, config, absint)
+        process_function(
+            bin, faddr, summary, finals, comp_of, resolution, globals, pool, config, absint,
+        )
     }));
     match r {
         Ok(fs) => fs,
@@ -957,6 +969,7 @@ fn process_function(
     finals: &BTreeMap<u32, FinalSummary>,
     comp_of: &HashMap<u32, usize>,
     resolution: &HashMap<u32, u32>,
+    globals: &crate::sse::GlobalMap,
     pool: &mut ExprPool,
     config: &DataflowConfig,
     absint: &mut AbsintStats,
@@ -1043,6 +1056,21 @@ fn process_function(
             pool,
             config,
         );
+    }
+
+    // SSE refinement: callee application composes definition pairs from
+    // different callees, but `substitute_everywhere` only rewrites
+    // expressions that exist at application time — a chain link added
+    // by a later callee keeps its nested name unconnected. Re-running
+    // the SSE fixpoint over the composed summary closes those
+    // cross-callee chains. Store mode stays faithful to the paper's
+    // single local pass.
+    if config.enable_alias
+        && config.alias.mode == crate::alias::AliasMode::Sse
+        && !summary.degraded
+        && !summary.callsites.is_empty()
+    {
+        crate::sse::sse_replace(&mut summary, pool, &config.alias, &|c| globals.base_of(c));
     }
 
     // Interval extension: an observation whose accumulated constraints

@@ -29,8 +29,10 @@ pub mod ddg;
 pub mod indirect;
 pub mod interproc;
 pub mod layout;
+pub mod sse;
 
-pub use alias::{alias_replace, AliasEntry};
+pub use alias::{alias_pass, alias_replace, AliasConfig, AliasEntry, AliasMode};
+pub use sse::{canonicalize, sse_replace, Sse, SseStats};
 pub use cache::{CacheRef, CacheTotals, Level, ScanStats, SummaryCache};
 pub use ddg::{backward_trace, Ddg, DdgNode, DdgNodeKind, TraceStep};
 pub use indirect::{resolve_indirect_calls, Installer, ResolvedCall};

@@ -105,6 +105,9 @@ pub fn table2_profiles() -> Vec<FirmwareProfile> {
                 // CVE-2016-5681 and the 890L variant of CVE-2015-2051.
                 spec_plant(BofGetenvStrcpy, "cve_2016_5681", false, 1),
                 spec_plant(CmdiGetenvSystem, "cve_2015_2051v", false, 1),
+                // A two-level pointer chain split across callees: only
+                // the SSE alias fixpoint connects it.
+                spec_plant(BofAliasDeep2, "deep_link", false, 0),
                 spec_plant(BofRecvMemcpy, "guarded_recv", true, 1),
             ],
             extra_paths: 1,
@@ -201,9 +204,17 @@ pub fn table2_profiles() -> Vec<FirmwareProfile> {
                 spec_plant(BofUrlParamAliasIndirect, "isapi_url1", false, 0),
                 spec_plant(BofUrlParamAliasIndirect, "isapi_url2", false, 0),
                 spec_plant(BofUrlParamAliasIndirect, "onvif_url3", false, 0),
+                // Multi-level pointer chains: configuration objects
+                // linked across handler-module callees, reachable only
+                // through the SSE alias fixpoint.
+                spec_plant(BofAliasDeep2, "isapi_cfg1", false, 0),
+                spec_plant(BofAliasDeep3, "onvif_cfg2", false, 0),
+                spec_plant(BofAliasCalleeLoad, "http_cfg3", false, 0),
+                spec_plant(BofAliasOffset, "rtsp_cfg4", false, 0),
                 // Sanitised twins.
                 spec_plant(BofReadLoopcopy, "rtsp_guarded", true, 0),
                 spec_plant(BofUrlParamAliasIndirect, "isapi_guarded", true, 0),
+                spec_plant(BofAliasDeep2, "isapi_cfg_guarded", true, 0),
             ],
             extra_paths: 3,
             seed: 0x6233,
@@ -422,11 +433,29 @@ mod tests {
 
     #[test]
     fn profiles_cover_the_paper_totals() {
+        use crate::templates::PlantKind;
+        let deep = [
+            PlantKind::BofAliasDeep2,
+            PlantKind::BofAliasDeep3,
+            PlantKind::BofAliasCalleeLoad,
+            PlantKind::BofAliasOffset,
+        ];
         let profiles = table2_profiles();
         assert_eq!(profiles.len(), 6);
-        let vulnerable: usize =
-            profiles.iter().flat_map(|p| p.plants.iter()).filter(|p| !p.sanitized).count();
+        // The paper's Table III count, excluding the deep-alias plants
+        // added for the store-vs-SSE ablation.
+        let vulnerable: usize = profiles
+            .iter()
+            .flat_map(|p| p.plants.iter())
+            .filter(|p| !p.sanitized && !deep.contains(&p.kind))
+            .count();
         assert_eq!(vulnerable, 21, "Table III reports 21 vulnerabilities");
+        let deep_vulnerable: usize = profiles
+            .iter()
+            .flat_map(|p| p.plants.iter())
+            .filter(|p| !p.sanitized && deep.contains(&p.kind))
+            .count();
+        assert_eq!(deep_vulnerable, 5, "five multi-level alias plants ride the SSE ablation");
         let functions: Vec<usize> = profiles.iter().map(|p| p.total_functions).collect();
         assert_eq!(functions, vec![237, 358, 732, 796, 6714, 14035]);
     }

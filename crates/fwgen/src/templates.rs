@@ -8,7 +8,7 @@
 //! injections). Sanitised twins are planted alongside vulnerable flows
 //! so precision is measurable against ground truth.
 
-use crate::spec::{Callee, Cmp, FnSpec, ProgramSpec, Stmt, Val};
+use crate::spec::{Arith, Callee, Cmp, FnSpec, ProgramSpec, Stmt, Val};
 use serde::{Deserialize, Serialize};
 
 /// The vulnerability shapes of the paper's evaluation.
@@ -70,6 +70,29 @@ pub enum PlantKind {
     /// counted loop as sanitised; strict/interval modes compare the trip
     /// count against the destination capacity (48 sanitises).
     BofLoopcopyOversized,
+    /// Two-level pointer chain split across callees: one callee links
+    /// the request object into the context (`ctx->req = req`), another
+    /// links the attacker buffer into the request (`req->data = buf`),
+    /// and the handler walks `ctx->req->data` to a `strcpy`. The links
+    /// only meet in the *caller's* merged summary, so the single-pass
+    /// store-based alias recognition misses the flow; the SSE fixpoint
+    /// connects it in one forward round.
+    BofAliasDeep2,
+    /// Three-level chain (`ctx->req->inner->data`) whose middle link
+    /// forces a second fixpoint round: the round-1 twin for the inner
+    /// pair seeds the round-2 match that reaches the sink shape.
+    BofAliasDeep3,
+    /// Chain through a callee-held load: the nested definition
+    /// `deref(deref(ctx+co)+uo) = buf` is created inside a callee that
+    /// *loads* the link pointer (the field was stored by a different
+    /// callee, so the load stays a symbolic name). Only the reverse SSE
+    /// substitution resolves the name back to the request object the
+    /// sink handler reads.
+    BofAliasCalleeLoad,
+    /// Offset-shifted alias: the context field holds `req + 0x10`, not
+    /// `req` itself, so connecting the sink requires carrying the
+    /// nonzero alias offset through the rewrite arithmetic.
+    BofAliasOffset,
 }
 
 impl PlantKind {
@@ -86,7 +109,11 @@ impl PlantKind {
             | PlantKind::BofReadMemcpySmall
             | PlantKind::BofReadLoopcopy
             | PlantKind::BofLoopcopyOversized
-            | PlantKind::BofUrlParamAliasIndirect => "read",
+            | PlantKind::BofUrlParamAliasIndirect
+            | PlantKind::BofAliasDeep2
+            | PlantKind::BofAliasDeep3
+            | PlantKind::BofAliasCalleeLoad
+            | PlantKind::BofAliasOffset => "read",
             PlantKind::BofRecvMemcpy
             | PlantKind::BofWeakBound
             | PlantKind::BofSymbolicBound
@@ -102,7 +129,12 @@ impl PlantKind {
             PlantKind::CmdiFindvarPopen => "popen",
             PlantKind::BofReadStrncpy => "strncpy",
             PlantKind::BofGetenvSprintf => "sprintf",
-            PlantKind::BofGetenvStrcpy | PlantKind::BofUrlParamAliasIndirect => "strcpy",
+            PlantKind::BofGetenvStrcpy
+            | PlantKind::BofUrlParamAliasIndirect
+            | PlantKind::BofAliasDeep2
+            | PlantKind::BofAliasDeep3
+            | PlantKind::BofAliasCalleeLoad
+            | PlantKind::BofAliasOffset => "strcpy",
             PlantKind::BofRecvMemcpy
             | PlantKind::BofReadMemcpySmall
             | PlantKind::BofWeakBound
@@ -188,6 +220,10 @@ pub fn plant(spec: &mut ProgramSpec, p: &PlantSpec) -> PlantedVuln {
         PlantKind::BofInfeasiblePath => plant_infeasible_path(spec, p, &entry_name),
         PlantKind::BofGlobalDst => plant_global_dst(spec, p, &entry_name),
         PlantKind::BofLoopcopyOversized => plant_loopcopy_oversized(spec, p, &entry_name),
+        PlantKind::BofAliasDeep2 => plant_alias_deep(spec, p, &entry_name, 2),
+        PlantKind::BofAliasDeep3 => plant_alias_deep(spec, p, &entry_name, 3),
+        PlantKind::BofAliasCalleeLoad => plant_alias_callee_load(spec, p, &entry_name),
+        PlantKind::BofAliasOffset => plant_alias_offset(spec, p, &entry_name),
     }
     PlantedVuln {
         id: p.id.clone(),
@@ -750,11 +786,239 @@ fn plant_alias_indirect(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
     spec.func(e);
 }
 
+/// Emits the deep-alias handler's `strcpy(dst64, p)` sink, guarded by
+/// a leading length byte when sanitised (the alias-indirect idiom).
+fn deep_sink(hf: &mut FnSpec, p_local: crate::spec::LocalId, sanitized: bool) {
+    let dst = hf.buf(64);
+    let sink_call = Stmt::Call {
+        callee: Callee::Import("strcpy".into()),
+        args: vec![Val::BufAddr(dst), Val::Local(p_local)],
+        ret: None,
+    };
+    if sanitized {
+        let b = hf.local();
+        hf.push(Stmt::LoadByte { dst: b, base: Val::Local(p_local), off: 0 });
+        hf.push(Stmt::If {
+            lhs: Val::Local(b),
+            op: Cmp::Lt,
+            rhs: Val::Const(64),
+            then: vec![sink_call],
+            els: vec![],
+        });
+    } else {
+        hf.push(sink_call);
+    }
+}
+
+/// The multi-level chain shape ([`PlantKind::BofAliasDeep2`] /
+/// [`PlantKind::BofAliasDeep3`]): each link `outer->field = inner` is
+/// stored in its *own* callee, the attacker buffer lands at the end of
+/// the chain, and the handler walks every level before the `strcpy`.
+/// No single function's summary holds two links, so the connection can
+/// only be made in the entry's merged summary — which the store-based
+/// pass never revisits and the SSE fixpoint does.
+fn plant_alias_deep(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str, levels: u8) {
+    let ctx = spec.global(&format!("g_dctx_{}", p.id), 96);
+    let req = spec.global(&format!("g_dreq_{}", p.id), 96);
+    let inner = spec.global(&format!("g_dinn_{}", p.id), 96);
+    let buf = spec.global(&format!("g_dbuf_{}", p.id), 2048);
+    let co: i16 = 0x28; // ctx->req
+    let ro: i16 = 0x18; // req->inner (3-level only)
+    let uo: i16 = 0x20; // innermost ->data
+
+    // Link 1: ctx->req = req.
+    let install = format!("install_{}", p.id);
+    let mut inf = FnSpec::new(&install, 2);
+    inf.push(Stmt::Store { base: Val::Param(0), off: co, src: Val::Param(1) });
+    inf.push(Stmt::Return(None));
+    spec.func(inf);
+
+    // Link 2 (3-level only): req->inner = inner.
+    let attach = format!("run_{}", p.id);
+    if levels >= 3 {
+        let mut af = FnSpec::new(&attach, 2);
+        af.push(Stmt::Store { base: Val::Param(0), off: ro, src: Val::Param(1) });
+        af.push(Stmt::Return(None));
+        spec.func(af);
+    }
+
+    // Last link: holder->data = buf, then read() fills the buffer.
+    let parse = format!("parse_{}", p.id);
+    let mut pf = FnSpec::new(&parse, 2);
+    pf.push(Stmt::Store { base: Val::Param(0), off: uo, src: Val::Param(1) });
+    pf.push(Stmt::Call {
+        callee: Callee::Import("read".into()),
+        args: vec![Val::Const(0), Val::Param(1), Val::Const(2048)],
+        ret: None,
+    });
+    pf.push(Stmt::Return(None));
+    spec.func(pf);
+
+    // The handler walks the whole chain from the context.
+    let handler = format!("handle_{}", p.id);
+    let mut hf = FnSpec::new(&handler, 1);
+    let r = hf.local();
+    hf.push(Stmt::Load { dst: r, base: Val::Param(0), off: co });
+    if levels >= 3 {
+        hf.push(Stmt::Load { dst: r, base: Val::Local(r), off: ro });
+    }
+    let pv = hf.local();
+    hf.push(Stmt::Load { dst: pv, base: Val::Local(r), off: uo });
+    deep_sink(&mut hf, pv, p.sanitized);
+    hf.push(Stmt::Return(None));
+    spec.func(hf);
+
+    let mut e = FnSpec::new(entry, 0);
+    e.push(Stmt::Call {
+        callee: Callee::Func(install),
+        args: vec![Val::GlobalAddr(ctx.clone()), Val::GlobalAddr(req.clone())],
+        ret: None,
+    });
+    let (fill_holder, _) = if levels >= 3 {
+        e.push(Stmt::Call {
+            callee: Callee::Func(attach),
+            args: vec![Val::GlobalAddr(req.clone()), Val::GlobalAddr(inner.clone())],
+            ret: None,
+        });
+        (inner, req)
+    } else {
+        (req, inner)
+    };
+    e.push(Stmt::Call {
+        callee: Callee::Func(parse),
+        args: vec![Val::GlobalAddr(fill_holder), Val::GlobalAddr(buf)],
+        ret: None,
+    });
+    e.push(Stmt::Call { callee: Callee::Func(handler), args: vec![Val::GlobalAddr(ctx)], ret: None });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// The callee-held-load shape ([`PlantKind::BofAliasCalleeLoad`]): the
+/// parser *loads* the link pointer another callee stored (`r =
+/// ctx->req`, a symbolic name in its own summary) and hangs the
+/// attacker buffer off it, producing the nested definition
+/// `deref(deref(ctx+co)+uo) = buf`. The sink handler receives the
+/// request object directly, so its tainted expression names the field
+/// *without* the context detour — only the reverse SSE substitution
+/// (name → value) makes the two meet.
+fn plant_alias_callee_load(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
+    let ctx = spec.global(&format!("g_cctx_{}", p.id), 96);
+    let req = spec.global(&format!("g_creq_{}", p.id), 96);
+    let buf = spec.global(&format!("g_cbuf_{}", p.id), 2048);
+    let co: i16 = 0x28;
+    let uo: i16 = 0x20;
+
+    let install = format!("install_{}", p.id);
+    let mut inf = FnSpec::new(&install, 2);
+    inf.push(Stmt::Store { base: Val::Param(0), off: co, src: Val::Param(1) });
+    inf.push(Stmt::Return(None));
+    spec.func(inf);
+
+    let parse = format!("parse_{}", p.id);
+    let mut pf = FnSpec::new(&parse, 2);
+    let r = pf.local();
+    pf.push(Stmt::Load { dst: r, base: Val::Param(0), off: co });
+    pf.push(Stmt::Store { base: Val::Local(r), off: uo, src: Val::Param(1) });
+    pf.push(Stmt::Call {
+        callee: Callee::Import("read".into()),
+        args: vec![Val::Const(0), Val::Param(1), Val::Const(2048)],
+        ret: None,
+    });
+    pf.push(Stmt::Return(None));
+    spec.func(pf);
+
+    let handler = format!("handle_{}", p.id);
+    let mut hf = FnSpec::new(&handler, 1);
+    let pv = hf.local();
+    hf.push(Stmt::Load { dst: pv, base: Val::Param(0), off: uo });
+    deep_sink(&mut hf, pv, p.sanitized);
+    hf.push(Stmt::Return(None));
+    spec.func(hf);
+
+    let mut e = FnSpec::new(entry, 0);
+    e.push(Stmt::Call {
+        callee: Callee::Func(install),
+        args: vec![Val::GlobalAddr(ctx.clone()), Val::GlobalAddr(req.clone())],
+        ret: None,
+    });
+    e.push(Stmt::Call {
+        callee: Callee::Func(parse),
+        args: vec![Val::GlobalAddr(ctx), Val::GlobalAddr(buf)],
+        ret: None,
+    });
+    e.push(Stmt::Call { callee: Callee::Func(handler), args: vec![Val::GlobalAddr(req)], ret: None });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
+/// The offset-shifted shape ([`PlantKind::BofAliasOffset`]): the
+/// context field holds `req + 0x10`, so the alias carries a nonzero
+/// offset the rewrite arithmetic must preserve when re-basing the
+/// attacker-buffer definition onto the handler's walk.
+fn plant_alias_offset(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
+    let ctx = spec.global(&format!("g_octx_{}", p.id), 96);
+    let req = spec.global(&format!("g_oreq_{}", p.id), 96);
+    let buf = spec.global(&format!("g_obuf_{}", p.id), 2048);
+    let co: i16 = 0x28;
+    let shift: i16 = 0x10; // the field holds req + 0x10
+    let uo: i16 = 0x20;
+
+    let install = format!("install_{}", p.id);
+    let mut inf = FnSpec::new(&install, 2);
+    let t = inf.local();
+    inf.push(Stmt::Bin {
+        dst: t,
+        op: Arith::Add,
+        lhs: Val::Param(1),
+        rhs: Val::Const(shift as u32),
+    });
+    inf.push(Stmt::Store { base: Val::Param(0), off: co, src: Val::Local(t) });
+    inf.push(Stmt::Return(None));
+    spec.func(inf);
+
+    let parse = format!("parse_{}", p.id);
+    let mut pf = FnSpec::new(&parse, 2);
+    pf.push(Stmt::Store { base: Val::Param(0), off: shift + uo, src: Val::Param(1) });
+    pf.push(Stmt::Call {
+        callee: Callee::Import("read".into()),
+        args: vec![Val::Const(0), Val::Param(1), Val::Const(2048)],
+        ret: None,
+    });
+    pf.push(Stmt::Return(None));
+    spec.func(pf);
+
+    let handler = format!("handle_{}", p.id);
+    let mut hf = FnSpec::new(&handler, 1);
+    let r = hf.local();
+    hf.push(Stmt::Load { dst: r, base: Val::Param(0), off: co });
+    let pv = hf.local();
+    hf.push(Stmt::Load { dst: pv, base: Val::Local(r), off: uo });
+    deep_sink(&mut hf, pv, p.sanitized);
+    hf.push(Stmt::Return(None));
+    spec.func(hf);
+
+    let mut e = FnSpec::new(entry, 0);
+    e.push(Stmt::Call {
+        callee: Callee::Func(install),
+        args: vec![Val::GlobalAddr(ctx.clone()), Val::GlobalAddr(req.clone())],
+        ret: None,
+    });
+    e.push(Stmt::Call {
+        callee: Callee::Func(parse),
+        args: vec![Val::GlobalAddr(req), Val::GlobalAddr(buf)],
+        ret: None,
+    });
+    e.push(Stmt::Call { callee: Callee::Func(handler), args: vec![Val::GlobalAddr(ctx)], ret: None });
+    e.push(Stmt::Return(None));
+    spec.func(e);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::codegen::compile;
-    use dtaint_core::Dtaint;
+    use dtaint_core::{AliasMode, Dtaint, DtaintConfig};
     use dtaint_fwbin::Arch;
 
     /// Every template, vulnerable form: compiled on both architectures
@@ -773,6 +1037,20 @@ mod tests {
             PlantKind::BofReadMemcpySmall,
             PlantKind::BofReadLoopcopy,
             PlantKind::BofUrlParamAliasIndirect,
+            PlantKind::BofAliasDeep2,
+            PlantKind::BofAliasDeep3,
+            PlantKind::BofAliasCalleeLoad,
+            PlantKind::BofAliasOffset,
+        ]
+    }
+
+    /// The multi-level alias kinds: detected only by the SSE fixpoint.
+    fn deep_alias_kinds() -> Vec<PlantKind> {
+        vec![
+            PlantKind::BofAliasDeep2,
+            PlantKind::BofAliasDeep3,
+            PlantKind::BofAliasCalleeLoad,
+            PlantKind::BofAliasOffset,
         ]
     }
 
@@ -790,6 +1068,24 @@ mod tests {
         spec.func(main);
         let bin = compile(&spec, arch).unwrap();
         let r = Dtaint::new().analyze(&bin, "t").unwrap();
+        r.vulnerabilities()
+    }
+
+    fn run_mode(kind: PlantKind, sanitized: bool, arch: Arch, mode: AliasMode) -> usize {
+        let mut spec = ProgramSpec::new("t");
+        let gt = plant(&mut spec, &PlantSpec::new(kind, "x1", sanitized, 0));
+        let mut main = FnSpec::new("main", 0);
+        main.push(Stmt::Call {
+            callee: Callee::Func(gt.entry_fn.clone()),
+            args: vec![],
+            ret: None,
+        });
+        main.push(Stmt::Return(None));
+        spec.func(main);
+        let bin = compile(&spec, arch).unwrap();
+        let mut config = DtaintConfig::default();
+        config.dataflow.alias.mode = mode;
+        let r = Dtaint::with_config(config).analyze(&bin, "t").unwrap();
         r.vulnerabilities()
     }
 
@@ -832,6 +1128,18 @@ mod tests {
             assert!(v >= 1, "depth {depth} cmdi must survive the chain");
             let v = run_single(PlantKind::BofRecvMemcpy, false, depth, Arch::Mips32e);
             assert!(v >= 1, "depth {depth} bof must survive the chain");
+        }
+    }
+
+    #[test]
+    fn deep_alias_kinds_need_the_sse_fixpoint() {
+        for kind in deep_alias_kinds() {
+            let store = run_mode(kind, false, Arch::Arm32e, AliasMode::Store);
+            assert_eq!(store, 0, "{kind:?}: the store-based pass must miss the chain");
+            let sse = run_mode(kind, false, Arch::Arm32e, AliasMode::Sse);
+            assert!(sse >= 1, "{kind:?}: the SSE fixpoint must connect the chain (got {sse})");
+            let safe = run_mode(kind, true, Arch::Arm32e, AliasMode::Sse);
+            assert_eq!(safe, 0, "{kind:?}: sanitised twin must stay clean under SSE");
         }
     }
 

@@ -357,6 +357,10 @@ impl<'p, 'm> SummaryEncoder<'p, 'm> {
         self.u8(s.degraded as u8);
         self.u32(s.blocks_executed);
         self.u32(s.alias_rewrites);
+        self.u32(s.sse_rounds);
+        self.u32(s.sse_rewrites);
+        self.u32(s.sse_depth);
+        self.u8(s.sse_saturated as u8);
     }
 
     fn def_pairs(&mut self, pairs: &[DefPair]) {
@@ -578,6 +582,10 @@ impl SummaryDecoder {
         s.degraded = self.u8()? != 0;
         s.blocks_executed = self.u32()?;
         s.alias_rewrites = self.u32()?;
+        s.sse_rounds = self.u32()?;
+        s.sse_rewrites = self.u32()?;
+        s.sse_depth = self.u32()?;
+        s.sse_saturated = self.u8()? != 0;
         Some(s)
     }
 
@@ -633,6 +641,11 @@ mod tests {
             name: "frob".into(),
             paths_explored: 3,
             blocks_executed: 17,
+            alias_rewrites: 5,
+            sse_rounds: 2,
+            sse_rewrites: 4,
+            sse_depth: 3,
+            sse_saturated: true,
             ..FuncSummary::default()
         };
         s.def_pairs.push(DefPair { d: var, u: ret, ins_addr: 0x1014, path: 0 });
@@ -666,6 +679,11 @@ mod tests {
         assert_eq!(a.escape_defs.len(), b.escape_defs.len());
         assert_eq!(a.types.len(), b.types.len());
         assert_eq!(a.args_used, b.args_used);
+        assert_eq!(a.alias_rewrites, b.alias_rewrites);
+        assert_eq!(a.sse_rounds, b.sse_rounds);
+        assert_eq!(a.sse_rewrites, b.sse_rewrites);
+        assert_eq!(a.sse_depth, b.sse_depth);
+        assert_eq!(a.sse_saturated, b.sse_saturated);
     }
 
     #[test]

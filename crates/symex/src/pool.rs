@@ -489,6 +489,30 @@ impl ExprPool {
         out
     }
 
+    /// [`Self::ptrs_in`] into a caller-owned scratch buffer, so hot
+    /// loops can reuse one allocation across many expressions.
+    pub fn ptrs_in_into(&self, id: ExprId, out: &mut Vec<ExprId>) {
+        out.clear();
+        self.collect_ptrs(id, out);
+    }
+
+    /// Maximum `Deref` nesting depth anywhere inside `id`; 0 when the
+    /// expression touches no memory. `deref(deref(a+4)+8)` has depth 2.
+    pub fn deref_depth(&self, id: ExprId) -> u32 {
+        match self.node(id) {
+            SymNode::Deref { addr, .. } => 1 + self.deref_depth(addr),
+            SymNode::Add(a, b)
+            | SymNode::Mul(a, b)
+            | SymNode::And(a, b)
+            | SymNode::Or(a, b)
+            | SymNode::Xor(a, b)
+            | SymNode::Shl(a, b)
+            | SymNode::Shr(a, b)
+            | SymNode::Cmp(_, a, b) => self.deref_depth(a).max(self.deref_depth(b)),
+            _ => 0,
+        }
+    }
+
     fn collect_ptrs(&self, id: ExprId, out: &mut Vec<ExprId>) {
         match self.node(id) {
             SymNode::Deref { addr, .. } => {

@@ -125,6 +125,18 @@ pub struct FuncSummary {
     /// (Algorithm 1) — the alias stage's logical work counter. Zero
     /// until `dtaint-dataflow` runs the alias pass over this summary.
     pub alias_rewrites: u32,
+    /// Fixpoint rounds executed by SSE alias matching over this summary
+    /// (local pass plus post-substitution refinement). Zero in store
+    /// mode. A pure step count, identical across thread counts.
+    pub sse_rounds: u32,
+    /// Rewritten definition pairs appended specifically by the SSE
+    /// fixpoint (a subset of [`alias_rewrites`](Self::alias_rewrites)).
+    pub sse_rewrites: u32,
+    /// Deepest deref nesting among SSE-rewritten definition names.
+    pub sse_depth: u32,
+    /// True when an SSE fixpoint pass still had pending rewrites when
+    /// its round budget ran out (did not converge).
+    pub sse_saturated: bool,
 }
 
 impl FuncSummary {
@@ -188,6 +200,10 @@ impl FuncSummary {
             degraded: self.degraded,
             blocks_executed: self.blocks_executed,
             alias_rewrites: self.alias_rewrites,
+            sse_rounds: self.sse_rounds,
+            sse_rewrites: self.sse_rewrites,
+            sse_depth: self.sse_depth,
+            sse_saturated: self.sse_saturated,
             ..FuncSummary::default()
         };
         for dp in &self.def_pairs {

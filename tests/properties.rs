@@ -190,6 +190,70 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The SSE alias fixpoint terminates within any round budget, the
+    /// default budget finds every planted multi-level chain, and budget
+    /// beyond the fixpoint is a no-op — the saturated state is
+    /// idempotent, so findings are bit-identical.
+    #[test]
+    fn sse_fixpoint_terminates_and_is_idempotent(
+        kind in prop_oneof![
+            Just(PlantKind::BofAliasDeep2),
+            Just(PlantKind::BofAliasDeep3),
+            Just(PlantKind::BofAliasCalleeLoad),
+            Just(PlantKind::BofAliasOffset),
+        ],
+        filler in 0usize..15,
+        seed in any::<u64>(),
+        arch in arch_strategy(),
+    ) {
+        let bin = noisy_program(kind, false, 0, filler, seed, arch);
+        let run = |rounds: u32| {
+            let mut config = dtaint_core::DtaintConfig::default();
+            config.dataflow.alias.max_rounds = rounds;
+            let r = Dtaint::with_config(config).analyze(&bin, "prop").unwrap();
+            (r.vulnerabilities(), r.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>())
+        };
+        let (v_starved, _) = run(1);
+        let (v6, f6) = run(6);
+        let (v12, f12) = run(12);
+        prop_assert!(v6 >= 1, "deep plant must be found at the default budget");
+        prop_assert_eq!(v6, v12, "extra rounds past the fixpoint changed the verdict");
+        prop_assert_eq!(f6, f12, "extra rounds past the fixpoint changed the findings");
+        prop_assert!(v_starved <= v6, "a starved round budget cannot find more");
+    }
+
+    /// Every semantic field of `AliasConfig` — and nothing else —
+    /// participates in the DDG cache salt: two configs key identically
+    /// exactly when mode, depth, and round budgets agree, regardless of
+    /// thread count.
+    #[test]
+    fn alias_config_fields_all_salt_the_ddg_key(
+        sse_a in any::<bool>(), depth_a in 0u32..16, rounds_a in 0u32..16,
+        sse_b in any::<bool>(), depth_b in 0u32..16, rounds_b in 0u32..16,
+        threads_a in 0usize..16, threads_b in 0usize..16,
+    ) {
+        use dtaint_dataflow::cache::ddg_salt;
+        use dtaint_dataflow::{AliasConfig, AliasMode, DataflowConfig};
+        let mk = |sse: bool, d: u32, r: u32, t: usize| DataflowConfig {
+            threads: t,
+            alias: AliasConfig {
+                mode: if sse { AliasMode::Sse } else { AliasMode::Store },
+                max_depth: d,
+                max_rounds: r,
+            },
+            ..Default::default()
+        };
+        let env = 0x1234_5678_9abc_def0;
+        let a = ddg_salt(env, &mk(sse_a, depth_a, rounds_a, threads_a));
+        let b = ddg_salt(env, &mk(sse_b, depth_b, rounds_b, threads_b));
+        let same_semantics = sse_a == sse_b && depth_a == depth_b && rounds_a == rounds_b;
+        prop_assert_eq!(a == b, same_semantics, "salt must track exactly the semantic fields");
+    }
+}
+
 /// Thread count and tracing knobs are *not* part of the cache salts —
 /// a cache populated at one `--threads` must serve any other — while
 /// semantic analysis knobs are.
