@@ -60,16 +60,10 @@ fn alias_recall(fw: &GeneratedFirmware, mode: AliasMode) -> (usize, usize, usize
     };
     config.dataflow.alias.mode = mode;
     let report = Dtaint::with_config(config).analyze(&fw.binary, "alias").unwrap();
-    let deep: Vec<_> = fw
-        .ground_truth
-        .iter()
-        .filter(|g| !g.sanitized && DEEP_KINDS.contains(&g.kind))
-        .collect();
-    let flat: Vec<_> = fw
-        .ground_truth
-        .iter()
-        .filter(|g| !g.sanitized && !DEEP_KINDS.contains(&g.kind))
-        .collect();
+    let deep: Vec<_> =
+        fw.ground_truth.iter().filter(|g| !g.sanitized && DEEP_KINDS.contains(&g.kind)).collect();
+    let flat: Vec<_> =
+        fw.ground_truth.iter().filter(|g| !g.sanitized && !DEEP_KINDS.contains(&g.kind)).collect();
     let deep_hit = deep.iter().filter(|g| plant_detected(&report, g)).count();
     let flat_hit = flat.iter().filter(|g| plant_detected(&report, g)).count();
     (deep_hit, deep.len(), flat_hit, flat.len())
@@ -191,10 +185,7 @@ fn main() {
     }
     println!("store-vs-SSE alias recall per profile (deep = multi-level chains):");
     println!();
-    print!(
-        "{}",
-        render_table(&["Profile", "Store", "SSE", "Store deep", "SSE deep"], &alias_rows)
-    );
+    print!("{}", render_table(&["Profile", "Store", "SSE", "Store deep", "SSE deep"], &alias_rows));
     println!();
 
     let doc = Value::Obj(vec![

@@ -17,7 +17,10 @@
 //!   incremental summary cache persisted in the store), write one
 //!   report per image plus `corpus.json`, and track finding lifecycles
 //!   in the store's database; exits 2 on new/re-opened vulnerable
-//!   findings in non-baseline images, 4 when an image failed to scan,
+//!   findings in non-baseline images, 4 when an image failed to scan or
+//!   overran `--deadline-secs`. All store artifacts are written
+//!   atomically, progress is journaled per image, and `--resume`
+//!   continues a killed run without re-scanning completed images,
 //! * `unpack <image> [--out dir]` — extract the root filesystem,
 //! * `info <image|binary>` — metadata, sections, symbols, signatures,
 //! * `disasm <binary> [function]` — objdump-style listing,
@@ -32,7 +35,9 @@
 //! The command logic lives in [`run`] (writes to any `io::Write`), so
 //! every subcommand is unit-testable; `main.rs` is a thin wrapper.
 
-use dtaint_core::{AliasMode, AnalysisReport, CacheRef, Dtaint, DtaintConfig, Finding, SummaryCache};
+use dtaint_core::{
+    AliasMode, AnalysisReport, CacheFormat, CacheRef, Dtaint, DtaintConfig, Finding, SummaryCache,
+};
 use dtaint_emu::{poison_all_rodata_names, validate as emu_validate, AttackConfig, Verdict};
 use dtaint_fwbin::{disasm, Binary};
 use dtaint_fwimage::{
@@ -52,6 +57,7 @@ commands:
   explain <report.json> [--finding PREFIX]
   diff <baseline.json> <current.json>
   batch <dir> [--store DIR] [--out DIR] [--jobs N] [--threads N] [--alias store|sse] [--no-cache]
+              [--resume] [--deadline-secs N]
   unpack <image> [--out DIR]
   info <image|binary>
   disasm <binary> [FUNCTION]
@@ -159,6 +165,9 @@ fn positional(rest: &[String]) -> Vec<&String> {
                     | "--store"
                     | "--jobs"
                     | "--alias"
+                    | "--deadline-secs"
+                    | "--drill-io"
+                    | "--drill-stall"
             ) {
                 skip = true;
             }
@@ -605,14 +614,191 @@ fn write_counter_deltas(
 /// One image's worth of work inside `batch`: every binary scanned, or
 /// the error that stopped the image (other images are unaffected).
 struct ImageOutcome {
-    /// Image file stem (the store's image key).
-    name: String,
     /// One report per executable in the image.
     reports: Vec<AnalysisReport>,
     /// The cache scan labels used, one per report.
     labels: Vec<String>,
     /// Set when the image could not be scanned at all.
     error: Option<String>,
+    /// The per-image deadline expired (`error` holds the message).
+    timeout: bool,
+}
+
+/// Cache state captured by the scan worker the moment an image's scan
+/// completes — *before* the same worker's next scan can reset the
+/// per-label statistics or store new summaries into the shared cache.
+/// Committing from this capture (rather than reading the live cache at
+/// commit time, which races with the worker running ahead) is what
+/// lets an interrupted-and-resumed run reproduce an uninterrupted one
+/// byte-for-byte at `--jobs 1`.
+struct ScanCapture {
+    /// Serialized `DTC2` snapshot to persist at this image's commit.
+    snapshot: Option<Vec<u8>>,
+    sym_hits: u64,
+    sym_misses: u64,
+    ddg_hits: u64,
+    ddg_misses: u64,
+}
+
+/// Captures the cache snapshot and this image's scan statistics right
+/// after its scan settles. Failed and timed-out images carry zero
+/// stats (their labels never completed a scan).
+fn capture_cache(cache: Option<&std::sync::Arc<SummaryCache>>, oc: &ImageOutcome) -> ScanCapture {
+    let mut cap = ScanCapture {
+        snapshot: cache.map(|c| c.to_bytes()),
+        sym_hits: 0,
+        sym_misses: 0,
+        ddg_hits: 0,
+        ddg_misses: 0,
+    };
+    if let Some(c) = cache {
+        if oc.error.is_none() {
+            for label in &oc.labels {
+                let st = c.scan_stats(label);
+                cap.sym_hits += st.sym_hits;
+                cap.sym_misses += st.sym_misses;
+                cap.ddg_hits += st.ddg_hits;
+                cap.ddg_misses += st.ddg_misses;
+            }
+        }
+    }
+    cap
+}
+
+/// One image as enumerated from the corpus directory, with the content
+/// hash the run journal keys resume decisions on.
+struct ImageJob {
+    path: std::path::PathBuf,
+    /// File stem — the store's image key.
+    name: String,
+    /// FNV-1a 64 of the image file bytes, 16 hex digits
+    /// (`"unreadable"` when the file cannot be read; such an image never
+    /// matches a journal entry and takes the per-image failure path).
+    content: String,
+}
+
+/// Everything the end-of-run fold needs for one image — built either
+/// from a fresh scan's commit or replayed from a journal entry, so a
+/// resumed run folds exactly what an uninterrupted one would.
+struct FoldInput {
+    name: String,
+    binaries: usize,
+    findings: Vec<dtaint_store::ScanFinding>,
+    error: Option<String>,
+    timeout: bool,
+    sym_hits: u64,
+    sym_misses: u64,
+    ddg_hits: u64,
+    ddg_misses: u64,
+}
+
+impl FoldInput {
+    fn from_journal(e: &dtaint_store::JournalEntry) -> FoldInput {
+        FoldInput {
+            name: e.image.clone(),
+            binaries: e.binaries,
+            findings: e.findings.clone(),
+            error: e.error.clone(),
+            timeout: e.outcome == dtaint_store::JournalOutcome::Timeout,
+            sym_hits: e.sym_hits,
+            sym_misses: e.sym_misses,
+            ddg_hits: e.ddg_hits,
+            ddg_misses: e.ddg_misses,
+        }
+    }
+}
+
+/// Scans one image: every executable through the pipeline, panics
+/// caught (with their payload string — "scan panicked" alone names
+/// nothing), per-image errors isolated.
+fn scan_image_attempt(
+    path: &std::path::Path,
+    name: &str,
+    cache: Option<&std::sync::Arc<SummaryCache>>,
+    threads: usize,
+    alias_mode: Option<AliasMode>,
+    stall: bool,
+) -> ImageOutcome {
+    let mut outcome =
+        ImageOutcome { reports: Vec::new(), labels: Vec::new(), error: None, timeout: false };
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<(Vec<AnalysisReport>, Vec<String>), String> {
+            if stall {
+                // `--drill-stall` turns this image into a deterministic
+                // pathological case for deadline tests.
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+            let mut reports = Vec::new();
+            let mut labels = Vec::new();
+            for (bin_name, bin) in load_binaries(&path.to_string_lossy())? {
+                let label = format!("{name}/{bin_name}");
+                let mut config = DtaintConfig {
+                    threads,
+                    cache: cache.map(|c| CacheRef::new(c.clone(), &label)),
+                    ..Default::default()
+                };
+                if let Some(mode) = alias_mode {
+                    config.dataflow.alias.mode = mode;
+                }
+                let report = Dtaint::with_config(config)
+                    .analyze(&bin, &bin_name)
+                    .map_err(|e| e.to_string())?;
+                reports.push(report);
+                labels.push(label);
+            }
+            Ok((reports, labels))
+        },
+    ));
+    match attempt {
+        Ok(Ok((reports, labels))) => {
+            outcome.reports = reports;
+            outcome.labels = labels;
+        }
+        Ok(Err(e)) => outcome.error = Some(e),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown payload".to_owned());
+            outcome.error = Some(format!("scan panicked: {msg}"));
+        }
+    }
+    outcome
+}
+
+/// Runs [`scan_image_attempt`] under a wall-clock watchdog. The scan
+/// runs on a detached supervisor-side thread; if it outlives the
+/// deadline the image becomes a `Timeout` outcome and the thread is
+/// abandoned (it keeps running until process exit — acceptable for a
+/// batch process, and the timed-out image's results are never read).
+/// `deadline_secs == 0` disables the watchdog.
+fn scan_with_deadline(
+    path: std::path::PathBuf,
+    name: String,
+    cache: Option<std::sync::Arc<SummaryCache>>,
+    threads: usize,
+    alias_mode: Option<AliasMode>,
+    stall: bool,
+    deadline_secs: u64,
+) -> ImageOutcome {
+    if deadline_secs == 0 {
+        return scan_image_attempt(&path, &name, cache.as_ref(), threads, alias_mode, stall);
+    }
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ =
+            tx.send(scan_image_attempt(&path, &name, cache.as_ref(), threads, alias_mode, stall));
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(deadline_secs)) {
+        Ok(oc) => oc,
+        Err(_) => ImageOutcome {
+            reports: Vec::new(),
+            labels: Vec::new(),
+            error: Some(format!("deadline: exceeded the {deadline_secs}s wall-clock budget")),
+            timeout: true,
+        },
+    }
 }
 
 /// Per-image entry of `corpus.json`.
@@ -631,6 +817,7 @@ struct CorpusImage {
     sym_misses: u64,
     ddg_hits: u64,
     ddg_misses: u64,
+    timeout: bool,
     error: Option<String>,
 }
 
@@ -640,6 +827,7 @@ struct CorpusSummary {
     generation: u64,
     images: Vec<CorpusImage>,
     failures: usize,
+    timeouts: usize,
     regressions: usize,
     vulnerable: usize,
     sym_hits: u64,
@@ -647,6 +835,8 @@ struct CorpusSummary {
     ddg_hits: u64,
     ddg_misses: u64,
     cache_entries: usize,
+    cache_salvaged: u64,
+    cache_discarded: u64,
 }
 
 fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
@@ -655,8 +845,27 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     let store_root = flag_value(rest, "--store")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::Path::new(dir.as_str()).join(".dtaint-store"));
-    let store = dtaint_store::StoreDir::open(&store_root)
+    // `--drill-io` routes every store write through a fault plan — the
+    // crash-drill hook (hidden from USAGE; for tests and CI drills).
+    let fault_plan = match flag_value(rest, "--drill-io") {
+        None => dtaint_store::FaultPlan::None,
+        Some(v) => {
+            let k = v
+                .strip_prefix("kill-after-appends:")
+                .and_then(|n| n.parse().ok())
+                .ok_or("batch: --drill-io expects kill-after-appends:N")?;
+            dtaint_store::FaultPlan::KillAfterAppends { appends: k }
+        }
+    };
+    let fault_fs = std::sync::Arc::new(dtaint_store::FaultFs::with_plan(fault_plan));
+    let store = dtaint_store::StoreDir::open_with_fs(&store_root, fault_fs)
         .map_err(|e| format!("batch: open store {}: {e}", store_root.display()))?;
+    // One batch run at a time per store: the journal and the cache/db
+    // snapshots are not merge-safe across concurrent writers.
+    let (_lock, stolen) = store.lock().map_err(|e| format!("batch: {e}"))?;
+    if let Some(pid) = stolen {
+        log::warn(&format!("batch: evicted a stale store lock left by dead process {pid}"));
+    }
     let reports_dir = flag_value(rest, "--out")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| store.reports_dir());
@@ -672,88 +881,285 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     };
     let no_cache = has_flag(rest, "--no-cache");
     let alias_mode = parse_alias_mode(rest, "batch")?;
+    let resume = has_flag(rest, "--resume");
+    let deadline_secs: u64 = match flag_value(rest, "--deadline-secs") {
+        Some(v) => v.parse().map_err(|_| "batch: --deadline-secs expects a number".to_owned())?,
+        None => 0,
+    };
+    let drill_stall = flag_value(rest, "--drill-stall").map(str::to_owned);
 
-    let mut images: Vec<std::path::PathBuf> = std::fs::read_dir(dir.as_str())
+    let mut image_paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir.as_str())
         .map_err(|e| format!("batch: read {dir}: {e}"))?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "fwi"))
         .collect();
-    images.sort();
-    if images.is_empty() {
+    image_paths.sort();
+    if image_paths.is_empty() {
         return Err(format!("batch: no .fwi images in {dir}"));
+    }
+    let images: Vec<ImageJob> = image_paths
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_stem()
+                .map_or_else(|| path.display().to_string(), |s| s.to_string_lossy().into_owned());
+            let content = std::fs::read(&path).map_or_else(
+                |_| "unreadable".to_owned(),
+                |b| format!("{:016x}", dtaint_store::fnv64(&b)),
+            );
+            ImageJob { path, name, content }
+        })
+        .collect();
+
+    // The findings database: missing is an empty baseline, corrupt is
+    // quarantined loudly — a silently-emptied db would make every known
+    // finding look new and fire a spurious regression exit.
+    let (mut db, sidecar) = store.load_db_checked();
+    if let Some(s) = &sidecar {
+        log::warn(&format!(
+            "batch: findings database was unreadable; quarantined to {} and starting a fresh baseline",
+            s.display()
+        ));
     }
 
     // The summary cache persists in the store across runs; `--no-cache`
-    // scans cold and leaves the persisted cache untouched.
-    let cache = (!no_cache).then(|| std::sync::Arc::new(SummaryCache::load(&store.cache_path())));
-
-    // Work-stealing across images: workers pull the next un-scanned
-    // index; results land in per-image slots so output order (and the
-    // findings database fold) stays deterministic regardless of which
-    // worker finished first.
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<ImageOutcome>>> =
-        images.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let scan_one = |path: &std::path::Path| -> ImageOutcome {
-        let name = path
-            .file_stem()
-            .map_or_else(|| path.display().to_string(), |s| s.to_string_lossy().into_owned());
-        let mut outcome = ImageOutcome {
-            name: name.clone(),
-            reports: Vec::new(),
-            labels: Vec::new(),
-            error: None,
-        };
-        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-            || -> Result<(Vec<AnalysisReport>, Vec<String>), String> {
-                let mut reports = Vec::new();
-                let mut labels = Vec::new();
-                for (bin_name, bin) in load_binaries(&path.to_string_lossy())? {
-                    let label = format!("{name}/{bin_name}");
-                    let mut config = DtaintConfig {
-                        threads,
-                        cache: cache.as_ref().map(|c| CacheRef::new(c.clone(), &label)),
-                        ..Default::default()
-                    };
-                    if let Some(mode) = alias_mode {
-                        config.dataflow.alias.mode = mode;
-                    }
-                    let report = Dtaint::with_config(config)
-                        .analyze(&bin, &bin_name)
-                        .map_err(|e| e.to_string())?;
-                    reports.push(report);
-                    labels.push(label);
-                }
-                Ok((reports, labels))
-            },
-        ));
-        match attempt {
-            Ok(Ok((reports, labels))) => {
-                outcome.reports = reports;
-                outcome.labels = labels;
-            }
-            Ok(Err(e)) => outcome.error = Some(e),
-            Err(_) => outcome.error = Some("scan panicked".into()),
-        }
-        outcome
+    // scans cold and leaves the persisted cache untouched. Damaged
+    // cache files are salvaged entry-by-entry; legacy DTC1 files are
+    // upgraded in place.
+    let (cache, cache_report) = if no_cache {
+        (None, None)
+    } else {
+        let (c, rep) = SummaryCache::load_with_report(&store.cache_path());
+        (Some(std::sync::Arc::new(c)), Some(rep))
     };
+    if let (Some(c), Some(rep)) = (&cache, &cache_report) {
+        if rep.damaged {
+            log::warn(&format!(
+                "batch: summary cache was damaged; salvaged {} entries, discarded {}",
+                rep.salvaged, rep.discarded
+            ));
+        }
+        if rep.format == CacheFormat::Dtc1 {
+            dtaint_store::atomic_write(store.fs(), &store.cache_path(), &c.to_bytes())
+                .map_err(|e| format!("batch: upgrade {}: {e}", store.cache_path().display()))?;
+            log::info(&format!(
+                "batch: upgraded the summary cache to DTC2 in place ({} entries)",
+                rep.entries
+            ));
+        }
+    }
+
+    // Resume bookkeeping. The semantic-config tag fences journal reuse:
+    // an entry recorded under another alias mode (or cache setting)
+    // would not reproduce this run's results.
+    let config_tag = format!(
+        "alias={};cache={}",
+        flag_value(rest, "--alias").unwrap_or("default"),
+        if no_cache { "off" } else { "on" }
+    );
+    let prior = if resume {
+        store.load_journal()
+    } else {
+        store.clear_journal();
+        dtaint_store::JournalLoad::default()
+    };
+    if prior.discarded_lines > 0 {
+        log::warn(&format!(
+            "batch: discarded {} torn journal line(s) from the interrupted run",
+            prior.discarded_lines
+        ));
+    }
+    let mut journaled: std::collections::HashMap<&str, &dtaint_store::JournalEntry> =
+        std::collections::HashMap::new();
+    for e in &prior.entries {
+        journaled.insert(e.image.as_str(), e); // last entry wins
+    }
+    // A journal entry replays only while the image bytes and the config
+    // still match; timeouts are never final (wall-clock is a property
+    // of the host, not the image) and are re-scanned.
+    let plan: Vec<Option<&dtaint_store::JournalEntry>> = images
+        .iter()
+        .map(|j| {
+            journaled.get(j.name.as_str()).copied().filter(|e| {
+                e.content == j.content
+                    && e.config == config_tag
+                    && e.outcome != dtaint_store::JournalOutcome::Timeout
+            })
+        })
+        .collect();
+    let resumed = plan.iter().flatten().count();
+    if resumed > 0 {
+        log::info(&format!("batch: resuming — {resumed} image(s) already completed, skipping"));
+    }
+    let work: Vec<usize> = (0..images.len()).filter(|&i| plan[i].is_none()).collect();
+
+    // Commits one freshly-scanned image durably, in order: report →
+    // cache snapshot → journal append. The journal append is the commit
+    // point — a crash before it re-scans the image on resume, a crash
+    // after it replays the entry, and the per-image cache snapshot
+    // keeps a resumed run's warm state identical to an uninterrupted
+    // one's.
+    let commit =
+        |j: &ImageJob, oc: &ImageOutcome, cap: &ScanCapture| -> Result<FoldInput, String> {
+            let mut report_name = None;
+            let mut findings: Vec<dtaint_store::ScanFinding> = Vec::new();
+            if oc.error.is_none() {
+                // One report file per image: a single JSON object when the
+                // image holds one executable (the common case, `diff`-able
+                // as-is), else a JSON array.
+                let texts: Result<Vec<String>, String> =
+                    oc.reports.iter().map(|r| r.to_json().map_err(|e| e.to_string())).collect();
+                let texts = texts?;
+                let doc = if texts.len() == 1 {
+                    texts[0].clone()
+                } else {
+                    format!("[\n{}\n]", texts.join(",\n"))
+                };
+                let report_path = reports_dir.join(format!("{}.json", j.name));
+                dtaint_store::atomic_write(store.fs(), &report_path, doc.as_bytes())
+                    .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+                report_name = Some(format!("{}.json", j.name));
+
+                // One exemplar per fingerprint, vulnerable winning over
+                // sanitized (the `diff` convention), before the store fold.
+                let mut by_fp: std::collections::BTreeMap<&str, dtaint_store::ScanFinding> =
+                    std::collections::BTreeMap::new();
+                for f in oc.reports.iter().flat_map(|r| &r.findings) {
+                    let entry = by_fp.entry(f.fingerprint.as_str()).or_insert_with(|| {
+                        dtaint_store::ScanFinding {
+                            fingerprint: f.fingerprint.clone(),
+                            vulnerable: false,
+                            sink: f.sink.clone(),
+                            sink_fn: f.sink_fn.clone(),
+                        }
+                    });
+                    entry.vulnerable |= !f.sanitized();
+                }
+                findings = by_fp.into_values().collect();
+            }
+            if let Some(snap) = &cap.snapshot {
+                dtaint_store::atomic_write(store.fs(), &store.cache_path(), snap)
+                    .map_err(|e| format!("write {}: {e}", store.cache_path().display()))?;
+            }
+            store
+                .append_journal(&dtaint_store::JournalEntry {
+                    v: dtaint_store::JOURNAL_VERSION,
+                    image: j.name.clone(),
+                    content: j.content.clone(),
+                    config: config_tag.clone(),
+                    report: report_name,
+                    outcome: if oc.timeout {
+                        dtaint_store::JournalOutcome::Timeout
+                    } else if oc.error.is_some() {
+                        dtaint_store::JournalOutcome::Error
+                    } else {
+                        dtaint_store::JournalOutcome::Ok
+                    },
+                    error: oc.error.clone(),
+                    binaries: oc.reports.len(),
+                    findings: findings.clone(),
+                    sym_hits: cap.sym_hits,
+                    sym_misses: cap.sym_misses,
+                    ddg_hits: cap.ddg_hits,
+                    ddg_misses: cap.ddg_misses,
+                })
+                .map_err(|e| format!("write {}: {e}", store.journal_path().display()))?;
+            Ok(FoldInput {
+                name: j.name.clone(),
+                binaries: oc.reports.len(),
+                findings,
+                error: oc.error.clone(),
+                timeout: oc.timeout,
+                sym_hits: cap.sym_hits,
+                sym_misses: cap.sym_misses,
+                ddg_hits: cap.ddg_hits,
+                ddg_misses: cap.ddg_misses,
+            })
+        };
+
+    // Work-stealing across the un-journaled images: workers pull the
+    // next index and send outcomes back; the main thread commits them
+    // durably in sorted-image order (so the journal prefix after a
+    // crash is always an in-order prefix of the corpus).
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (txo, rxo) = std::sync::mpsc::channel::<(usize, ImageOutcome, ScanCapture)>();
+    let mut folds: Vec<FoldInput> = Vec::with_capacity(images.len());
+    let mut commit_err: Option<String> = None;
     std::thread::scope(|s| {
-        for _ in 0..jobs.clamp(1, images.len()) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                let Some(path) = images.get(i) else { break };
-                *slots[i].lock().unwrap() = Some(scan_one(path));
+        let images = &images;
+        let work = &work;
+        let cache = &cache;
+        let drill_stall = &drill_stall;
+        let next = &next;
+        for _ in 0..jobs.clamp(1, work.len().max(1)) {
+            let txo = txo.clone();
+            s.spawn(move || loop {
+                let w = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let Some(&i) = work.get(w) else { break };
+                let j = &images[i];
+                let oc = scan_with_deadline(
+                    j.path.clone(),
+                    j.name.clone(),
+                    cache.clone(),
+                    threads,
+                    alias_mode,
+                    drill_stall.as_deref() == Some(j.name.as_str()),
+                    deadline_secs,
+                );
+                // Capture the cache state *now*, before this worker's
+                // next scan can disturb it — the commit on the main
+                // thread may run arbitrarily later.
+                let cap = capture_cache(cache.as_ref(), &oc);
+                let _ = txo.send((i, oc, cap));
             });
         }
+        drop(txo);
+        let mut pending: std::collections::BTreeMap<usize, (ImageOutcome, ScanCapture)> =
+            std::collections::BTreeMap::new();
+        'commit: for (i, j) in images.iter().enumerate() {
+            let fold = match plan[i] {
+                Some(entry) => FoldInput::from_journal(entry),
+                None => {
+                    let (oc, cap) = loop {
+                        if let Some(got) = pending.remove(&i) {
+                            break got;
+                        }
+                        match rxo.recv() {
+                            Ok((k, oc, cap)) if k == i => break (oc, cap),
+                            Ok((k, oc, cap)) => {
+                                pending.insert(k, (oc, cap));
+                            }
+                            Err(_) => {
+                                commit_err = Some("batch: a scan worker died".into());
+                                break 'commit;
+                            }
+                        }
+                    };
+                    match commit(j, &oc, &cap) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            commit_err = Some(format!("batch: {e}"));
+                            break 'commit;
+                        }
+                    }
+                }
+            };
+            folds.push(fold);
+        }
     });
+    if let Some(e) = commit_err {
+        return Err(e);
+    }
 
-    // Deterministic fold, in sorted-image order: write reports, record
-    // findings, aggregate the corpus summary.
-    let mut db = store.load_db();
+    // Deterministic fold, in sorted-image order: record findings and
+    // aggregate the corpus summary. Because resumed images replay the
+    // exact fold inputs their original scan journaled, the database and
+    // `corpus.json` come out byte-identical to an uninterrupted run.
     let mut summary = CorpusSummary {
         generation: 0,
         images: Vec::new(),
         failures: 0,
+        timeouts: 0,
         regressions: 0,
         vulnerable: 0,
         sym_hits: 0,
@@ -761,14 +1167,22 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
         ddg_hits: 0,
         ddg_misses: 0,
         cache_entries: 0,
+        cache_salvaged: cache_report.map_or(0, |r| r.salvaged),
+        cache_discarded: cache_report.map_or(0, |r| r.discarded),
     };
-    for slot in slots {
-        let oc = slot.into_inner().unwrap().expect("every image slot filled");
-        if let Some(err) = oc.error {
-            summary.failures += 1;
-            write_out(out, &format!("!! {}: {err}\n", oc.name))?;
+    for fi in folds {
+        if let Some(err) = fi.error {
+            // Failed and timed-out images never fold findings into the
+            // database — a partial scan must not resolve or baseline
+            // anything.
+            if fi.timeout {
+                summary.timeouts += 1;
+            } else {
+                summary.failures += 1;
+            }
+            write_out(out, &format!("!! {}: {err}\n", fi.name))?;
             summary.images.push(CorpusImage {
-                name: oc.name,
+                name: fi.name,
                 binaries: 0,
                 findings: 0,
                 vulnerable: 0,
@@ -781,67 +1195,29 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                 sym_misses: 0,
                 ddg_hits: 0,
                 ddg_misses: 0,
+                timeout: fi.timeout,
                 error: Some(err.clone()),
             });
             continue;
         }
-        // One report file per image: a single JSON object when the
-        // image holds one executable (the common case, `diff`-able
-        // as-is), else a JSON array.
-        let texts: Result<Vec<String>, String> =
-            oc.reports.iter().map(|r| r.to_json().map_err(|e| e.to_string())).collect();
-        let texts = texts?;
-        let doc = if texts.len() == 1 {
-            texts[0].clone()
-        } else {
-            format!("[\n{}\n]", texts.join(",\n"))
-        };
-        let report_path = reports_dir.join(format!("{}.json", oc.name));
-        std::fs::write(&report_path, &doc)
-            .map_err(|e| format!("write {}: {e}", report_path.display()))?;
-
-        // One exemplar per fingerprint, vulnerable winning over
-        // sanitized (the `diff` convention), before the store fold.
-        let mut by_fp: std::collections::BTreeMap<&str, dtaint_store::ScanFinding> =
-            std::collections::BTreeMap::new();
-        for f in oc.reports.iter().flat_map(|r| &r.findings) {
-            let entry =
-                by_fp.entry(f.fingerprint.as_str()).or_insert_with(|| dtaint_store::ScanFinding {
-                    fingerprint: f.fingerprint.clone(),
-                    vulnerable: false,
-                    sink: f.sink.clone(),
-                    sink_fn: f.sink_fn.clone(),
-                });
-            entry.vulnerable |= !f.sanitized();
-        }
-        let findings: Vec<dtaint_store::ScanFinding> = by_fp.into_values().collect();
-        let delta = db.record_scan(&oc.name, &findings);
-
-        let mut img = CorpusImage {
-            name: oc.name,
-            binaries: oc.reports.len(),
-            findings: findings.len(),
-            vulnerable: findings.iter().filter(|f| f.vulnerable).count(),
+        let delta = db.record_scan(&fi.name, &fi.findings);
+        let img = CorpusImage {
+            name: fi.name,
+            binaries: fi.binaries,
+            findings: fi.findings.len(),
+            vulnerable: fi.findings.iter().filter(|f| f.vulnerable).count(),
             baseline: delta.is_baseline,
             new: delta.new.len(),
             reopened: delta.reopened.len(),
             resolved: delta.resolved.len(),
             regression: delta.is_regression(),
-            sym_hits: 0,
-            sym_misses: 0,
-            ddg_hits: 0,
-            ddg_misses: 0,
+            sym_hits: fi.sym_hits,
+            sym_misses: fi.sym_misses,
+            ddg_hits: fi.ddg_hits,
+            ddg_misses: fi.ddg_misses,
+            timeout: false,
             error: None,
         };
-        if let Some(c) = &cache {
-            for label in &oc.labels {
-                let st = c.scan_stats(label);
-                img.sym_hits += st.sym_hits;
-                img.sym_misses += st.sym_misses;
-                img.ddg_hits += st.ddg_hits;
-                img.ddg_misses += st.ddg_misses;
-            }
-        }
         let status = if delta.is_baseline {
             "baseline".to_owned()
         } else if delta.is_regression() {
@@ -880,22 +1256,33 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     summary.generation = db.generation;
     if let Some(c) = &cache {
         summary.cache_entries = c.totals().entries;
-        c.save(&store.cache_path())
+        // Final snapshot: with `--jobs` > 1 late workers may have
+        // stored entries after the last per-image snapshot.
+        dtaint_store::atomic_write(store.fs(), &store.cache_path(), &c.to_bytes())
             .map_err(|e| format!("write {}: {e}", store.cache_path().display()))?;
     }
     store.save_db(&db).map_err(|e| format!("write {}: {e}", store.findings_path().display()))?;
     let corpus_path = reports_dir.join("corpus.json");
     let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
-    std::fs::write(&corpus_path, json)
+    dtaint_store::atomic_write(store.fs(), &corpus_path, json.as_bytes())
         .map_err(|e| format!("write {}: {e}", corpus_path.display()))?;
+    // The run is complete and every artifact durable: the journal owes
+    // nothing to resume any more.
+    store.clear_journal();
+    let timeouts_note = if summary.timeouts > 0 {
+        format!(", {} timeout(s)", summary.timeouts)
+    } else {
+        String::new()
+    };
     write_out(
         out,
         &format!(
-            "corpus: {} image(s), {} vulnerable finding(s), {} regression(s), {} failure(s); cache sym {}/{} ddg {}/{} ({} entries)\n",
+            "corpus: {} image(s), {} vulnerable finding(s), {} regression(s), {} failure(s){}; cache sym {}/{} ddg {}/{} ({} entries)\n",
             summary.images.len(),
             summary.vulnerable,
             summary.regressions,
             summary.failures,
+            timeouts_note,
             summary.sym_hits,
             summary.sym_hits + summary.sym_misses,
             summary.ddg_hits,
@@ -905,7 +1292,7 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     )?;
     Ok(if summary.regressions > 0 {
         2
-    } else if summary.failures > 0 {
+    } else if summary.failures + summary.timeouts > 0 {
         4
     } else {
         0

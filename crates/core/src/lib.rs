@@ -58,7 +58,10 @@ pub mod taint;
 
 mod pipeline;
 
-pub use dtaint_dataflow::{AliasConfig, AliasMode, CacheRef, CacheTotals, ScanStats, SummaryCache};
+pub use dtaint_dataflow::{
+    AliasConfig, AliasMode, CacheFormat, CacheLoadReport, CacheRef, CacheTotals, ScanStats,
+    SummaryCache,
+};
 pub use evidence::{EvidenceStep, SanitizeVerdict};
 pub use pipeline::{Dtaint, DtaintConfig};
 pub use report::{

@@ -161,10 +161,7 @@ pub fn alias_replace(summary: &mut FuncSummary, pool: &mut ExprPool) -> Vec<Alia
                 // alias name: substituting `base → name - offset` there
                 // nests the name inside itself, and under fixpoint
                 // iteration the reverse substitution would ping-pong.
-                if alias.base != ptr
-                    || alias.name == dp.d
-                    || pool.contains(dp.d, alias.name)
-                {
+                if alias.base != ptr || alias.name == dp.d || pool.contains(dp.d, alias.name) {
                     continue;
                 }
                 let replacement = pool.add_const(alias.name, -alias.offset);

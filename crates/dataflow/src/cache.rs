@@ -106,8 +106,54 @@ pub struct SummaryCache {
     inner: Mutex<Inner>,
 }
 
-/// Magic bytes opening the on-disk cache file.
-pub const CACHE_MAGIC: [u8; 4] = *b"DTC1";
+/// Magic bytes opening the current (`DTC2`) on-disk cache file.
+pub const CACHE_MAGIC: [u8; 4] = *b"DTC2";
+
+/// Magic bytes of the legacy `DTC1` format (no checksums; readable, but
+/// any damage discards the whole file).
+pub const CACHE_MAGIC_V1: [u8; 4] = *b"DTC1";
+
+/// Marker bytes opening every `DTC2` record — the resync anchor the
+/// salvaging parser scans for after a damaged record.
+pub const RECORD_MARKER: [u8; 2] = [0xD7, 0xC2];
+
+/// What format the loaded cache file turned out to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheFormat {
+    /// No file on disk.
+    Missing,
+    /// Current checksummed format.
+    Dtc2,
+    /// Legacy PR-6 format (loads whole-file-or-nothing).
+    Dtc1,
+    /// Neither magic matched — cold start.
+    Unrecognized,
+}
+
+/// What a [`SummaryCache::load_with_report`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLoadReport {
+    /// Detected file format.
+    pub format: CacheFormat,
+    /// Entries actually loaded into the cache.
+    pub entries: usize,
+    /// Entries recovered from a *damaged* `DTC2` file (0 for a clean
+    /// load — salvage only counts what survived damage).
+    pub salvaged: u64,
+    /// Entries the header promised but the file no longer delivers
+    /// (truncated or checksum-failed records). 0 when the header itself
+    /// is damaged: the promise is unreadable.
+    pub discarded: u64,
+    /// Whether any damage was detected (header, records, or trailing
+    /// garbage).
+    pub damaged: bool,
+}
+
+impl CacheLoadReport {
+    fn clean(format: CacheFormat, entries: usize) -> Self {
+        CacheLoadReport { format, entries, salvaged: 0, discarded: 0, damaged: false }
+    }
+}
 
 impl SummaryCache {
     /// An empty cache.
@@ -197,13 +243,96 @@ impl SummaryCache {
         CacheTotals { entries: g.sym.len() + g.ddg.len(), ..g.totals }
     }
 
-    /// Serialises both levels to `path` (`DTC1` format: per level a
-    /// count then `key, len, bytes` entries, key-sorted). Statistics and
-    /// the seen-key table are per-process and not persisted.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+    /// Serialises both levels as `DTC2` bytes: a 16-byte header (magic,
+    /// entry count, FNV of the first 8 header bytes) then key-sorted,
+    /// individually checksummed records. Statistics and the seen-key
+    /// table are per-process and not persisted.
+    pub fn to_bytes(&self) -> Vec<u8> {
         let g = self.inner.lock().unwrap();
+        let count = (g.sym.len() + g.ddg.len()) as u32;
         let mut out = Vec::new();
         out.extend_from_slice(&CACHE_MAGIC);
+        out.extend_from_slice(&count.to_le_bytes());
+        let head_check = fnv64_bytes(&out[..8]);
+        out.extend_from_slice(&head_check.to_le_bytes());
+        for (tag, map) in [(0u8, &g.sym), (1u8, &g.ddg)] {
+            let sorted: BTreeMap<&u64, &Vec<u8>> = map.iter().collect();
+            for (k, v) in sorted {
+                out.extend_from_slice(&RECORD_MARKER);
+                let body_start = out.len();
+                out.push(tag);
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+                let check = fnv64_bytes(&out[body_start..]);
+                out.extend_from_slice(&check.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Serialises both levels to `path` in `DTC2` format. Prefer
+    /// [`Self::to_bytes`] plus an atomic write for crash safety; this
+    /// plain write is kept for ad-hoc tooling.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Deserialises cache bytes, salvaging what survives damage. `DTC2`
+    /// bytes recover every record whose checksum holds (resyncing on the
+    /// record marker after damage); legacy `DTC1` bytes load
+    /// whole-file-or-nothing; anything else is a cold start. Never an
+    /// error: a cache is advisory.
+    pub fn from_bytes(bytes: &[u8]) -> (Self, CacheLoadReport) {
+        let cache = Self::new();
+        if bytes.get(..4) == Some(&CACHE_MAGIC) {
+            let report = parse_dtc2(bytes, &mut cache.inner.lock().unwrap());
+            return (cache, report);
+        }
+        if bytes.get(..4) == Some(&CACHE_MAGIC_V1) {
+            return match parse_dtc1(bytes) {
+                Some(inner) => {
+                    let entries = inner.sym.len() + inner.ddg.len();
+                    *cache.inner.lock().unwrap() = inner;
+                    (cache, CacheLoadReport::clean(CacheFormat::Dtc1, entries))
+                }
+                // Damaged DTC1 has no record boundaries to resync on:
+                // the whole file is discarded, salvage stays 0.
+                None => (
+                    cache,
+                    CacheLoadReport {
+                        damaged: true,
+                        ..CacheLoadReport::clean(CacheFormat::Dtc1, 0)
+                    },
+                ),
+            };
+        }
+        let format =
+            if bytes.is_empty() { CacheFormat::Missing } else { CacheFormat::Unrecognized };
+        let damaged = format == CacheFormat::Unrecognized;
+        (cache, CacheLoadReport { damaged, ..CacheLoadReport::clean(format, 0) })
+    }
+
+    /// Loads the cache at `path` with a full [`CacheLoadReport`]. A
+    /// missing file is an empty cache ([`CacheFormat::Missing`]).
+    pub fn load_with_report(path: &Path) -> (Self, CacheLoadReport) {
+        match std::fs::read(path) {
+            Ok(bytes) => Self::from_bytes(&bytes),
+            Err(_) => (Self::new(), CacheLoadReport::clean(CacheFormat::Missing, 0)),
+        }
+    }
+
+    /// Loads a cache saved by [`Self::save`], discarding the report.
+    pub fn load(path: &Path) -> Self {
+        Self::load_with_report(path).0
+    }
+
+    /// Serialises both levels in the legacy `DTC1` layout — only for
+    /// migration tests that need a genuine old-format file.
+    pub fn encode_dtc1(&self) -> Vec<u8> {
+        let g = self.inner.lock().unwrap();
+        let mut out = Vec::new();
+        out.extend_from_slice(&CACHE_MAGIC_V1);
         for map in [&g.sym, &g.ddg] {
             let sorted: BTreeMap<&u64, &Vec<u8>> = map.iter().collect();
             out.extend_from_slice(&(sorted.len() as u32).to_le_bytes());
@@ -213,19 +342,94 @@ impl SummaryCache {
                 out.extend_from_slice(v);
             }
         }
-        std::fs::write(path, out)
+        out
     }
+}
 
-    /// Loads a cache saved by [`Self::save`]. A missing file yields an
-    /// empty cache; a malformed one is discarded (an unreadable cache is
-    /// a cold start, never an error).
-    pub fn load(path: &Path) -> Self {
-        let cache = Self::new();
-        let Ok(bytes) = std::fs::read(path) else { return cache };
-        let Some(inner) = parse_cache(&bytes) else { return cache };
-        *cache.inner.lock().unwrap() = inner;
-        cache
+/// FNV-1a 64 over raw bytes (checksums; same function as the key
+/// hasher's primitive, duplicated to keep the codec self-contained).
+fn fnv64_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
+    h
+}
+
+/// Parses `DTC2` bytes into `inner`, salvaging intact records. The
+/// header's entry count (when its own checksum holds) is the promise
+/// that prices the damage: `discarded = promised − loaded`.
+fn parse_dtc2(bytes: &[u8], inner: &mut Inner) -> CacheLoadReport {
+    let header_ok = bytes.len() >= 16
+        && fnv64_bytes(&bytes[..8]) == u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let promised: Option<u64> =
+        header_ok.then(|| u64::from(u32::from_le_bytes(bytes[4..8].try_into().unwrap())));
+
+    let mut loaded = 0u64;
+    let mut damaged = !header_ok;
+    let mut pos = 16.min(bytes.len());
+    while pos < bytes.len() {
+        match parse_record(bytes, pos) {
+            Some((tag, key, blob, next)) => {
+                match tag {
+                    0 => inner.sym.insert(key, blob),
+                    _ => inner.ddg.insert(key, blob),
+                };
+                loaded += 1;
+                pos = next;
+            }
+            None => {
+                // Damage: resync on the next record marker strictly
+                // past this position (the marker here, if any, fronted
+                // the bad record).
+                damaged = true;
+                match find_marker(bytes, pos + 1) {
+                    Some(at) => pos = at,
+                    None => break,
+                }
+            }
+        }
+    }
+    if promised.is_some_and(|p| p != loaded) {
+        damaged = true;
+    }
+    let entries = inner.sym.len() + inner.ddg.len();
+    CacheLoadReport {
+        format: CacheFormat::Dtc2,
+        entries,
+        salvaged: if damaged { loaded } else { 0 },
+        discarded: promised.map_or(0, |p| p.saturating_sub(loaded)),
+        damaged,
+    }
+}
+
+/// Tries to parse one record at `pos`; returns `(level tag, key, blob,
+/// next pos)` only when the marker, bounds, level, and checksum all
+/// hold.
+fn parse_record(bytes: &[u8], pos: usize) -> Option<(u8, u64, Vec<u8>, usize)> {
+    if bytes.get(pos..pos + 2)? != RECORD_MARKER {
+        return None;
+    }
+    let body = pos + 2;
+    let tag = *bytes.get(body)?;
+    if tag > 1 {
+        return None;
+    }
+    let key = u64::from_le_bytes(bytes.get(body + 1..body + 9)?.try_into().ok()?);
+    let len = u32::from_le_bytes(bytes.get(body + 9..body + 13)?.try_into().ok()?) as usize;
+    let blob_end = (body + 13).checked_add(len)?;
+    let blob = bytes.get(body + 13..blob_end)?;
+    let check = u64::from_le_bytes(bytes.get(blob_end..blob_end + 8)?.try_into().ok()?);
+    if fnv64_bytes(&bytes[body..blob_end]) != check {
+        return None;
+    }
+    Some((tag, key, blob.to_vec(), blob_end + 8))
+}
+
+/// First offset `>= from` where the record marker occurs.
+fn find_marker(bytes: &[u8], from: usize) -> Option<usize> {
+    (from..bytes.len().checked_sub(1)?).find(|&i| bytes[i..i + 2] == RECORD_MARKER)
 }
 
 fn level_tag(level: Level) -> u8 {
@@ -235,9 +439,10 @@ fn level_tag(level: Level) -> u8 {
     }
 }
 
-fn parse_cache(bytes: &[u8]) -> Option<Inner> {
+/// Legacy whole-file-or-nothing `DTC1` parser, kept for migration.
+fn parse_dtc1(bytes: &[u8]) -> Option<Inner> {
     let mut pos = 0usize;
-    if bytes.get(..4)? != CACHE_MAGIC {
+    if bytes.get(..4)? != CACHE_MAGIC_V1 {
         return None;
     }
     pos += 4;
@@ -692,16 +897,97 @@ mod tests {
         c.store(Level::Symex, "s", 1, vec![10, 11]);
         c.store(Level::Ddg, "s", 2, vec![20]);
         c.save(&path).unwrap();
-        let back = SummaryCache::load(&path);
+        let (back, report) = SummaryCache::load_with_report(&path);
         assert_eq!(back.lookup_blob(Level::Symex, 1).as_deref(), Some(&[10u8, 11][..]));
         assert_eq!(back.lookup_blob(Level::Ddg, 2).as_deref(), Some(&[20u8][..]));
         assert_eq!(back.totals().entries, 2);
-        // Corrupt file → cold start, no panic.
+        assert_eq!(report, CacheLoadReport::clean(CacheFormat::Dtc2, 2));
+        // Corrupt file → cold start, no panic, damage reported.
         std::fs::write(&path, b"garbage").unwrap();
-        assert_eq!(SummaryCache::load(&path).totals().entries, 0);
+        let (cold, report) = SummaryCache::load_with_report(&path);
+        assert_eq!(cold.totals().entries, 0);
+        assert_eq!(report.format, CacheFormat::Unrecognized);
+        assert!(report.damaged);
         // Missing file → cold start.
-        assert_eq!(SummaryCache::load(&dir.join("nope.bin")).totals().entries, 0);
+        let (cold, report) = SummaryCache::load_with_report(&dir.join("nope.bin"));
+        assert_eq!(cold.totals().entries, 0);
+        assert_eq!(report, CacheLoadReport::clean(CacheFormat::Missing, 0));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A cache with `n` entries whose blobs avoid the record marker's
+    /// first byte, so damage can never fabricate a spurious record.
+    fn marker_free_cache(n: u64) -> SummaryCache {
+        let c = SummaryCache::new();
+        for k in 0..n {
+            let blob = vec![(k % 200) as u8; 5 + (k as usize % 7)];
+            c.store(if k % 2 == 0 { Level::Symex } else { Level::Ddg }, "s", k, blob);
+        }
+        c
+    }
+
+    #[test]
+    fn truncated_dtc2_salvages_the_intact_prefix() {
+        let bytes = marker_free_cache(6).to_bytes();
+        // Chop mid-way through the last record.
+        let cut = bytes.len() - 3;
+        let (back, report) = SummaryCache::from_bytes(&bytes[..cut]);
+        assert!(report.damaged);
+        assert_eq!(report.format, CacheFormat::Dtc2);
+        assert_eq!(report.salvaged, 5, "five intact records survive");
+        assert_eq!(report.discarded, 1, "the header promised one more");
+        assert_eq!(back.totals().entries, 5);
+    }
+
+    #[test]
+    fn bit_flipped_record_is_discarded_neighbors_survive() {
+        let c = marker_free_cache(4);
+        let mut bytes = c.to_bytes();
+        // Flip a bit inside the second record's blob. Records start at
+        // 16; record size = 23 + blob len. Find the second marker.
+        let second = (17..bytes.len()).find(|&i| bytes[i..i + 2] == RECORD_MARKER).unwrap();
+        bytes[second + 15] ^= 0x01;
+        let (back, report) = SummaryCache::from_bytes(&bytes);
+        assert!(report.damaged);
+        assert_eq!(report.salvaged, 3);
+        assert_eq!(report.discarded, 1);
+        assert_eq!(back.totals().entries, 3);
+    }
+
+    #[test]
+    fn damaged_header_still_salvages_records() {
+        let mut bytes = marker_free_cache(3).to_bytes();
+        bytes[5] ^= 0xFF; // corrupt the count field → header checksum fails
+        let (back, report) = SummaryCache::from_bytes(&bytes);
+        assert!(report.damaged);
+        assert_eq!(report.salvaged, 3, "records are self-checksummed");
+        assert_eq!(report.discarded, 0, "no trustworthy promise to price against");
+        assert_eq!(back.totals().entries, 3);
+    }
+
+    #[test]
+    fn legacy_dtc1_loads_cleanly() {
+        let c = SummaryCache::new();
+        c.store(Level::Symex, "s", 1, vec![10, 11]);
+        c.store(Level::Ddg, "s", 2, vec![20]);
+        let v1 = c.encode_dtc1();
+        assert_eq!(&v1[..4], b"DTC1");
+        let (back, report) = SummaryCache::from_bytes(&v1);
+        assert_eq!(report, CacheLoadReport::clean(CacheFormat::Dtc1, 2));
+        assert_eq!(back.lookup_blob(Level::Symex, 1).as_deref(), Some(&[10u8, 11][..]));
+        assert_eq!(back.lookup_blob(Level::Ddg, 2).as_deref(), Some(&[20u8][..]));
+    }
+
+    #[test]
+    fn damaged_dtc1_is_a_cold_start_not_an_error() {
+        let c = SummaryCache::new();
+        c.store(Level::Symex, "s", 1, vec![10, 11]);
+        let v1 = c.encode_dtc1();
+        let (back, report) = SummaryCache::from_bytes(&v1[..v1.len() - 1]);
+        assert_eq!(back.totals().entries, 0);
+        assert!(report.damaged);
+        assert_eq!(report.format, CacheFormat::Dtc1);
+        assert_eq!(report.salvaged, 0, "DTC1 has no record boundaries to salvage");
     }
 
     #[test]

@@ -32,8 +32,9 @@ pub mod layout;
 pub mod sse;
 
 pub use alias::{alias_pass, alias_replace, AliasConfig, AliasEntry, AliasMode};
-pub use sse::{canonicalize, sse_replace, Sse, SseStats};
-pub use cache::{CacheRef, CacheTotals, Level, ScanStats, SummaryCache};
+pub use cache::{
+    CacheFormat, CacheLoadReport, CacheRef, CacheTotals, Level, ScanStats, SummaryCache,
+};
 pub use ddg::{backward_trace, Ddg, DdgNode, DdgNodeKind, TraceStep};
 pub use indirect::{resolve_indirect_calls, Installer, ResolvedCall};
 pub use interproc::{
@@ -41,6 +42,7 @@ pub use interproc::{
     SinkObservation,
 };
 pub use layout::{infer_layouts, root_and_path, AccessPath, Layout};
+pub use sse::{canonicalize, sse_replace, Sse, SseStats};
 
 #[cfg(test)]
 mod tests {

@@ -138,22 +138,15 @@ impl Sse {
 pub fn canonicalize(pool: &ExprPool, e: ExprId) -> Option<Sse> {
     let mut spine_rev: Vec<SpineStep> = Vec::new();
     let mut cur = e;
-    loop {
-        match pool.node(cur) {
-            SymNode::Deref { addr, width } => {
-                let (base, offset) = pool.base_offset(addr);
-                // `base_offset` peels one `Add(x, const)` level; any
-                // remaining arithmetic around a deref is unstructured.
-                if !matches!(pool.node(base), SymNode::Deref { .. })
-                    && pool.deref_depth(base) > 0
-                {
-                    return None;
-                }
-                spine_rev.push(SpineStep { offset, width });
-                cur = base;
-            }
-            _ => break,
+    while let SymNode::Deref { addr, width } = pool.node(cur) {
+        let (base, offset) = pool.base_offset(addr);
+        // `base_offset` peels one `Add(x, const)` level; any
+        // remaining arithmetic around a deref is unstructured.
+        if !matches!(pool.node(base), SymNode::Deref { .. }) && pool.deref_depth(base) > 0 {
+            return None;
         }
+        spine_rev.push(SpineStep { offset, width });
+        cur = base;
     }
     if spine_rev.is_empty() {
         return None;
@@ -194,10 +187,7 @@ pub fn sse_replace(
 ) -> SseStats {
     let mut stats = SseStats::default();
     if cfg.max_rounds == 0
-        || !summary
-            .def_pairs
-            .iter()
-            .any(|dp| matches!(pool.node(dp.d), SymNode::Deref { .. }))
+        || !summary.def_pairs.iter().any(|dp| matches!(pool.node(dp.d), SymNode::Deref { .. }))
     {
         return stats;
     }
@@ -241,8 +231,7 @@ pub fn sse_replace(
         let mut grew = false;
         for i in 0..summary.def_pairs.len() {
             let dp = summary.def_pairs[i];
-            let Some(entry) = alias_entry(summary, pool, &dp, &deref_bases, global_base)
-            else {
+            let Some(entry) = alias_entry(summary, pool, &dp, &deref_bases, global_base) else {
                 continue;
             };
             if alias_seen.insert(entry) {

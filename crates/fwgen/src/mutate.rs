@@ -76,6 +76,16 @@ pub enum ByteFault {
         /// Number of single-bit flips.
         flips: u32,
     },
+    /// Flip exactly one chosen bit — the surgical variant the store
+    /// salvage proptests use when the damaged span must be computable
+    /// (a random flip can land in a checksum, a blob, or a header, each
+    /// with a different expected salvage count).
+    FlipAt {
+        /// Byte offset (out-of-range offsets are a no-op).
+        offset: usize,
+        /// Bit index `0..8`.
+        bit: u8,
+    },
 }
 
 /// Applies a [`ByteFault`] to a copy of `data`.
@@ -97,6 +107,41 @@ pub fn corrupt_bytes(data: &[u8], fault: &ByteFault) -> Vec<u8> {
                     out[byte] ^= 1 << bit;
                 }
             }
+        }
+        ByteFault::FlipAt { offset, bit } => {
+            if let Some(b) = out.get_mut(*offset) {
+                *b ^= 1 << (bit % 8);
+            }
+        }
+    }
+    out
+}
+
+/// The standard damage sweep over a *store artifact* (a `DTC2` summary
+/// cache, a `findings.json`, a journal): truncations at several depths,
+/// a clobbered magic, and seeded bit flips. Store files carry their own
+/// integrity metadata, so — unlike the firmware corpora above — the
+/// reader is expected to *recover* (salvage intact cache entries,
+/// quarantine the db, drop the torn journal tail), never merely reject.
+pub fn store_fault_corpus(bytes: &[u8], seed: u64) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = Vec::new();
+    for keep in [0, 7, bytes.len() / 4, bytes.len() / 2, bytes.len().saturating_sub(3)] {
+        out.push((format!("truncate-{keep}"), corrupt_bytes(bytes, &ByteFault::Truncate { keep })));
+    }
+    out.push(("bad-magic".into(), corrupt_bytes(bytes, &ByteFault::BadMagic)));
+    for round in 0..4u64 {
+        let fault = ByteFault::BitFlips { seed: seed.wrapping_add(round), flips: 3 };
+        out.push((format!("bit-flips-{round}"), corrupt_bytes(bytes, &fault)));
+    }
+    if !bytes.is_empty() {
+        let mut rng = Rng64::new(seed ^ 0xD7C2);
+        for round in 0..4u64 {
+            let offset = rng.below(bytes.len() as u64) as usize;
+            let bit = rng.below(8) as u8;
+            out.push((
+                format!("flip-at-{round}"),
+                corrupt_bytes(bytes, &ByteFault::FlipAt { offset, bit }),
+            ));
         }
     }
     out
@@ -307,6 +352,30 @@ mod tests {
         assert_eq!(corrupt_bytes(&bytes, &f), corrupt_bytes(&bytes, &f));
         assert_ne!(corrupt_bytes(&bytes, &f), bytes);
         assert_eq!(corrupt_bytes(&bytes, &ByteFault::Truncate { keep: 10 }).len(), 10);
+    }
+
+    #[test]
+    fn flip_at_touches_exactly_one_bit() {
+        let bytes = vec![0u8; 16];
+        let flipped = corrupt_bytes(&bytes, &ByteFault::FlipAt { offset: 5, bit: 3 });
+        assert_eq!(flipped[5], 1 << 3);
+        let ones: u32 = flipped.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+        // Out-of-range offset is a no-op, not a panic.
+        assert_eq!(corrupt_bytes(&bytes, &ByteFault::FlipAt { offset: 999, bit: 0 }), bytes);
+    }
+
+    #[test]
+    fn store_fault_corpus_is_deterministic_and_covers_operators() {
+        let artifact: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        let a = store_fault_corpus(&artifact, 11);
+        let b = store_fault_corpus(&artifact, 11);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|(n, _)| n.starts_with("truncate-")));
+        assert!(a.iter().any(|(n, _)| n == "bad-magic"));
+        assert!(a.iter().any(|(n, _)| n.starts_with("bit-flips-")));
+        assert!(a.iter().any(|(n, _)| n.starts_with("flip-at-")));
+        assert!(a.len() >= 12, "sweep covers every operator: {}", a.len());
     }
 
     #[test]

@@ -889,7 +889,11 @@ fn plant_alias_deep(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str, levels: 
         args: vec![Val::GlobalAddr(fill_holder), Val::GlobalAddr(buf)],
         ret: None,
     });
-    e.push(Stmt::Call { callee: Callee::Func(handler), args: vec![Val::GlobalAddr(ctx)], ret: None });
+    e.push(Stmt::Call {
+        callee: Callee::Func(handler),
+        args: vec![Val::GlobalAddr(ctx)],
+        ret: None,
+    });
     e.push(Stmt::Return(None));
     spec.func(e);
 }
@@ -947,7 +951,11 @@ fn plant_alias_callee_load(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
         args: vec![Val::GlobalAddr(ctx), Val::GlobalAddr(buf)],
         ret: None,
     });
-    e.push(Stmt::Call { callee: Callee::Func(handler), args: vec![Val::GlobalAddr(req)], ret: None });
+    e.push(Stmt::Call {
+        callee: Callee::Func(handler),
+        args: vec![Val::GlobalAddr(req)],
+        ret: None,
+    });
     e.push(Stmt::Return(None));
     spec.func(e);
 }
@@ -1009,7 +1017,11 @@ fn plant_alias_offset(spec: &mut ProgramSpec, p: &PlantSpec, entry: &str) {
         args: vec![Val::GlobalAddr(req), Val::GlobalAddr(buf)],
         ret: None,
     });
-    e.push(Stmt::Call { callee: Callee::Func(handler), args: vec![Val::GlobalAddr(ctx)], ret: None });
+    e.push(Stmt::Call {
+        callee: Callee::Func(handler),
+        args: vec![Val::GlobalAddr(ctx)],
+        ret: None,
+    });
     e.push(Stmt::Return(None));
     spec.func(e);
 }

@@ -18,10 +18,19 @@
 //! finding or a re-opened one makes [`ScanDelta::is_regression`] true,
 //! which `dtaint batch` turns into exit code 2.
 
+pub mod atomic;
+pub mod journal;
+pub mod lock;
+
+pub use atomic::{append_durable, atomic_write, fnv64, FaultFs, FaultPlan, FsOp};
+pub use journal::{JournalEntry, JournalLoad, JournalOutcome, JOURNAL_VERSION};
+pub use lock::{LockError, StoreLock};
+
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Lifecycle of a stored finding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,8 +76,9 @@ pub struct FindingsDb {
 }
 
 /// One finding as fed into [`FindingsDb::record_scan`] — the projection
-/// of a report finding that the store tracks.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// of a report finding that the store tracks. Serializable because the
+/// run journal records each image's fold inputs verbatim.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScanFinding {
     /// Content-addressed fingerprint (16 hex digits).
     pub fingerprint: String,
@@ -175,19 +185,37 @@ impl FindingsDb {
 #[derive(Debug, Clone)]
 pub struct StoreDir {
     root: PathBuf,
+    fs: Arc<FaultFs>,
 }
 
 impl StoreDir {
-    /// Opens (creating if necessary) a store rooted at `root`.
+    /// Opens (creating if necessary) a store rooted at `root`, writing
+    /// through a pass-through filesystem shim.
     ///
     /// # Errors
     ///
     /// Propagates directory-creation failures.
     pub fn open(root: &Path) -> io::Result<StoreDir> {
+        Self::open_with_fs(root, Arc::new(FaultFs::new()))
+    }
+
+    /// Opens a store whose writes route through `fs` — the hook the
+    /// crash drills use to inject faults or simulate a mid-run kill.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open_with_fs(root: &Path, fs: Arc<FaultFs>) -> io::Result<StoreDir> {
         std::fs::create_dir_all(root)?;
-        let s = StoreDir { root: root.to_path_buf() };
+        let s = StoreDir { root: root.to_path_buf(), fs };
         std::fs::create_dir_all(s.reports_dir())?;
         Ok(s)
+    }
+
+    /// The filesystem shim every store write goes through.
+    #[must_use]
+    pub fn fs(&self) -> &Arc<FaultFs> {
+        &self.fs
     }
 
     /// The store's root directory.
@@ -214,24 +242,95 @@ impl StoreDir {
         self.root.join("reports")
     }
 
-    /// Loads the findings database; a missing or unparseable file is an
-    /// empty database (the store is advisory, never a scan blocker).
+    /// Path of the append-only run journal.
     #[must_use]
-    pub fn load_db(&self) -> FindingsDb {
-        std::fs::read_to_string(self.findings_path())
-            .ok()
-            .and_then(|s| serde_json::from_str(&s).ok())
-            .unwrap_or_default()
+    pub fn journal_path(&self) -> PathBuf {
+        self.root.join("journal.jsonl")
     }
 
-    /// Saves the findings database.
+    /// Path of the pid-stamped lock file.
+    #[must_use]
+    pub fn lock_path(&self) -> PathBuf {
+        self.root.join("lock")
+    }
+
+    /// Acquires the store lock for this process.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::Held`] when another live process owns the store.
+    pub fn lock(&self) -> Result<(StoreLock, Option<u32>), LockError> {
+        StoreLock::acquire(&self.lock_path())
+    }
+
+    /// Loads the findings database; a missing file is an empty database
+    /// (the store is advisory, never a scan blocker). An *unparseable*
+    /// file is quarantined — see [`StoreDir::load_db_checked`].
+    #[must_use]
+    pub fn load_db(&self) -> FindingsDb {
+        self.load_db_checked().0
+    }
+
+    /// Loads the findings database, distinguishing missing (empty db,
+    /// fine) from corrupt (quarantined). A corrupt `findings.json` is
+    /// renamed to a `findings.json.corrupt-<hash8>` sidecar — whose path
+    /// is returned so the caller can warn loudly — and an empty database
+    /// is returned. The sidecar rename means the next run starts from a
+    /// clean baseline instead of tripping over the same bytes again,
+    /// and the evidence survives for post-mortem.
+    #[must_use]
+    pub fn load_db_checked(&self) -> (FindingsDb, Option<PathBuf>) {
+        let path = self.findings_path();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return (FindingsDb::default(), None),
+        };
+        match serde_json::from_slice::<FindingsDb>(&bytes) {
+            Ok(db) => (db, None),
+            Err(_) => {
+                let sidecar = path
+                    .with_file_name(format!("findings.json.corrupt-{:08x}", fnv64(&bytes) as u32));
+                // Rename, don't copy: the corrupt bytes must not stay
+                // under the canonical name where the next load would
+                // quarantine them all over again.
+                let kept = std::fs::rename(&path, &sidecar).is_ok();
+                (FindingsDb::default(), kept.then_some(sidecar))
+            }
+        }
+    }
+
+    /// Saves the findings database atomically (temp + fsync + rename).
     ///
     /// # Errors
     ///
     /// Propagates serialization and write failures.
     pub fn save_db(&self, db: &FindingsDb) -> io::Result<()> {
         let json = serde_json::to_string_pretty(db).map_err(|e| io::Error::other(e.to_string()))?;
-        std::fs::write(self.findings_path(), json)
+        atomic_write(&self.fs, &self.findings_path(), json.as_bytes())
+    }
+
+    /// Durably appends one completed image to the run journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and append failures.
+    pub fn append_journal(&self, entry: &JournalEntry) -> io::Result<()> {
+        let line = journal::encode_entry(entry).map_err(|e| io::Error::other(e.to_string()))?;
+        append_durable(&self.fs, &self.journal_path(), &line)
+    }
+
+    /// Loads the run journal; a missing journal is an empty one.
+    #[must_use]
+    pub fn load_journal(&self) -> JournalLoad {
+        match std::fs::read(self.journal_path()) {
+            Ok(bytes) => journal::parse_journal(&bytes),
+            Err(_) => JournalLoad::default(),
+        }
+    }
+
+    /// Deletes the run journal (a completed run owes nothing to resume).
+    pub fn clear_journal(&self) {
+        let _ = std::fs::remove_file(self.journal_path());
     }
 }
 
@@ -318,7 +417,92 @@ mod tests {
     fn missing_db_loads_empty() {
         let root = std::env::temp_dir().join(format!("dtaint-store-miss-{}", std::process::id()));
         let store = StoreDir::open(&root).unwrap();
-        assert_eq!(store.load_db(), FindingsDb::default());
+        let (db, sidecar) = store.load_db_checked();
+        assert_eq!(db, FindingsDb::default());
+        assert!(sidecar.is_none(), "missing is not corrupt");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_db_is_quarantined_not_silently_emptied() {
+        let root =
+            std::env::temp_dir().join(format!("dtaint-store-corrupt-{}", std::process::id()));
+        let store = StoreDir::open(&root).unwrap();
+        std::fs::write(store.findings_path(), b"{\"generation\": 3, \"images\": {trunc").unwrap();
+        let (db, sidecar) = store.load_db_checked();
+        assert_eq!(db, FindingsDb::default());
+        let sidecar = sidecar.expect("corrupt db yields a sidecar");
+        assert!(sidecar.exists(), "evidence survives");
+        assert!(!store.findings_path().exists(), "canonical name is cleared");
+        assert!(sidecar
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("findings.json.corrupt-"));
+        // The next load is clean — no repeat quarantine.
+        let (_, again) = store.load_db_checked();
+        assert!(again.is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn journal_appends_load_and_clear() {
+        let root =
+            std::env::temp_dir().join(format!("dtaint-store-journal-{}", std::process::id()));
+        let store = StoreDir::open(&root).unwrap();
+        assert_eq!(store.load_journal(), JournalLoad::default());
+        let entry = JournalEntry {
+            v: JOURNAL_VERSION,
+            image: "router".into(),
+            content: "00000000deadbeef".into(),
+            config: "alias:sse".into(),
+            report: Some("router.json".into()),
+            outcome: JournalOutcome::Ok,
+            error: None,
+            binaries: 2,
+            findings: vec![f("aa", true)],
+            sym_hits: 1,
+            sym_misses: 2,
+            ddg_hits: 3,
+            ddg_misses: 4,
+        };
+        store.append_journal(&entry).unwrap();
+        store.append_journal(&entry).unwrap();
+        let load = store.load_journal();
+        assert_eq!(load.entries.len(), 2);
+        assert_eq!(load.entries[0], entry);
+        assert_eq!(load.discarded_lines, 0);
+        store.clear_journal();
+        assert_eq!(store.load_journal(), JournalLoad::default());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn save_db_leaves_no_temp_droppings() {
+        let root = std::env::temp_dir().join(format!("dtaint-store-tmp-{}", std::process::id()));
+        let store = StoreDir::open(&root).unwrap();
+        let mut db = FindingsDb::default();
+        db.record_scan("img", &[f("aa", true)]);
+        store.save_db(&db).unwrap();
+        let stray: Vec<_> = std::fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(stray.is_empty(), "no temp files survive a clean save: {stray:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn store_lock_round_trips() {
+        let root = std::env::temp_dir().join(format!("dtaint-store-lock-{}", std::process::id()));
+        let store = StoreDir::open(&root).unwrap();
+        let (guard, stole) = store.lock().unwrap();
+        assert!(stole.is_none());
+        assert!(store.lock_path().exists());
+        drop(guard);
+        assert!(!store.lock_path().exists());
         std::fs::remove_dir_all(&root).ok();
     }
 }
