@@ -20,7 +20,17 @@
 //!   findings in non-baseline images, 4 when an image failed to scan or
 //!   overran `--deadline-secs`. All store artifacts are written
 //!   atomically, progress is journaled per image, and `--resume`
-//!   continues a killed run without re-scanning completed images,
+//!   continues a killed run without re-scanning completed images.
+//!   While running, a TTY status line and an atomically-rewritten
+//!   heartbeat (`status.json`, plus `--status-out FILE`) expose live
+//!   progress; at completion the corpus-wide metrics rollup lands in
+//!   `corpus.json` (exportable via `--metrics-out`, `--prom-out`,
+//!   `--trace-chrome`) and one `RunSummary` line is appended to the
+//!   store's `runs.jsonl`,
+//! * `status <store>` — inspect a live or interrupted batch from its
+//!   heartbeat and journal: progress, per-worker stragglers, committed
+//!   and timed-out images,
+//! * `history <store>` — the trend table across recorded batch runs,
 //! * `unpack <image> [--out dir]` — extract the root filesystem,
 //! * `info <image|binary>` — metadata, sections, symbols, signatures,
 //! * `disasm <binary> [function]` — objdump-style listing,
@@ -43,7 +53,10 @@ use dtaint_fwbin::{disasm, Binary};
 use dtaint_fwimage::{
     extract_binaries, extract_image, generate_corpus, scan, triage, CorpusConfig, FwImage,
 };
-use dtaint_telemetry::{export_chrome, export_jsonl, log, Collector};
+use dtaint_telemetry::{
+    export_chrome, export_jsonl, export_prometheus, log, Collector, FleetOutcome, FleetProgress,
+    Heartbeat, ImageCacheStats, MetricsRegistry, SpanEvent,
+};
 use std::io::Write;
 
 /// Usage text printed on bad invocations.
@@ -57,7 +70,10 @@ commands:
   explain <report.json> [--finding PREFIX]
   diff <baseline.json> <current.json>
   batch <dir> [--store DIR] [--out DIR] [--jobs N] [--threads N] [--alias store|sse] [--no-cache]
-              [--resume] [--deadline-secs N]
+              [--resume] [--deadline-secs N] [--status-out FILE] [--metrics-out FILE]
+              [--prom-out FILE] [--trace-chrome FILE]
+  status <store>
+  history <store>
   unpack <image> [--out DIR]
   info <image|binary>
   disasm <binary> [FUNCTION]
@@ -104,6 +120,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, String> {
         "explain" => cmd_explain(&rest, out),
         "diff" => cmd_diff(&rest, out),
         "batch" => cmd_batch(&rest, out),
+        "status" => cmd_status(&rest, out),
+        "history" => cmd_history(&rest, out),
         "unpack" => cmd_unpack(&rest, out),
         "info" => cmd_info(&rest, out),
         "disasm" => cmd_disasm(&rest, out),
@@ -166,6 +184,8 @@ fn positional(rest: &[String]) -> Vec<&String> {
                     | "--jobs"
                     | "--alias"
                     | "--deadline-secs"
+                    | "--status-out"
+                    | "--prom-out"
                     | "--drill-io"
                     | "--drill-stall"
             ) {
@@ -638,11 +658,20 @@ struct ScanCapture {
     sym_misses: u64,
     ddg_hits: u64,
     ddg_misses: u64,
+    /// Cache entries invalidated by content/config drift on this image.
+    invalidations: u64,
+    /// The image's merged report registry — logical counters only, so
+    /// the corpus rollup built from these is jobs/warmth-invariant.
+    metrics: MetricsRegistry,
+    /// The image's scheduler span for `--trace-chrome` (wall-clock;
+    /// never journaled, never part of any determinism contract).
+    span: Option<SpanEvent>,
 }
 
-/// Captures the cache snapshot and this image's scan statistics right
-/// after its scan settles. Failed and timed-out images carry zero
-/// stats (their labels never completed a scan).
+/// Captures the cache snapshot, this image's scan statistics, and its
+/// merged report registry right after its scan settles. Failed and
+/// timed-out images carry zero stats and an empty registry (their
+/// labels never completed a scan).
 fn capture_cache(cache: Option<&std::sync::Arc<SummaryCache>>, oc: &ImageOutcome) -> ScanCapture {
     let mut cap = ScanCapture {
         snapshot: cache.map(|c| c.to_bytes()),
@@ -650,6 +679,9 @@ fn capture_cache(cache: Option<&std::sync::Arc<SummaryCache>>, oc: &ImageOutcome
         sym_misses: 0,
         ddg_hits: 0,
         ddg_misses: 0,
+        invalidations: 0,
+        metrics: MetricsRegistry::default(),
+        span: None,
     };
     if let Some(c) = cache {
         if oc.error.is_none() {
@@ -659,8 +691,15 @@ fn capture_cache(cache: Option<&std::sync::Arc<SummaryCache>>, oc: &ImageOutcome
                 cap.sym_misses += st.sym_misses;
                 cap.ddg_hits += st.ddg_hits;
                 cap.ddg_misses += st.ddg_misses;
+                cap.invalidations += st.invalidations;
             }
         }
+    }
+    // Report registries hold only logical counters and `image.*`
+    // gauges — cache traffic never enters them — so this merge is
+    // bit-identical across `--jobs`, `--threads`, and cache warmth.
+    for r in &oc.reports {
+        cap.metrics.merge_summing_gauges(&r.telemetry.metrics);
     }
     cap
 }
@@ -690,6 +729,10 @@ struct FoldInput {
     sym_misses: u64,
     ddg_hits: u64,
     ddg_misses: u64,
+    invalidations: u64,
+    /// The image's report registry, journaled so a resumed run rebuilds
+    /// the corpus rollup without re-scanning.
+    metrics: MetricsRegistry,
 }
 
 impl FoldInput {
@@ -704,6 +747,8 @@ impl FoldInput {
             sym_misses: e.sym_misses,
             ddg_hits: e.ddg_hits,
             ddg_misses: e.ddg_misses,
+            invalidations: e.invalidations,
+            metrics: e.metrics.clone(),
         }
     }
 }
@@ -817,6 +862,7 @@ struct CorpusImage {
     sym_misses: u64,
     ddg_hits: u64,
     ddg_misses: u64,
+    invalidations: u64,
     timeout: bool,
     error: Option<String>,
 }
@@ -834,9 +880,14 @@ struct CorpusSummary {
     sym_misses: u64,
     ddg_hits: u64,
     ddg_misses: u64,
+    invalidations: u64,
     cache_entries: usize,
     cache_salvaged: u64,
     cache_discarded: u64,
+    /// Corpus-wide rollup of every image's report registry — logical
+    /// counters and summed `image.*` gauges, bit-identical across
+    /// `--jobs`/`--threads` and across `--resume`.
+    metrics: MetricsRegistry,
 }
 
 fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
@@ -887,6 +938,11 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
         None => 0,
     };
     let drill_stall = flag_value(rest, "--drill-stall").map(str::to_owned);
+    let status_out = flag_value(rest, "--status-out").map(std::path::PathBuf::from);
+    let run_started = std::time::Instant::now();
+    let started_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
 
     let mut image_paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir.as_str())
         .map_err(|e| format!("batch: read {dir}: {e}"))?
@@ -992,6 +1048,37 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
         log::info(&format!("batch: resuming — {resumed} image(s) already completed, skipping"));
     }
     let work: Vec<usize> = (0..images.len()).filter(|&i| plan[i].is_none()).collect();
+    let worker_count = jobs.clamp(1, work.len().max(1));
+
+    // Live progress: workers report into the tracker; a reporter thread
+    // periodically rewrites the heartbeat (atomically, so a poller never
+    // sees a torn file) and repaints the TTY status line. Everything is
+    // advisory — a heartbeat write failure never fails the batch, and
+    // nothing here feeds back into reports or the store's identity
+    // contract.
+    let progress = FleetProgress::new(images.len(), worker_count, &config_tag);
+    for e in plan.iter().flatten() {
+        progress.note_resumed(match e.outcome {
+            dtaint_store::JournalOutcome::Error => FleetOutcome::Failed,
+            dtaint_store::JournalOutcome::Timeout => FleetOutcome::Timeout,
+            dtaint_store::JournalOutcome::Ok => FleetOutcome::Ok,
+        });
+    }
+    let write_heartbeat = |hb: &Heartbeat| {
+        if let Ok(json) = serde_json::to_string_pretty(hb) {
+            let _ = dtaint_store::atomic_write(store.fs(), &store.status_path(), json.as_bytes());
+            if let Some(p) = &status_out {
+                let _ = dtaint_store::atomic_write(store.fs(), p, json.as_bytes());
+            }
+        }
+    };
+    // An initial heartbeat before any scan: a batch killed on its very
+    // first image still leaves `dtaint status` something to report.
+    write_heartbeat(&progress.heartbeat("running"));
+    // The batch scheduler clock: worker spans for `--trace-chrome`
+    // share this epoch (lane 0 holds the batch root, worker i uses
+    // lane i+1).
+    let batch_clock = dtaint_telemetry::Clock::new();
 
     // Commits one freshly-scanned image durably, in order: report →
     // cache snapshot → journal append. The journal append is the commit
@@ -1062,6 +1149,8 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                     sym_misses: cap.sym_misses,
                     ddg_hits: cap.ddg_hits,
                     ddg_misses: cap.ddg_misses,
+                    invalidations: cap.invalidations,
+                    metrics: cap.metrics.clone(),
                 })
                 .map_err(|e| format!("write {}: {e}", store.journal_path().display()))?;
             Ok(FoldInput {
@@ -1074,6 +1163,8 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                 sym_misses: cap.sym_misses,
                 ddg_hits: cap.ddg_hits,
                 ddg_misses: cap.ddg_misses,
+                invalidations: cap.invalidations,
+                metrics: cap.metrics.clone(),
             })
         };
 
@@ -1082,8 +1173,10 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     // durably in sorted-image order (so the journal prefix after a
     // crash is always an in-order prefix of the corpus).
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let stop_reporter = std::sync::atomic::AtomicBool::new(false);
     let (txo, rxo) = std::sync::mpsc::channel::<(usize, ImageOutcome, ScanCapture)>();
     let mut folds: Vec<FoldInput> = Vec::with_capacity(images.len());
+    let mut span_events: Vec<SpanEvent> = Vec::new();
     let mut commit_err: Option<String> = None;
     std::thread::scope(|s| {
         let images = &images;
@@ -1091,12 +1184,17 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
         let cache = &cache;
         let drill_stall = &drill_stall;
         let next = &next;
-        for _ in 0..jobs.clamp(1, work.len().max(1)) {
+        let progress = &progress;
+        let stop_reporter = &stop_reporter;
+        let write_heartbeat = &write_heartbeat;
+        for widx in 0..worker_count {
             let txo = txo.clone();
             s.spawn(move || loop {
                 let w = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 let Some(&i) = work.get(w) else { break };
                 let j = &images[i];
+                progress.start_image(widx, &j.name);
+                let span_start = batch_clock.now_us();
                 let oc = scan_with_deadline(
                     j.path.clone(),
                     j.name.clone(),
@@ -1109,11 +1207,80 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                 // Capture the cache state *now*, before this worker's
                 // next scan can disturb it — the commit on the main
                 // thread may run arbitrarily later.
-                let cap = capture_cache(cache.as_ref(), &oc);
+                let mut cap = capture_cache(cache.as_ref(), &oc);
+                let outcome = if oc.timeout {
+                    FleetOutcome::Timeout
+                } else if oc.error.is_some() {
+                    FleetOutcome::Failed
+                } else {
+                    FleetOutcome::Ok
+                };
+                cap.span = Some(SpanEvent {
+                    name: j.name.clone(),
+                    cat: "image".into(),
+                    lane: widx as u32 + 1,
+                    start_us: span_start,
+                    dur_us: batch_clock.now_us().saturating_sub(span_start),
+                    args: [
+                        ("binaries".to_owned(), oc.reports.len() as u64),
+                        (
+                            "findings".to_owned(),
+                            oc.reports.iter().map(|r| r.findings.len() as u64).sum(),
+                        ),
+                        ("sym_hits".to_owned(), cap.sym_hits),
+                        ("ddg_hits".to_owned(), cap.ddg_hits),
+                        (
+                            "outcome".to_owned(),
+                            match outcome {
+                                FleetOutcome::Ok => 0,
+                                FleetOutcome::Failed => 1,
+                                FleetOutcome::Timeout => 2,
+                            },
+                        ),
+                    ]
+                    .into_iter()
+                    .collect(),
+                });
+                progress.finish_image(
+                    widx,
+                    outcome,
+                    &ImageCacheStats {
+                        sym_hits: cap.sym_hits,
+                        sym_misses: cap.sym_misses,
+                        ddg_hits: cap.ddg_hits,
+                        ddg_misses: cap.ddg_misses,
+                        invalidations: cap.invalidations,
+                    },
+                );
                 let _ = txo.send((i, oc, cap));
             });
         }
         drop(txo);
+        // The heartbeat reporter: rewrites the status file every ~250ms
+        // and repaints the TTY line. Checks the stop flag every 25ms so
+        // a short batch shuts down promptly.
+        s.spawn(move || {
+            use std::io::IsTerminal;
+            let tty = std::io::stderr().is_terminal() && log::enabled(log::Level::Info);
+            let mut painted = false;
+            let mut tick = 0u64;
+            while !stop_reporter.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+                tick += 1;
+                if !tick.is_multiple_of(10) {
+                    continue;
+                }
+                let hb = progress.heartbeat("running");
+                write_heartbeat(&hb);
+                if tty {
+                    eprint!("\r\x1b[K{}", hb.render_line());
+                    painted = true;
+                }
+            }
+            if painted {
+                eprint!("\r\x1b[K");
+            }
+        });
         let mut pending: std::collections::BTreeMap<usize, (ImageOutcome, ScanCapture)> =
             std::collections::BTreeMap::new();
         'commit: for (i, j) in images.iter().enumerate() {
@@ -1135,6 +1302,9 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                             }
                         }
                     };
+                    if let Some(sp) = &cap.span {
+                        span_events.push(sp.clone());
+                    }
                     match commit(j, &oc, &cap) {
                         Ok(f) => f,
                         Err(e) => {
@@ -1146,6 +1316,7 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             };
             folds.push(fold);
         }
+        stop_reporter.store(true, std::sync::atomic::Ordering::Relaxed);
     });
     if let Some(e) = commit_err {
         return Err(e);
@@ -1166,11 +1337,22 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
         sym_misses: 0,
         ddg_hits: 0,
         ddg_misses: 0,
+        invalidations: 0,
         cache_entries: 0,
         cache_salvaged: cache_report.map_or(0, |r| r.salvaged),
         cache_discarded: cache_report.map_or(0, |r| r.discarded),
+        metrics: MetricsRegistry::default(),
     };
+    let mut baselines = 0usize;
+    let mut totals_new = 0usize;
+    let mut totals_reopened = 0usize;
+    let mut totals_resolved = 0usize;
     for fi in folds {
+        // The corpus rollup folds every image's report registry in
+        // sorted-image order; gauges sum, so the result is independent
+        // of worker scheduling and identical under `--resume`.
+        summary.metrics.merge_summing_gauges(&fi.metrics);
+        summary.invalidations += fi.invalidations;
         if let Some(err) = fi.error {
             // Failed and timed-out images never fold findings into the
             // database — a partial scan must not resolve or baseline
@@ -1195,12 +1377,17 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                 sym_misses: 0,
                 ddg_hits: 0,
                 ddg_misses: 0,
+                invalidations: 0,
                 timeout: fi.timeout,
                 error: Some(err.clone()),
             });
             continue;
         }
         let delta = db.record_scan(&fi.name, &fi.findings);
+        baselines += usize::from(delta.is_baseline);
+        totals_new += delta.new.len();
+        totals_reopened += delta.reopened.len();
+        totals_resolved += delta.resolved.len();
         let img = CorpusImage {
             name: fi.name,
             binaries: fi.binaries,
@@ -1215,6 +1402,7 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             sym_misses: fi.sym_misses,
             ddg_hits: fi.ddg_hits,
             ddg_misses: fi.ddg_misses,
+            invalidations: fi.invalidations,
             timeout: false,
             error: None,
         };
@@ -1233,7 +1421,7 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
         write_out(
             out,
             &format!(
-                "== {}: {} binarie(s), {} finding(s), {} vulnerable, cache sym {}/{} ddg {}/{} [{}]\n",
+                "== {}: {} binarie(s), {} finding(s), {} vulnerable, cache sym {}/{} ddg {}/{} inv {} [{}]\n",
                 img.name,
                 img.binaries,
                 img.findings,
@@ -1242,6 +1430,7 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
                 img.sym_hits + img.sym_misses,
                 img.ddg_hits,
                 img.ddg_hits + img.ddg_misses,
+                img.invalidations,
                 status,
             ),
         )?;
@@ -1269,6 +1458,94 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     // The run is complete and every artifact durable: the journal owes
     // nothing to resume any more.
     store.clear_journal();
+
+    // Batch-level exporters, all fed from the corpus rollup (or, for
+    // the Chrome trace, the scheduler spans absorbed in commit order).
+    if let Some(dest) = flag_value(rest, "--metrics-out") {
+        let json = serde_json::to_string_pretty(&summary.metrics).map_err(|e| e.to_string())?;
+        std::fs::write(dest, json).map_err(|e| format!("write {dest}: {e}"))?;
+        log::info(&format!("wrote corpus metrics to {dest}"));
+    }
+    if let Some(dest) = flag_value(rest, "--prom-out") {
+        // An export-only copy: run-level gauges/counters ride along for
+        // dashboards but never enter the persisted (deterministic)
+        // rollup.
+        let mut export = summary.metrics.clone();
+        export.set_gauge("batch.images", summary.images.len() as u64);
+        export.set_gauge("batch.failures", summary.failures as u64);
+        export.set_gauge("batch.timeouts", summary.timeouts as u64);
+        export.set_gauge("batch.regressions", summary.regressions as u64);
+        export.set_gauge("batch.vulnerable", summary.vulnerable as u64);
+        export.set_gauge("batch.cache_entries", summary.cache_entries as u64);
+        export.inc("batch.cache.sym_hits", summary.sym_hits);
+        export.inc("batch.cache.sym_misses", summary.sym_misses);
+        export.inc("batch.cache.ddg_hits", summary.ddg_hits);
+        export.inc("batch.cache.ddg_misses", summary.ddg_misses);
+        export.inc("batch.cache.invalidations", summary.invalidations);
+        std::fs::write(dest, export_prometheus(&export, "dtaint_"))
+            .map_err(|e| format!("write {dest}: {e}"))?;
+        log::info(&format!("wrote Prometheus textfile to {dest}"));
+    }
+    if let Some(dest) = flag_value(rest, "--trace-chrome") {
+        // Lane 0: the batch root span; lanes 1..: one span per image on
+        // the worker that scanned it — the work-stealing schedule made
+        // visible. Resumed images never ran, so they have no span.
+        let mut events = vec![SpanEvent {
+            name: "batch".into(),
+            cat: "batch".into(),
+            lane: 0,
+            start_us: 0,
+            dur_us: batch_clock.now_us(),
+            args: [
+                ("images".to_owned(), summary.images.len() as u64),
+                ("resumed".to_owned(), resumed as u64),
+                ("failures".to_owned(), summary.failures as u64),
+                ("timeouts".to_owned(), summary.timeouts as u64),
+            ]
+            .into_iter()
+            .collect(),
+        }];
+        events.extend(span_events);
+        std::fs::write(dest, export_chrome(&events)).map_err(|e| format!("write {dest}: {e}"))?;
+        log::info(&format!(
+            "wrote batch Chrome trace to {dest} (open in chrome://tracing or Perfetto)"
+        ));
+    }
+
+    // One run-history line per completed run. Advisory like the
+    // heartbeat: a failed append costs trend data, never the batch.
+    let run_record = dtaint_store::RunSummary {
+        v: dtaint_store::RUN_VERSION,
+        started_unix,
+        wall_ms: run_started.elapsed().as_millis() as u64,
+        config: config_tag.clone(),
+        generation: db.generation,
+        images: summary.images.len(),
+        ok: summary.images.len() - summary.failures - summary.timeouts,
+        failures: summary.failures,
+        timeouts: summary.timeouts,
+        resumed,
+        baselines,
+        new_findings: totals_new,
+        reopened: totals_reopened,
+        resolved: totals_resolved,
+        regressions: summary.regressions,
+        open_vulnerable: db.open_vulnerable(),
+        sym_hits: summary.sym_hits,
+        sym_misses: summary.sym_misses,
+        ddg_hits: summary.ddg_hits,
+        ddg_misses: summary.ddg_misses,
+        invalidations: summary.invalidations,
+        cache_entries: summary.cache_entries,
+        journal_discarded: prior.discarded_lines,
+    };
+    if let Err(e) = store.append_run(&run_record) {
+        log::warn(&format!("batch: could not append run history: {e}"));
+    }
+
+    // Final heartbeat: phase "done", everything committed.
+    write_heartbeat(&progress.heartbeat("done"));
+
     let timeouts_note = if summary.timeouts > 0 {
         format!(", {} timeout(s)", summary.timeouts)
     } else {
@@ -1277,7 +1554,7 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     write_out(
         out,
         &format!(
-            "corpus: {} image(s), {} vulnerable finding(s), {} regression(s), {} failure(s){}; cache sym {}/{} ddg {}/{} ({} entries)\n",
+            "corpus: {} image(s), {} vulnerable finding(s), {} regression(s), {} failure(s){}; cache sym {}/{} ddg {}/{} inv {} ({} entries)\n",
             summary.images.len(),
             summary.vulnerable,
             summary.regressions,
@@ -1287,6 +1564,7 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
             summary.sym_hits + summary.sym_misses,
             summary.ddg_hits,
             summary.ddg_hits + summary.ddg_misses,
+            summary.invalidations,
             summary.cache_entries,
         ),
     )?;
@@ -1297,6 +1575,181 @@ fn cmd_batch(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
     } else {
         0
     })
+}
+
+/// In-flight images a `status` report flags as stragglers: anything a
+/// worker has held longer than this many milliseconds.
+const STRAGGLER_MS: u64 = 30_000;
+
+/// `dtaint status <store>` — inspect a live, interrupted, or finished
+/// batch from its heartbeat and journal. Read-only: never takes the
+/// lock, never creates the store.
+fn cmd_status(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let root = pos.first().ok_or("status: missing store directory")?;
+    let root_path = std::path::Path::new(root.as_str());
+    if !root_path.is_dir() {
+        return Err(format!("status: no store at {root}"));
+    }
+    let store = dtaint_store::StoreDir::open(root_path)
+        .map_err(|e| format!("status: open store {root}: {e}"))?;
+    write_out(out, &format!("store: {root}\n"))?;
+    match store.live_run_pid() {
+        Some(pid) => write_out(out, &format!("run: live (pid {pid})\n"))?,
+        None => write_out(out, "run: no live batch\n")?,
+    }
+
+    let heartbeat: Option<Heartbeat> = std::fs::read_to_string(store.status_path())
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    match &heartbeat {
+        None => write_out(out, "heartbeat: none\n")?,
+        Some(hb) => {
+            let pct = if hb.total == 0 { 100.0 } else { 100.0 * hb.done as f64 / hb.total as f64 };
+            write_out(
+                out,
+                &format!(
+                    "heartbeat: {} — {}/{} image(s) ({pct:.0}%), {} ok, {} failed, {} timeout(s), {} resumed\n",
+                    hb.phase, hb.done, hb.total, hb.ok, hb.failed, hb.timeouts, hb.resumed,
+                ),
+            )?;
+            write_out(
+                out,
+                &format!(
+                    "  {:.2} images/sec, cache hits {:.1}% (sym {}/{} ddg {}/{} inv {}), config {}\n",
+                    hb.images_per_sec,
+                    100.0 * hb.cache_hit_rate,
+                    hb.sym_hits,
+                    hb.sym_hits + hb.sym_misses,
+                    hb.ddg_hits,
+                    hb.ddg_hits + hb.ddg_misses,
+                    hb.invalidations,
+                    hb.config,
+                ),
+            )?;
+            for w in &hb.workers {
+                match &w.image {
+                    Some(img) => {
+                        let straggler =
+                            if w.elapsed_ms >= STRAGGLER_MS { "  ** straggler" } else { "" };
+                        write_out(
+                            out,
+                            &format!(
+                                "  worker {}: {img} ({:.1}s){straggler}\n",
+                                w.lane,
+                                w.elapsed_ms as f64 / 1000.0,
+                            ),
+                        )?;
+                    }
+                    None => write_out(out, &format!("  worker {}: idle\n", w.lane))?,
+                }
+            }
+        }
+    }
+
+    let journal = store.load_journal();
+    if journal.entries.is_empty() {
+        write_out(out, "journal: empty (no interrupted run)\n")?;
+    } else {
+        // A resumed-then-interrupted run can journal an image twice;
+        // the last entry wins, matching the resume planner.
+        let mut last: std::collections::BTreeMap<&str, &dtaint_store::JournalEntry> =
+            std::collections::BTreeMap::new();
+        for e in &journal.entries {
+            last.insert(e.image.as_str(), e);
+        }
+        write_out(
+            out,
+            &format!(
+                "journal: {} committed image(s), {} torn line(s)\n",
+                last.len(),
+                journal.discarded_lines
+            ),
+        )?;
+        let mut timed_out: Vec<&str> = Vec::new();
+        for (name, e) in &last {
+            let outcome = match e.outcome {
+                dtaint_store::JournalOutcome::Ok => "ok",
+                dtaint_store::JournalOutcome::Error => "error",
+                dtaint_store::JournalOutcome::Timeout => {
+                    timed_out.push(name);
+                    "timeout"
+                }
+            };
+            let detail = match &e.error {
+                Some(err) => format!(" — {err}"),
+                None => format!(
+                    ": {} finding(s), sym {}/{}",
+                    e.findings.len(),
+                    e.sym_hits,
+                    e.sym_hits + e.sym_misses
+                ),
+            };
+            write_out(out, &format!("  {outcome:<8} {name}{detail}\n"))?;
+        }
+        if !timed_out.is_empty() {
+            write_out(out, &format!("timed-out image(s): {}\n", timed_out.join(", ")))?;
+        }
+        if let Some(hb) = &heartbeat {
+            let remaining = hb.total.saturating_sub(last.len());
+            if hb.phase != "done" && remaining > 0 {
+                write_out(out, &format!("pending: {remaining} image(s) not yet committed\n"))?;
+            }
+        }
+    }
+    Ok(0)
+}
+
+/// `dtaint history <store>` — the trend table across recorded runs.
+fn cmd_history(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
+    let pos = positional(rest);
+    let root = pos.first().ok_or("history: missing store directory")?;
+    let root_path = std::path::Path::new(root.as_str());
+    if !root_path.is_dir() {
+        return Err(format!("history: no store at {root}"));
+    }
+    let store = dtaint_store::StoreDir::open(root_path)
+        .map_err(|e| format!("history: open store {root}: {e}"))?;
+    let load = store.load_runs();
+    if load.discarded_lines > 0 {
+        log::warn(&format!("history: discarded {} unreadable run line(s)", load.discarded_lines));
+    }
+    if load.runs.is_empty() {
+        write_out(out, "history: no recorded runs\n")?;
+        return Ok(0);
+    }
+    write_out(
+        out,
+        "gen   images  ok  fail  t/o  res  new  reop  rslv  regr  vuln  cache%   wall  config\n",
+    )?;
+    for r in &load.runs {
+        write_out(
+            out,
+            &format!(
+                "{:<5} {:>6}  {:>2}  {:>4}  {:>3}  {:>3}  {:>3}  {:>4}  {:>4}  {:>4}  {:>4}  {:>5.1}%  {:>4.1}s  {}\n",
+                r.generation,
+                r.images,
+                r.ok,
+                r.failures,
+                r.timeouts,
+                r.resumed,
+                r.new_findings,
+                r.reopened,
+                r.resolved,
+                r.regressions,
+                r.open_vulnerable,
+                100.0 * r.cache_hit_rate(),
+                r.wall_ms as f64 / 1000.0,
+                r.config,
+            ),
+        )?;
+    }
+    let regressions: usize = load.runs.iter().map(|r| r.regressions).sum();
+    write_out(
+        out,
+        &format!("{} run(s), {} regression(s) across history\n", load.runs.len(), regressions),
+    )?;
+    Ok(0)
 }
 
 fn cmd_unpack(rest: &[String], out: &mut dyn Write) -> Result<i32, String> {
@@ -1752,6 +2205,106 @@ mod tests {
         assert!(out.contains("1 failure(s)"), "{out}");
         let (code, _) = run_captured(&["batch", dir.join("empty").to_str().unwrap()]);
         assert!(code.is_err(), "unreadable/empty corpus is a usage error");
+    }
+
+    #[test]
+    fn batch_observability_artifacts_parse_and_lint() {
+        let (dir, full, _) = corpus_dir("obs");
+        std::fs::write(dir.join("router.fwi"), &full).unwrap();
+        let d = dir.to_str().unwrap().to_owned();
+        let status = dir.join("hb.json");
+        let prom = dir.join("metrics.prom");
+        let rollup = dir.join("rollup.json");
+        let trace = dir.join("trace.json");
+        let (code, out) = run_captured(&[
+            "batch",
+            &d,
+            "--jobs",
+            "2",
+            "--status-out",
+            status.to_str().unwrap(),
+            "--prom-out",
+            prom.to_str().unwrap(),
+            "--metrics-out",
+            rollup.to_str().unwrap(),
+            "--trace-chrome",
+            trace.to_str().unwrap(),
+        ]);
+        assert_eq!(code, Ok(0), "{out}");
+        assert!(out.contains("inv 0"), "invalidation count in console: {out}");
+
+        // The final heartbeat: phase "done", all images accounted for,
+        // written both to --status-out and the store's status.json.
+        let hb: dtaint_telemetry::Heartbeat =
+            serde_json::from_str(&std::fs::read_to_string(&status).unwrap()).unwrap();
+        assert_eq!(hb.phase, "done");
+        assert_eq!((hb.done, hb.total, hb.ok), (1, 1, 1));
+        assert!(std::fs::read_to_string(dir.join(".dtaint-store/status.json"))
+            .unwrap()
+            .contains("\"phase\": \"done\""));
+
+        // The Prometheus textfile passes the exposition-format lint and
+        // carries the batch gauges.
+        let text = std::fs::read_to_string(&prom).unwrap();
+        dtaint_telemetry::lint_textfile(&text).unwrap();
+        assert!(text.contains("dtaint_batch_images"), "{text}");
+        assert!(text.contains("# TYPE"), "{text}");
+
+        // The rollup is a plain MetricsRegistry of logical counters.
+        let reg: dtaint_telemetry::MetricsRegistry =
+            serde_json::from_str(&std::fs::read_to_string(&rollup).unwrap()).unwrap();
+        assert!(reg.counter("symex.blocks_executed") > 0, "logical counters present");
+
+        // The Chrome trace has the batch root span plus one image span.
+        let tr = std::fs::read_to_string(&trace).unwrap();
+        assert!(tr.contains("\"batch\""), "{tr}");
+        assert!(tr.contains("\"router\""), "{tr}");
+
+        // corpus.json now embeds the rollup and invalidation counts.
+        let corpus =
+            std::fs::read_to_string(dir.join(".dtaint-store/reports/corpus.json")).unwrap();
+        assert!(corpus.contains("\"metrics\""), "{corpus}");
+        assert!(corpus.contains("\"invalidations\""), "{corpus}");
+    }
+
+    #[test]
+    fn status_and_history_inspect_a_finished_store() {
+        let (dir, full, benign) = corpus_dir("stat");
+        let img = dir.join("router.fwi");
+        std::fs::write(&img, &benign).unwrap();
+        let d = dir.to_str().unwrap().to_owned();
+        let store = dir.join(".dtaint-store");
+        let s = store.to_str().unwrap().to_owned();
+
+        // Before any run the store does not exist: usage error, and
+        // `status` must not create it.
+        let (code, _) = run_captured(&["status", &s]);
+        assert!(code.is_err(), "missing store is an error");
+        assert!(!store.exists(), "status never creates a store");
+
+        let (code, out) = run_captured(&["batch", &d]);
+        assert_eq!(code, Ok(0), "{out}");
+        std::fs::write(&img, &full).unwrap();
+        let (code, _) = run_captured(&["batch", &d]);
+        assert_eq!(code, Ok(2), "vulnerable update regresses");
+
+        // A finished store: no live run, journal cleared, final
+        // heartbeat retained.
+        let (code, out) = run_captured(&["status", &s]);
+        assert_eq!(code, Ok(0), "{out}");
+        assert!(out.contains("no live batch"), "{out}");
+        assert!(out.contains("heartbeat: done"), "{out}");
+        assert!(out.contains("journal: empty"), "{out}");
+
+        // History shows both runs, with the regression in the second.
+        let (code, out) = run_captured(&["history", &s]);
+        assert_eq!(code, Ok(0), "{out}");
+        assert!(out.contains("2 run(s)"), "{out}");
+        assert!(out.contains("1 regression(s)"), "{out}");
+        assert!(out.contains("config"), "table header present: {out}");
+
+        let (code, _) = run_captured(&["history", dir.join("nope").to_str().unwrap()]);
+        assert!(code.is_err(), "missing store is an error");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! [`crate::StoreDir::load_journal`] counts and discards.
 
 use crate::ScanFinding;
+use dtaint_telemetry::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 /// How an image's scan ended.
@@ -67,10 +68,21 @@ pub struct JournalEntry {
     pub ddg_hits: u64,
     /// DDG-level cache misses.
     pub ddg_misses: u64,
+    /// Cache entries invalidated during this image's scan (v2).
+    #[serde(default)]
+    pub invalidations: u64,
+    /// The image's merged report [`MetricsRegistry`] — logical counters
+    /// only, so a resumed run rebuilds the corpus rollup bit-identically
+    /// without re-scanning (v2).
+    #[serde(default)]
+    pub metrics: MetricsRegistry,
 }
 
-/// Current journal line version.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Current journal line version. v2 added `invalidations` and the
+/// per-image `metrics` registry for the corpus rollup; v1 journals are
+/// discarded on load (their images simply re-scan — the journal is
+/// advisory progress, never ground truth).
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// What a journal load found.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -135,6 +147,12 @@ mod tests {
             sym_misses: 1,
             ddg_hits: 2,
             ddg_misses: 2,
+            invalidations: 1,
+            metrics: {
+                let mut m = MetricsRegistry::default();
+                m.inc("symex.blocks_executed", 42);
+                m
+            },
         }
     }
 
@@ -160,6 +178,17 @@ mod tests {
         let load = parse_journal(&bytes);
         assert!(load.entries.is_empty());
         assert_eq!(load.discarded_lines, 1);
+    }
+
+    #[test]
+    fn missing_v2_fields_default_to_empty() {
+        // A v2 line without the rollup fields (e.g. written by a tool
+        // that only knows the required keys) parses with defaults.
+        let line = br#"{"v":2,"image":"router","content":"00000000deadbeef","config":"alias:sse","report":null,"outcome":"Ok","error":null,"binaries":1,"findings":[],"sym_hits":0,"sym_misses":0,"ddg_hits":0,"ddg_misses":0}"#;
+        let load = parse_journal(line);
+        assert_eq!(load.entries.len(), 1);
+        assert_eq!(load.entries[0].invalidations, 0);
+        assert_eq!(load.entries[0].metrics, MetricsRegistry::default());
     }
 
     #[test]

@@ -21,10 +21,12 @@
 pub mod atomic;
 pub mod journal;
 pub mod lock;
+pub mod runs;
 
 pub use atomic::{append_durable, atomic_write, fnv64, FaultFs, FaultPlan, FsOp};
 pub use journal::{JournalEntry, JournalLoad, JournalOutcome, JOURNAL_VERSION};
-pub use lock::{LockError, StoreLock};
+pub use lock::{pid_alive, LockError, StoreLock};
+pub use runs::{encode_run, parse_runs, RunSummary, RunsLoad, RUN_VERSION};
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -254,6 +256,28 @@ impl StoreDir {
         self.root.join("lock")
     }
 
+    /// Path of the live-batch heartbeat file (advisory; rewritten
+    /// atomically while a batch runs).
+    #[must_use]
+    pub fn status_path(&self) -> PathBuf {
+        self.root.join("status.json")
+    }
+
+    /// Path of the append-only run history.
+    #[must_use]
+    pub fn runs_path(&self) -> PathBuf {
+        self.root.join("runs.jsonl")
+    }
+
+    /// The pid of the batch currently holding this store's lock, if that
+    /// process is still alive. `None` means no lock, an unreadable lock,
+    /// or a dead owner (a crashed batch leaves its corpse-lock behind).
+    #[must_use]
+    pub fn live_run_pid(&self) -> Option<u32> {
+        let pid: u32 = std::fs::read_to_string(self.lock_path()).ok()?.trim().parse().ok()?;
+        lock::pid_alive(pid).then_some(pid)
+    }
+
     /// Acquires the store lock for this process.
     ///
     /// # Errors
@@ -331,6 +355,25 @@ impl StoreDir {
     /// Deletes the run journal (a completed run owes nothing to resume).
     pub fn clear_journal(&self) {
         let _ = std::fs::remove_file(self.journal_path());
+    }
+
+    /// Durably appends one completed run to `runs.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and append failures.
+    pub fn append_run(&self, run: &RunSummary) -> io::Result<()> {
+        let line = runs::encode_run(run).map_err(|e| io::Error::other(e.to_string()))?;
+        append_durable(&self.fs, &self.runs_path(), &line)
+    }
+
+    /// Loads the run history; a missing file is an empty history.
+    #[must_use]
+    pub fn load_runs(&self) -> RunsLoad {
+        match std::fs::read(self.runs_path()) {
+            Ok(bytes) => runs::parse_runs(&bytes),
+            Err(_) => RunsLoad::default(),
+        }
     }
 }
 
@@ -465,6 +508,8 @@ mod tests {
             sym_misses: 2,
             ddg_hits: 3,
             ddg_misses: 4,
+            invalidations: 0,
+            metrics: dtaint_telemetry::MetricsRegistry::default(),
         };
         store.append_journal(&entry).unwrap();
         store.append_journal(&entry).unwrap();
@@ -491,6 +536,41 @@ mod tests {
             .filter(|n| n.contains(".tmp-"))
             .collect();
         assert!(stray.is_empty(), "no temp files survive a clean save: {stray:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn run_history_appends_and_loads() {
+        let root = std::env::temp_dir().join(format!("dtaint-store-runs-{}", std::process::id()));
+        let store = StoreDir::open(&root).unwrap();
+        assert_eq!(store.load_runs(), RunsLoad::default());
+        let run = RunSummary {
+            v: RUN_VERSION,
+            config: "alias=sse;cache=on".into(),
+            images: 2,
+            ok: 2,
+            ..RunSummary::default()
+        };
+        store.append_run(&run).unwrap();
+        store.append_run(&run).unwrap();
+        let load = store.load_runs();
+        assert_eq!(load.runs.len(), 2);
+        assert_eq!(load.runs[0], run);
+        assert_eq!(load.discarded_lines, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn live_run_pid_sees_live_owner_only() {
+        let root = std::env::temp_dir().join(format!("dtaint-store-live-{}", std::process::id()));
+        let store = StoreDir::open(&root).unwrap();
+        assert_eq!(store.live_run_pid(), None, "no lock file");
+        std::fs::write(store.lock_path(), format!("{}", std::process::id())).unwrap();
+        assert_eq!(store.live_run_pid(), Some(std::process::id()));
+        std::fs::write(store.lock_path(), "3999999999").unwrap();
+        assert_eq!(store.live_run_pid(), None, "dead owner is not live");
+        std::fs::write(store.lock_path(), "not-a-pid").unwrap();
+        assert_eq!(store.live_run_pid(), None, "garbage lock is not live");
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -44,8 +44,10 @@ impl std::fmt::Display for LockError {
 /// Is `pid` a live process? Linux: `/proc/<pid>` exists. Elsewhere we
 /// cannot tell and err on the side of staleness (a wrongly-stolen lock
 /// degrades to the pre-lock behavior; a wrongly-honored one deadlocks
-/// every future run).
-fn pid_alive(pid: u32) -> bool {
+/// every future run). Public so `dtaint status` can tell a live batch
+/// from a crashed one by the same rule the lock uses.
+#[must_use]
+pub fn pid_alive(pid: u32) -> bool {
     if Path::new("/proc").is_dir() {
         Path::new(&format!("/proc/{pid}")).exists()
     } else {

@@ -22,11 +22,20 @@
 //! * [`export_jsonl`]/[`export_chrome`] — the JSONL event stream and the
 //!   Chrome `trace_event` format (loadable in `chrome://tracing` and
 //!   Perfetto).
+//! * [`fleet`] — batch-level progress: the shared [`FleetProgress`]
+//!   tracker and its [`Heartbeat`] snapshot for status files and the
+//!   TTY status line.
+//! * [`export_prometheus`] — the Prometheus text exposition format for
+//!   textfile-collector scraping.
 //! * [`log`] — a leveled stderr facade replacing ad-hoc `eprintln!`s.
 
+pub mod fleet;
 pub mod log;
 pub mod metrics;
+pub mod prometheus;
 pub mod span;
 
+pub use fleet::{FleetOutcome, FleetProgress, Heartbeat, ImageCacheStats, WorkerHeartbeat};
 pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use prometheus::{export_prometheus, lint_textfile, sanitize_metric_name};
 pub use span::{export_chrome, export_jsonl, Clock, Collector, SpanEvent, TraceBuffer, TraceSpec};

@@ -166,6 +166,24 @@ impl MetricsRegistry {
             self.histograms.entry(k.clone()).or_default().merge(h);
         }
     }
+
+    /// Folds another registry in *summing* gauges instead of overwriting
+    /// them — the corpus-rollup semantics, where per-image point-in-time
+    /// gauges (`image.functions`, `image.sinks`, …) are meaningful as
+    /// corpus totals. Counters and histograms fold as in [`Self::merge`].
+    /// Addition is order-insensitive, so a rollup built this way is
+    /// bit-identical no matter how images were scheduled over workers.
+    pub fn merge_summing_gauges(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +235,29 @@ mod tests {
     }
 
     #[test]
+    fn histogram_merge_into_empty_preserves_min() {
+        // The corpus-rollup cold path: the accumulator starts empty
+        // (`min: 0` from Default). A naive merge would clamp min to 0;
+        // the count==0 guard must instead adopt the other side wholesale.
+        let mut empty = Histogram::default();
+        let mut h = Histogram::default();
+        h.observe(7);
+        h.observe(12);
+        empty.merge(&h);
+        assert_eq!(empty, h, "merging into empty adopts the other histogram");
+        assert_eq!(empty.min, 7, "min must not be clamped to the empty default 0");
+    }
+
+    #[test]
+    fn histogram_merge_of_empty_is_identity() {
+        let mut h = Histogram::default();
+        h.observe(3);
+        let before = h.clone();
+        h.merge(&Histogram::default());
+        assert_eq!(h, before, "merging an empty histogram changes nothing");
+    }
+
+    #[test]
     fn registry_counters_gauges_merge() {
         let mut r = MetricsRegistry::default();
         r.inc("x", 2);
@@ -233,6 +274,30 @@ mod tests {
         assert_eq!(r.counter("x"), 6);
         assert_eq!(r.gauge("g"), 9);
         assert_eq!(r.histogram("h").unwrap().count, 2);
+    }
+
+    #[test]
+    fn summing_merge_adds_gauges_and_is_order_insensitive() {
+        let mut a = MetricsRegistry::default();
+        a.inc("work", 10);
+        a.set_gauge("image.functions", 4);
+        a.observe("blocks", 8);
+        let mut b = MetricsRegistry::default();
+        b.inc("work", 5);
+        b.set_gauge("image.functions", 3);
+        b.observe("blocks", 2);
+
+        let mut ab = MetricsRegistry::default();
+        ab.merge_summing_gauges(&a);
+        ab.merge_summing_gauges(&b);
+        let mut ba = MetricsRegistry::default();
+        ba.merge_summing_gauges(&b);
+        ba.merge_summing_gauges(&a);
+
+        assert_eq!(ab.counter("work"), 15);
+        assert_eq!(ab.gauge("image.functions"), 7, "gauges sum, not overwrite");
+        assert_eq!(ab.histogram("blocks").unwrap().count, 2);
+        assert_eq!(ab, ba, "rollup is independent of fold order");
     }
 
     #[test]
